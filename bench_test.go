@@ -1,0 +1,156 @@
+// Package marsit's root benchmarks regenerate every table and figure
+// of the paper's evaluation through the experiment registry, and
+// report headline metrics (accuracy, simulated seconds, megabytes) as
+// custom benchmark outputs. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the quick-scale experiment; `cmd/marsit-bench
+// -scale full` produces the paper-proportioned versions.
+package marsit
+
+import (
+	"strings"
+	"testing"
+
+	"marsit/internal/experiments"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	var out *experiments.Output
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = experiments.Run(id, experiments.Quick)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	if out == nil || len(out.Tables) == 0 {
+		b.Fatalf("%s produced no tables", id)
+	}
+	b.ReportMetric(float64(len(out.Tables[0].Rows)), "rows")
+	if b.N == 1 && testing.Verbose() {
+		b.Log("\n" + out.Text)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (cascading vs no compression,
+// M ∈ {3, 8}).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig1a regenerates Figure 1a (per-iteration time breakdown
+// of five schemes).
+func BenchmarkFig1a(b *testing.B) { benchExperiment(b, "fig1a") }
+
+// BenchmarkFig1b regenerates Figure 1b (matching rate vs iteration).
+func BenchmarkFig1b(b *testing.B) { benchExperiment(b, "fig1b") }
+
+// BenchmarkFig3 regenerates Figure 3 (the K sweep: accuracy curves and
+// the time/accuracy/bits table).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkTable2 regenerates Table 2 (Top-1 accuracy, six methods
+// across the model/dataset analogues).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig4a regenerates Figure 4a (accuracy vs time).
+func BenchmarkFig4a(b *testing.B) { benchExperiment(b, "fig4a") }
+
+// BenchmarkFig4b regenerates Figure 4b (accuracy vs communication MB).
+func BenchmarkFig4b(b *testing.B) { benchExperiment(b, "fig4b") }
+
+// BenchmarkFig5 regenerates Figure 5 (time breakdown under TAR and
+// RAR).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkRemark regenerates the appendix deviation comparison
+// (Theorems 2–3).
+func BenchmarkRemark(b *testing.B) { benchExperiment(b, "remark") }
+
+// BenchmarkAblation runs the compensation and Elias-coding ablations.
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkSyncOneBit measures the core primitive: one Marsit one-bit
+// synchronization over the facade API (M=8, D=16384).
+func BenchmarkSyncOneBit(b *testing.B) {
+	const workers, dim = 8, 1 << 14
+	sync := MustNew(Config{Workers: workers, Dim: dim, K: 0, GlobalLR: 0.01, Seed: 1})
+	cluster := NewCluster(workers)
+	r := rng.New(3)
+	grads := make([]Vec, workers)
+	for w := range grads {
+		grads[w] = r.NormVec(make(Vec, dim), 0, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sync.Sync(cluster, grads)
+	}
+}
+
+// TestFacadeQuickstart exercises the public API end to end (the
+// example in the package documentation).
+func TestFacadeQuickstart(t *testing.T) {
+	const workers, dim = 4, 1000
+	sync := MustNew(Config{Workers: workers, Dim: dim, K: 3, GlobalLR: 0.05, Seed: 2})
+	cluster := NewCluster(workers)
+	r := rng.New(5)
+	for round := 0; round < 6; round++ {
+		grads := make([]Vec, workers)
+		for w := range grads {
+			grads[w] = r.NormVec(make(Vec, dim), 0, 1)
+		}
+		gt := sync.Sync(cluster, grads)
+		if len(gt) != dim {
+			t.Fatalf("round %d: g_t dim %d", round, len(gt))
+		}
+	}
+	if cluster.TotalBytes() <= 0 {
+		t.Fatal("no traffic accounted")
+	}
+	if tensor.Norm2(sync.MeanCompensation()) < 0 {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestFacadeTorus exercises the TAR configuration via the facade.
+func TestFacadeTorus(t *testing.T) {
+	tor := SquareTorus(4)
+	if tor.Rows() != 2 || tor.Cols() != 2 {
+		t.Fatalf("SquareTorus(4) = %dx%d", tor.Rows(), tor.Cols())
+	}
+	sync := MustNew(Config{Workers: 4, Dim: 64, K: 0, GlobalLR: 0.01, Torus: tor, Seed: 3})
+	cluster := NewClusterWithModel(4, DefaultCostModel())
+	r := rng.New(7)
+	grads := make([]Vec, 4)
+	for w := range grads {
+		grads[w] = r.NormVec(make(Vec, 64), 0, 1)
+	}
+	gt := sync.Sync(cluster, grads)
+	for _, x := range gt {
+		if x != 0.01 && x != -0.01 {
+			t.Fatalf("non-one-bit update %v", x)
+		}
+	}
+}
+
+// TestExperimentOutputsRender sanity-checks that every registered
+// experiment id is covered by a benchmark above.
+func TestExperimentOutputsRender(t *testing.T) {
+	covered := map[string]bool{
+		"table1": true, "fig1a": true, "fig1b": true, "fig3": true,
+		"table2": true, "fig4a": true, "fig4b": true, "fig5": true,
+		"remark": true, "ablation": true,
+	}
+	for _, id := range experiments.IDs() {
+		if !covered[id] {
+			t.Fatalf("experiment %q has no root benchmark", id)
+		}
+	}
+	if len(experiments.IDs()) != len(covered) {
+		t.Fatalf("benchmark list out of date: %s", strings.Join(experiments.IDs(), ","))
+	}
+}

@@ -1,0 +1,84 @@
+// Command marsit-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	marsit-bench -exp table1            # one experiment, quick scale
+//	marsit-bench -exp fig4a -scale full # paper-proportioned run
+//	marsit-bench -exp all               # everything
+//	marsit-bench -list                  # enumerate experiment ids
+//	marsit-bench -exp fig3 -csv out.csv # also dump tables as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"marsit/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		scale   = flag.String("scale", "quick", "quick | full")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csvPath = flag.String("csv", "", "write result tables as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "marsit-bench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.Quick
+	case "full":
+		s = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "marsit-bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var outs []*experiments.Output
+	if *exp == "all" {
+		var err error
+		outs, err = experiments.RunAll(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marsit-bench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		o, err := experiments.Run(*exp, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marsit-bench: %v\n", err)
+			os.Exit(1)
+		}
+		outs = []*experiments.Output{o}
+	}
+
+	var csv strings.Builder
+	for _, o := range outs {
+		fmt.Print(o.Text)
+		fmt.Println()
+		for _, tb := range o.Tables {
+			csv.WriteString("# " + o.ID + ": " + tb.Title + "\n")
+			csv.WriteString(tb.CSV())
+		}
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "marsit-bench: writing csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tables written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,45 @@
+// cifar_ring trains the CIFAR-10 analogue over ring all-reduce with
+// Marsit and with full-precision PSGD, and prints the accuracy/time/
+// traffic comparison — the workload class the paper's introduction
+// motivates (image classification on a public cloud).
+package main
+
+import (
+	"fmt"
+
+	"marsit/internal/data"
+	"marsit/internal/netsim"
+	"marsit/internal/nn"
+	"marsit/internal/rng"
+	"marsit/internal/train"
+)
+
+func main() {
+	ds := data.SyntheticCIFAR(2000, 5)
+	trainSet, testSet := ds.Split(1600)
+
+	cost := netsim.ScaledCostModel(1000) // emulate paper-sized gradients on the wire
+	base := train.Config{
+		Topo: train.TopoRing, Workers: 8, Rounds: 300, Batch: 16,
+		LocalLR: 0.3, GlobalLR: 0.01, Optimizer: "sgd",
+		EvalEvery: 50, EvalSamples: 400, Seed: 9, Cost: &cost,
+		Model: func(r *rng.PCG) *nn.Network { return nn.NewMLP(r, 192, []int{64}, 10) },
+		Train: trainSet, Test: testSet,
+	}
+
+	for _, method := range []train.Method{train.MethodPSGD, train.MethodMarsit} {
+		cfg := base
+		cfg.Method = method
+		if method == train.MethodMarsit {
+			cfg.LocalLR = 1.0 // Marsit-driven SGD: η_l tuned per task
+		}
+		res, err := train.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s  acc %.3f  simulated %6.2fs  %7.3f MB  (compute %.2fs, compress %.2fs, transmit %.2fs)\n",
+			method, res.FinalAcc, res.TotalTime, res.TotalMB,
+			res.Breakdown.Compute(), res.Breakdown.Compress(), res.Breakdown.Transmit())
+	}
+	fmt.Println("\nMarsit should land within a few accuracy points of PSGD at a fraction of the traffic.")
+}

@@ -1,0 +1,44 @@
+// ksweep explores Marsit's K parameter (the full-precision
+// synchronization period) on synthetic MNIST: the Figure 3 trade-off
+// between accuracy, time and bits per element, runnable in seconds.
+package main
+
+import (
+	"fmt"
+
+	"marsit/internal/data"
+	"marsit/internal/netsim"
+	"marsit/internal/nn"
+	"marsit/internal/rng"
+	"marsit/internal/train"
+)
+
+func main() {
+	ds := data.SyntheticMNIST(2000, 29)
+	trainSet, testSet := ds.Split(1600)
+	const workers, rounds = 4, 160
+	cost := netsim.ScaledCostModel(1000) // paper-sized gradients on the wire
+
+	fmt.Printf("%-12s %10s %10s %12s\n", "K", "acc", "sim time", "bits/elem")
+	for _, k := range []int{1, 10, 40, 0} {
+		cfg := train.Config{
+			Method: train.MethodMarsit, Topo: train.TopoRing,
+			Workers: workers, Rounds: rounds, Batch: 16,
+			LocalLR: 0.3, GlobalLR: 0.005, K: k,
+			Optimizer: "sgd", EvalSamples: 400, Seed: 31, Cost: &cost,
+			Model: func(r *rng.PCG) *nn.Network { return nn.NewMLP(r, 64, []int{32}, 10) },
+			Train: trainSet, Test: testSet,
+		}
+		res, err := train.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		label := fmt.Sprintf("K=%d", k)
+		if k == 0 {
+			label = "K=∞ (1-bit)"
+		}
+		bits := res.TotalMB * 1e6 * 8 / (float64(rounds) * float64(2*(workers-1)) * float64(res.Params))
+		fmt.Printf("%-12s %10.3f %9.3fs %12.2f\n", label, res.FinalAcc, res.TotalTime, bits)
+	}
+	fmt.Println("\nsmaller K ⇒ more full-precision rounds ⇒ more bits and time, slightly better accuracy.")
+}

@@ -1,0 +1,298 @@
+// Package bitvec implements densely packed bit vectors used to carry
+// sign information on the simulated wire. One bit per gradient element is
+// the "ultimate compression" of the paper: bit 1 encodes a non-negative
+// (+1) element, bit 0 a negative (−1) element.
+//
+// The type supports the word-level boolean algebra required by Marsit's
+// ⊙ operator — (v_i AND v*_i) OR ((v_i XOR v*_i) AND v) — plus Bernoulli
+// mask generation for the transient vector v, population counts, and a
+// compact serialization used by the network simulator to account bytes.
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"marsit/internal/rng"
+)
+
+// Vec is a packed bit vector of fixed length.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero bit vector of length n.
+func New(n int) *Vec {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (v *Vec) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v *Vec) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i to b.
+func (v *Vec) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i>>6] |= 1 << uint(i&63)
+	} else {
+		v.words[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns a deep copy.
+func (v *Vec) Clone() *Vec {
+	out := New(v.n)
+	copy(out.words, v.words)
+	return out
+}
+
+// Copy copies src into v. Lengths must match.
+func (v *Vec) Copy(src *Vec) {
+	v.checkSame(src)
+	copy(v.words, src.words)
+}
+
+func (v *Vec) checkSame(o *Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// And computes v &= o in place.
+func (v *Vec) And(o *Vec) {
+	v.checkSame(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Or computes v |= o in place.
+func (v *Vec) Or(o *Vec) {
+	v.checkSame(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// Xor computes v ^= o in place.
+func (v *Vec) Xor(o *Vec) {
+	v.checkSame(o)
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+}
+
+// Not flips every bit in place (tail bits beyond Len stay clear).
+func (v *Vec) Not() {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.clearTail()
+}
+
+// clearTail zeroes the unused high bits of the last word so that
+// OnesCount and Equal remain exact.
+func (v *Vec) clearTail() {
+	if rem := uint(v.n & 63); rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vec) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether v and o hold identical bits.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FillBernoulli sets every bit independently to 1 with probability p,
+// drawing from r. This realizes the transient vector of Eq. (2).
+func (v *Vec) FillBernoulli(r *rng.PCG, p float64) {
+	for i := range v.words {
+		nbits := 64
+		if i == len(v.words)-1 {
+			if rem := v.n & 63; rem != 0 {
+				nbits = rem
+			}
+		}
+		v.words[i] = r.BernoulliWord(p, nbits)
+	}
+}
+
+// FromSigns packs the signs of src (non-negative → 1) into a new Vec.
+func FromSigns(src []float64) *Vec {
+	v := New(len(src))
+	for i, x := range src {
+		if x >= 0 {
+			v.words[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return v
+}
+
+// PackSigns is FromSigns into an existing vector (length must equal
+// len(src)); it avoids allocation on hot paths.
+func (v *Vec) PackSigns(src []float64) {
+	if len(src) != v.n {
+		panic(fmt.Sprintf("bitvec: PackSigns length mismatch %d != %d", len(src), v.n))
+	}
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	for i, x := range src {
+		if x >= 0 {
+			v.words[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// UnpackSigns writes ±1 into dst (bit 1 → +1, bit 0 → −1).
+// dst must have length Len.
+func (v *Vec) UnpackSigns(dst []float64) {
+	if len(dst) != v.n {
+		panic(fmt.Sprintf("bitvec: UnpackSigns length mismatch %d != %d", len(dst), v.n))
+	}
+	for i := range dst {
+		if v.words[i>>6]&(1<<uint(i&63)) != 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = -1
+		}
+	}
+}
+
+// AddSignsInto accumulates ±1 per bit into dst (dst[i] += ±1).
+func (v *Vec) AddSignsInto(dst []float64) {
+	if len(dst) != v.n {
+		panic("bitvec: AddSignsInto length mismatch")
+	}
+	for i := range dst {
+		if v.words[i>>6]&(1<<uint(i&63)) != 0 {
+			dst[i]++
+		} else {
+			dst[i]--
+		}
+	}
+}
+
+// WireBytes returns the number of bytes this vector occupies on the
+// simulated wire: one bit per element, rounded up to whole bytes.
+func (v *Vec) WireBytes() int { return (v.n + 7) / 8 }
+
+// Marshal serializes the vector: 4-byte little-endian bit length followed
+// by ceil(n/8) payload bytes.
+func (v *Vec) Marshal() []byte {
+	out := make([]byte, 4+v.WireBytes())
+	binary.LittleEndian.PutUint32(out, uint32(v.n))
+	for i := 0; i < v.WireBytes(); i++ {
+		word := v.words[i>>3]
+		out[4+i] = byte(word >> uint((i&7)*8))
+	}
+	return out
+}
+
+// Unmarshal parses data produced by Marshal.
+func Unmarshal(data []byte) (*Vec, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("bitvec: short header (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	payload := data[4:]
+	want := (n + 7) / 8
+	if len(payload) < want {
+		return nil, fmt.Errorf("bitvec: want %d payload bytes, have %d", want, len(payload))
+	}
+	v := New(n)
+	for i := 0; i < want; i++ {
+		v.words[i>>3] |= uint64(payload[i]) << uint((i&7)*8)
+	}
+	v.clearTail()
+	return v, nil
+}
+
+// Merge3 computes the Marsit ⊙ combination into v:
+//
+//	v = (v AND local) OR ((v XOR local) AND transient)
+//
+// where v is the received aggregate, local the worker's own sign vector,
+// and transient the pre-drawn Bernoulli tie-breaker. All three must have
+// equal length. transient is read-only; v is overwritten.
+func (v *Vec) Merge3(local, transient *Vec) {
+	v.checkSame(local)
+	v.checkSame(transient)
+	for i := range v.words {
+		a := v.words[i]
+		b := local.words[i]
+		v.words[i] = (a & b) | ((a ^ b) & transient.words[i])
+	}
+}
+
+// Extract returns a new vector holding bits [lo, hi) of v.
+func (v *Vec) Extract(lo, hi int) *Vec {
+	if lo < 0 || hi < lo || hi > v.n {
+		panic(fmt.Sprintf("bitvec: Extract[%d,%d) of length %d", lo, hi, v.n))
+	}
+	out := New(hi - lo)
+	for i := lo; i < hi; i++ {
+		if v.Get(i) {
+			out.Set(i-lo, true)
+		}
+	}
+	return out
+}
+
+// Insert writes src into v starting at bit lo.
+func (v *Vec) Insert(lo int, src *Vec) {
+	if lo < 0 || lo+src.n > v.n {
+		panic(fmt.Sprintf("bitvec: Insert of %d bits at %d into length %d", src.n, lo, v.n))
+	}
+	for i := 0; i < src.n; i++ {
+		v.Set(lo+i, src.Get(i))
+	}
+}
+
+// String renders the bits most-significant-last ("1011…"), mainly for
+// debugging and test failure messages.
+func (v *Vec) String() string {
+	buf := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,529 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+)
+
+func cluster(n int) *netsim.Cluster {
+	return netsim.NewCluster(n, netsim.DefaultCostModel())
+}
+
+// randomVecs builds n worker vectors of dim d and also returns their
+// exact element-wise mean.
+func randomVecs(r *rng.PCG, n, d int) ([]tensor.Vec, tensor.Vec) {
+	vecs := make([]tensor.Vec, n)
+	mean := make(tensor.Vec, d)
+	for w := 0; w < n; w++ {
+		vecs[w] = r.NormVec(make(tensor.Vec, d), 0, 1)
+		tensor.Add(mean, vecs[w])
+	}
+	tensor.Scale(mean, 1/float64(n))
+	return vecs, mean
+}
+
+func rngs(n int, seed uint64) []*rng.PCG {
+	out := make([]*rng.PCG, n)
+	for i := range out {
+		out[i] = rng.NewStream(seed, uint64(i))
+	}
+	return out
+}
+
+func assertConsensus(t *testing.T, vecs []tensor.Vec) {
+	t.Helper()
+	for w := 1; w < len(vecs); w++ {
+		if d := tensor.Dist2(vecs[0], vecs[w]); d > 1e-9 {
+			t.Fatalf("worker %d disagrees by %v", w, d)
+		}
+	}
+}
+
+func assertMean(t *testing.T, vecs []tensor.Vec, mean tensor.Vec) {
+	t.Helper()
+	assertConsensus(t, vecs)
+	if d := tensor.Dist2(vecs[0], mean); d > 1e-9 {
+		t.Fatalf("result differs from true mean by %v", d)
+	}
+}
+
+func TestRingAllReduceExactMean(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		for _, d := range []int{1, 5, 64, 131} {
+			c := cluster(n)
+			vecs, mean := randomVecs(r, n, d)
+			RingAllReduce(c, vecs)
+			assertMean(t, vecs, mean)
+			if c.Time() <= 0 {
+				t.Fatal("no time charged")
+			}
+		}
+	}
+}
+
+func TestRingAllReduceSingleWorker(t *testing.T) {
+	c := cluster(1)
+	vecs := []tensor.Vec{{1, 2, 3}}
+	RingAllReduce(c, vecs)
+	if vecs[0][0] != 1 || vecs[0][2] != 3 {
+		t.Fatal("single worker changed values")
+	}
+}
+
+func TestRingAllReduceBytes(t *testing.T) {
+	// Cluster-wide traffic of ring all-reduce is 2(M−1)·D·4 bytes.
+	const n, d = 4, 100
+	c := cluster(n)
+	vecs, _ := randomVecs(rng.New(2), n, d)
+	RingAllReduce(c, vecs)
+	want := int64(2 * (n - 1) * d * 4)
+	if c.TotalBytes() != want {
+		t.Fatalf("TotalBytes = %d, want %d", c.TotalBytes(), want)
+	}
+}
+
+func TestRingAllReduceProperty(t *testing.T) {
+	r := rng.New(3)
+	f := func(nRaw, dRaw uint8) bool {
+		n := int(nRaw%7) + 2
+		d := int(dRaw%50) + n // ensure d >= n so all segments non-empty
+		c := cluster(n)
+		vecs, mean := randomVecs(r, n, d)
+		RingAllReduce(c, vecs)
+		for w := range vecs {
+			if tensor.Dist2(vecs[w], mean) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusAllReduceExactMean(t *testing.T) {
+	r := rng.New(5)
+	for _, shape := range [][2]int{{2, 2}, {2, 3}, {3, 3}, {1, 4}, {4, 1}} {
+		tor := topology.NewTorus(shape[0], shape[1])
+		n := tor.Size()
+		c := cluster(n)
+		vecs, mean := randomVecs(r, n, 64)
+		TorusAllReduce(c, tor, vecs)
+		assertMean(t, vecs, mean)
+	}
+}
+
+func TestTorusSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c := cluster(4)
+	vecs, _ := randomVecs(rng.New(1), 4, 8)
+	TorusAllReduce(c, topology.NewTorus(2, 3), vecs)
+}
+
+func TestTreeAllReduceExactMean(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1, 2, 3, 7, 10} {
+		tr := topology.NewTree(n)
+		c := cluster(n)
+		vecs, mean := randomVecs(r, n, 33)
+		TreeAllReduce(c, tr, vecs)
+		assertMean(t, vecs, mean)
+	}
+}
+
+func TestPSAllReduceExactMean(t *testing.T) {
+	r := rng.New(9)
+	c := cluster(5)
+	vecs, mean := randomVecs(r, 5, 41)
+	PSAllReduce(c, vecs)
+	assertMean(t, vecs, mean)
+	// PS accounting: 2·M·D·4 bytes cluster-wide.
+	if want := int64(2 * 5 * 41 * 4); c.TotalBytes() != want {
+		t.Fatalf("TotalBytes = %d, want %d", c.TotalBytes(), want)
+	}
+}
+
+func TestPSCongestionSlowerThanRing(t *testing.T) {
+	// Section 3.1/Figure 1a: full-precision RAR beats full-precision PS
+	// for a sufficiently large model.
+	const n, d = 8, 1 << 16
+	r := rng.New(11)
+	ring := cluster(n)
+	ringVecs, _ := randomVecs(r, n, d)
+	RingAllReduce(ring, ringVecs)
+
+	ps := cluster(n)
+	psVecs, _ := randomVecs(r, n, d)
+	PSAllReduce(ps, psVecs)
+
+	if ring.Time() >= ps.Time() {
+		t.Fatalf("RAR (%v s) not faster than PS (%v s)", ring.Time(), ps.Time())
+	}
+}
+
+func TestGossipPreservesMeanAndContracts(t *testing.T) {
+	r := rng.New(13)
+	const n, d = 6, 16
+	c := cluster(n)
+	vecs, mean := randomVecs(r, n, d)
+
+	spread := func() float64 {
+		s := 0.0
+		for _, v := range vecs {
+			s += tensor.Dist2(v, mean)
+		}
+		return s
+	}
+	before := spread()
+	for i := 0; i < 5; i++ {
+		GossipAverage(c, vecs)
+	}
+	// Mean is invariant under doubly-stochastic mixing.
+	got := make(tensor.Vec, d)
+	for _, v := range vecs {
+		tensor.Add(got, v)
+	}
+	tensor.Scale(got, 1/float64(n))
+	if tensor.Dist2(got, mean) > 1e-9 {
+		t.Fatal("gossip changed the global mean")
+	}
+	if spread() >= before {
+		t.Fatal("gossip did not contract toward consensus")
+	}
+}
+
+func TestGossipSingleWorkerNoop(t *testing.T) {
+	c := cluster(1)
+	vecs := []tensor.Vec{{1, 2}}
+	GossipAverage(c, vecs)
+	if vecs[0][0] != 1 {
+		t.Fatal("gossip changed singleton")
+	}
+}
+
+// TestCascadingRingUnbiasedSmall: with M small the cascading estimate
+// should be unbiased for the mean (every hop is an unbiased SSDM).
+func TestCascadingRingUnbiased(t *testing.T) {
+	const n, d, trials = 3, 8, 3000
+	base := rng.New(17)
+	fixed := make([]tensor.Vec, n)
+	mean := make(tensor.Vec, d)
+	for w := 0; w < n; w++ {
+		fixed[w] = base.NormVec(make(tensor.Vec, d), 0, 1)
+		tensor.Add(mean, fixed[w])
+	}
+	tensor.Scale(mean, 1/float64(n))
+
+	acc := make(tensor.Vec, d)
+	for trial := 0; trial < trials; trial++ {
+		c := cluster(n)
+		vecs := make([]tensor.Vec, n)
+		for w := range vecs {
+			vecs[w] = tensor.Clone(fixed[w])
+		}
+		CascadingRing(c, vecs, rngs(n, uint64(1000+trial)))
+		tensor.Add(acc, vecs[0])
+	}
+	tensor.Scale(acc, 1.0/trials)
+	// Cascading variance is large; only require the empirical mean to
+	// be within a loose band of the truth.
+	if d := tensor.Dist2(acc, mean); d > 0.9 {
+		t.Fatalf("cascading estimate far from unbiased: distance %v", d)
+	}
+}
+
+func TestCascadingRingConsensus(t *testing.T) {
+	const n, d = 4, 32
+	c := cluster(n)
+	vecs, _ := randomVecs(rng.New(19), n, d)
+	CascadingRing(c, vecs, rngs(n, 7))
+	assertConsensus(t, vecs)
+	bd := c.MeanBreakdown()
+	if bd.Compress() <= 0 {
+		t.Fatal("cascading charged no compression time")
+	}
+}
+
+// TestCascadingDeviationGrowsWithM reproduces the appendix remark
+// (Theorems 2–3): per-worker deviation of cascading compression grows
+// explosively with M. Each recompression of a segment of length L
+// multiplies the payload norm by ~√L, so with the per-hop segment
+// length held fixed (d = L·M, as when a fixed-size model shard rides
+// each hop) the deviation grows geometrically in M.
+func TestCascadingDeviationGrowsWithM(t *testing.T) {
+	const segLen, trials = 16, 40
+	dev := func(n int) float64 {
+		d := segLen * n
+		base := rng.New(23)
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			c := cluster(n)
+			vecs := make([]tensor.Vec, n)
+			mean := make(tensor.Vec, d)
+			for w := 0; w < n; w++ {
+				vecs[w] = base.NormVec(make(tensor.Vec, d), 0, 1)
+				tensor.Add(mean, vecs[w])
+			}
+			tensor.Scale(mean, 1/float64(n))
+			CascadingRing(c, vecs, rngs(n, uint64(trial)))
+			diff := tensor.Dist2(vecs[0], mean)
+			sum += diff * diff
+		}
+		return sum / trials
+	}
+	d3, d8 := dev(3), dev(8)
+	if d8 <= 10*d3 {
+		t.Fatalf("cascading deviation did not explode with M: M=3 %v, M=8 %v", d3, d8)
+	}
+}
+
+func TestOverflowRingConsensusAndUnbiased(t *testing.T) {
+	// The overflow scheme is linear (no cascading), so with equal
+	// per-worker norms the estimate is unbiased for the mean gradient.
+	const n, d, trials = 4, 8, 4000
+	base := rng.New(29)
+	fixed := make([]tensor.Vec, n)
+	mean := make(tensor.Vec, d)
+	for w := 0; w < n; w++ {
+		fixed[w] = base.NormVec(make(tensor.Vec, d), 0, 1)
+		tensor.Add(mean, fixed[w])
+	}
+	tensor.Scale(mean, 1/float64(n))
+	acc := make(tensor.Vec, d)
+	for trial := 0; trial < trials; trial++ {
+		c := cluster(n)
+		vecs := make([]tensor.Vec, n)
+		for w := range vecs {
+			vecs[w] = tensor.Clone(fixed[w])
+		}
+		OverflowRing(c, vecs, rngs(n, uint64(trial)), false)
+		if trial == 0 {
+			assertConsensus(t, vecs)
+		}
+		tensor.Add(acc, vecs[0])
+	}
+	tensor.Scale(acc, 1.0/trials)
+	// Norms differ slightly across workers, so allow a loose band; the
+	// estimate must at least correlate strongly with the truth.
+	if tensor.Dot(acc, mean) <= 0 {
+		t.Fatalf("overflow estimate anti-correlated with mean")
+	}
+	if d := tensor.Dist2(acc, mean); d > 0.5*tensor.Norm2(mean) {
+		t.Fatalf("overflow estimate biased: distance %v vs ‖mean‖ %v", d, tensor.Norm2(mean))
+	}
+}
+
+func TestOverflowEliasSmallerWire(t *testing.T) {
+	const n, d = 8, 4096
+	r := rng.New(31)
+	run := func(elias bool) int64 {
+		c := cluster(n)
+		vecs, _ := randomVecs(r, n, d)
+		OverflowRing(c, vecs, rngs(n, 37), elias)
+		return c.TotalBytes()
+	}
+	fixed := run(false)
+	elias := run(true)
+	if elias >= fixed {
+		t.Fatalf("Elias coding (%d B) not smaller than fixed width (%d B)", elias, fixed)
+	}
+}
+
+func TestOverflowBytesGrowWithHops(t *testing.T) {
+	// The defining pathology (Section 3.1): overflow payloads exceed
+	// one bit per element, and total wire bytes grow superlinearly in M
+	// per element compared with Marsit's flat 1 bit.
+	const d = 4096
+	perWorker := func(n int) float64 {
+		c := cluster(n)
+		vecs, _ := randomVecs(rng.New(41), n, d)
+		OverflowRing(c, vecs, rngs(n, 43), false)
+		return float64(c.TotalBytes()) / float64(n)
+	}
+	oneBitFloor := 2.0 * float64(d) / 8 // 2(M-1)/M ≈ 2 segments of 1 bit/elem
+	if perWorker(16) <= oneBitFloor {
+		t.Fatalf("overflow per-worker bytes %v suspiciously at the 1-bit floor %v",
+			perWorker(16), oneBitFloor)
+	}
+	if perWorker(16) <= perWorker(4) {
+		t.Fatalf("overflow bytes did not grow with M: M=4 %v, M=16 %v",
+			perWorker(4), perWorker(16))
+	}
+}
+
+func TestSignMajorityPS(t *testing.T) {
+	const n, d = 5, 16
+	c := cluster(n)
+	vecs := make([]tensor.Vec, n)
+	for w := range vecs {
+		vecs[w] = make(tensor.Vec, d)
+		for i := range vecs[w] {
+			vecs[w][i] = 1 // unanimous positive
+		}
+	}
+	vecs[0][3] = -100 // one dissenter on coordinate 3: majority still +
+	SignMajorityPS(c, vecs)
+	assertConsensus(t, vecs)
+	if vecs[0][3] <= 0 {
+		t.Fatal("majority vote lost to a single dissenter")
+	}
+	if c.TotalBytes() >= int64(2*n*d*4) {
+		t.Fatal("sign majority not cheaper than full precision")
+	}
+}
+
+func TestSSDMPSUnbiased(t *testing.T) {
+	const n, d, trials = 3, 8, 4000
+	base := rng.New(43)
+	fixed := make([]tensor.Vec, n)
+	mean := make(tensor.Vec, d)
+	for w := 0; w < n; w++ {
+		fixed[w] = base.NormVec(make(tensor.Vec, d), 0, 1)
+		tensor.Add(mean, fixed[w])
+	}
+	tensor.Scale(mean, 1/float64(n))
+	acc := make(tensor.Vec, d)
+	for trial := 0; trial < trials; trial++ {
+		c := cluster(n)
+		vecs := make([]tensor.Vec, n)
+		for w := range vecs {
+			vecs[w] = tensor.Clone(fixed[w])
+		}
+		SSDMPS(c, vecs, rngs(n, uint64(trial)))
+		tensor.Add(acc, vecs[0])
+	}
+	tensor.Scale(acc, 1.0/trials)
+	if d := tensor.Dist2(acc, mean); d > 0.15 {
+		t.Fatalf("SSDM-PS bias: distance %v", d)
+	}
+}
+
+// TestPSvsCascadingDeviation is Theorem 2 vs Theorem 3: single-shot PS
+// compression deviation stays bounded while cascading grows with M.
+func TestPSvsCascadingDeviation(t *testing.T) {
+	const n, d, trials = 8, 16, 60
+	base := rng.New(47)
+	fixed := make([]tensor.Vec, n)
+	mean := make(tensor.Vec, d)
+	for w := 0; w < n; w++ {
+		fixed[w] = base.NormVec(make(tensor.Vec, d), 0, 1)
+		tensor.Add(mean, fixed[w])
+	}
+	tensor.Scale(mean, 1/float64(n))
+
+	devOf := func(run func(c *netsim.Cluster, vecs []tensor.Vec, seed uint64)) float64 {
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			c := cluster(n)
+			vecs := make([]tensor.Vec, n)
+			for w := range vecs {
+				vecs[w] = tensor.Clone(fixed[w])
+			}
+			run(c, vecs, uint64(trial))
+			diff := tensor.Dist2(vecs[0], mean)
+			sum += diff * diff
+		}
+		return sum / trials
+	}
+	psDev := devOf(func(c *netsim.Cluster, vecs []tensor.Vec, seed uint64) {
+		SSDMPS(c, vecs, rngs(n, seed))
+	})
+	cascDev := devOf(func(c *netsim.Cluster, vecs []tensor.Vec, seed uint64) {
+		CascadingRing(c, vecs, rngs(n, seed))
+	})
+	if cascDev <= psDev {
+		t.Fatalf("cascading deviation %v not above PS deviation %v", cascDev, psDev)
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	c := cluster(2)
+	for _, fn := range []func(){
+		func() { RingAllReduce(c, []tensor.Vec{{1}}) },
+		func() { RingAllReduce(c, []tensor.Vec{{1}, {1, 2}}) },
+		func() { CascadingRing(c, []tensor.Vec{{1}, {2}}, rngs(1, 1)) },
+		func() { OverflowRing(c, []tensor.Vec{{1}, {2}}, rngs(1, 1), false) },
+		func() { SSDMPS(c, []tensor.Vec{{1}, {2}}, rngs(1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestMatchingRateOrdering reproduces Figure 1b's ordering on a single
+// aggregation: the sign of the cascaded estimate matches the true
+// aggregate sign less often than single-shot SSDM does.
+func TestMatchingRateOrdering(t *testing.T) {
+	const n, d, trials = 3, 256, 40
+	base := rng.New(53)
+	var cascMatch, ssdmMatch float64
+	for trial := 0; trial < trials; trial++ {
+		fixed := make([]tensor.Vec, n)
+		mean := make(tensor.Vec, d)
+		for w := 0; w < n; w++ {
+			fixed[w] = base.NormVec(make(tensor.Vec, d), 0, 1)
+			tensor.Add(mean, fixed[w])
+		}
+		tensor.Scale(mean, 1/float64(n))
+
+		vecs := make([]tensor.Vec, n)
+		for w := range vecs {
+			vecs[w] = tensor.Clone(fixed[w])
+		}
+		CascadingRing(cluster(n), vecs, rngs(n, uint64(trial)))
+		cascMatch += tensor.MatchRate(vecs[0], mean)
+
+		for w := range vecs {
+			vecs[w] = tensor.Clone(fixed[w])
+		}
+		SSDMPS(cluster(n), vecs, rngs(n, uint64(trial)))
+		ssdmMatch += tensor.MatchRate(vecs[0], mean)
+	}
+	cascMatch /= trials
+	ssdmMatch /= trials
+	if !(cascMatch < ssdmMatch) {
+		t.Fatalf("matching rates: cascading %v should be below SSDM %v", cascMatch, ssdmMatch)
+	}
+	if math.IsNaN(cascMatch) {
+		t.Fatal("NaN matching rate")
+	}
+}
+
+func BenchmarkRingAllReduce(b *testing.B) {
+	const n, d = 8, 1 << 14
+	vecs, _ := randomVecs(rng.New(1), n, d)
+	c := cluster(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RingAllReduce(c, vecs)
+	}
+}
+
+func BenchmarkCascadingRing(b *testing.B) {
+	const n, d = 8, 1 << 14
+	vecs, _ := randomVecs(rng.New(1), n, d)
+	rs := rngs(n, 1)
+	c := cluster(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CascadingRing(c, vecs, rs)
+	}
+}

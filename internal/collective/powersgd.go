@@ -1,0 +1,162 @@
+package collective
+
+import (
+	"math"
+
+	"marsit/internal/netsim"
+	"marsit/internal/tensor"
+)
+
+// PowerSGDRingState carries the warm-started query matrix shared by
+// all workers across PowerSGDRing synchronizations.
+type PowerSGDRingState struct {
+	Rank       int
+	rows, cols int
+	dim        int
+	q          []float64 // cols×rank
+}
+
+// NewPowerSGDRingState initializes the shared Q for gradients of the
+// given dimension.
+func NewPowerSGDRingState(rank, dim int) *PowerSGDRingState {
+	if rank < 1 || dim < 1 {
+		panic("collective: PowerSGDRingState needs rank, dim >= 1")
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(dim))))
+	rows := (dim + cols - 1) / cols
+	s := &PowerSGDRingState{Rank: rank, rows: rows, cols: cols, dim: dim, q: make([]float64, cols*rank)}
+	for r := 0; r < rank; r++ {
+		for i := 0; i < cols; i++ {
+			s.q[i*rank+r] = math.Sin(float64(i*(r+2) + 1))
+		}
+	}
+	return s
+}
+
+// PowerSGDRing synchronizes gradients with distributed PowerSGD under
+// ring all-reduce (Vogels et al., and the paper's Section 2 critique):
+//
+//  1. every worker computes P_w = M_w·Q and the cluster ring-all-reduces
+//     the P matrices (rows·rank floats);
+//  2. all workers orthonormalize the identical mean P;
+//  3. every worker computes Q'_w = M_wᵀ·P and the cluster runs a SECOND,
+//     dependent ring all-reduce over the Q' matrices (cols·rank floats);
+//  4. the consensus gradient estimate is P·Q̄'ᵀ, and Q̄' warm-starts the
+//     next round.
+//
+// The two sequential all-reduce rounds are exactly the "multiple
+// sequential vectors at a synchronization" the paper blames for
+// PowerSGD's inefficiency under RAR: each pays the full 2(M−1)-hop
+// latency chain before the other can begin. On return every vector in
+// vecs holds the identical rank-limited estimate of the mean gradient.
+func PowerSGDRing(c *netsim.Cluster, vecs []tensor.Vec, st *PowerSGDRingState) {
+	d := checkShape(c, vecs)
+	if d != st.dim {
+		panic("collective: PowerSGDRing dimension mismatch")
+	}
+	n := c.Size()
+	r := st.Rank
+	at := func(g tensor.Vec, i, j int) float64 {
+		idx := i*st.cols + j
+		if idx >= len(g) {
+			return 0
+		}
+		return g[idx]
+	}
+
+	// Step 1: local P_w = M_w·Q, then all-reduce (mean).
+	ps := make([]tensor.Vec, n)
+	for w := 0; w < n; w++ {
+		pm := make(tensor.Vec, st.rows*r)
+		for i := 0; i < st.rows; i++ {
+			for j := 0; j < st.cols; j++ {
+				v := at(vecs[w], i, j)
+				if v == 0 {
+					continue
+				}
+				for k := 0; k < r; k++ {
+					pm[i*r+k] += v * st.q[j*r+k]
+				}
+			}
+		}
+		ps[w] = pm
+		c.AddCompress(w, d) // the M·Q pass
+	}
+	RingAllReduce(c, ps)
+
+	// Step 2: identical orthonormalization everywhere.
+	meanP := ps[0]
+	gramSchmidt(meanP, st.rows, r)
+
+	// Step 3: local Q'_w = M_wᵀ·P, second (dependent) all-reduce.
+	qs := make([]tensor.Vec, n)
+	for w := 0; w < n; w++ {
+		qn := make(tensor.Vec, st.cols*r)
+		for i := 0; i < st.rows; i++ {
+			for j := 0; j < st.cols; j++ {
+				v := at(vecs[w], i, j)
+				if v == 0 {
+					continue
+				}
+				for k := 0; k < r; k++ {
+					qn[j*r+k] += v * meanP[i*r+k]
+				}
+			}
+		}
+		qs[w] = qn
+		c.AddCompress(w, d) // the Mᵀ·P pass
+	}
+	RingAllReduce(c, qs)
+	meanQ := qs[0]
+	copy(st.q, meanQ)
+
+	// Step 4: reconstruct P·Q̄'ᵀ on every worker.
+	for w := 0; w < n; w++ {
+		for i := 0; i < st.rows; i++ {
+			for j := 0; j < st.cols; j++ {
+				idx := i*st.cols + j
+				if idx >= d {
+					continue
+				}
+				var s float64
+				for k := 0; k < r; k++ {
+					s += meanP[i*r+k] * meanQ[j*r+k]
+				}
+				vecs[w][idx] = s
+			}
+		}
+		c.AddDecompress(w, d)
+	}
+	c.Barrier()
+}
+
+// gramSchmidt orthonormalizes the rank columns of the rows×rank
+// row-major matrix m, replacing degenerate columns with unit vectors.
+func gramSchmidt(m tensor.Vec, rows, rank int) {
+	for k := 0; k < rank; k++ {
+		for prev := 0; prev < k; prev++ {
+			var dot float64
+			for i := 0; i < rows; i++ {
+				dot += m[i*rank+k] * m[i*rank+prev]
+			}
+			for i := 0; i < rows; i++ {
+				m[i*rank+k] -= dot * m[i*rank+prev]
+			}
+		}
+		var norm float64
+		for i := 0; i < rows; i++ {
+			norm += m[i*rank+k] * m[i*rank+k]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			for i := 0; i < rows; i++ {
+				m[i*rank+k] = 0
+			}
+			m[(k%rows)*rank+k] = 1
+			continue
+		}
+		for i := 0; i < rows; i++ {
+			m[i*rank+k] /= norm
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package collective
+
+import (
+	"testing"
+
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+)
+
+func deterministicSigns(n, d int, positives []int) ([][]float64, []float64) {
+	// positives[i] = number of workers whose coordinate i is +1.
+	signs := make([][]float64, n)
+	scales := make([]float64, n)
+	for w := 0; w < n; w++ {
+		signs[w] = make([]float64, d)
+		for i := 0; i < d; i++ {
+			if w < positives[i] {
+				signs[w][i] = 1
+			} else {
+				signs[w][i] = -1
+			}
+		}
+		scales[w] = 1
+	}
+	return signs, scales
+}
+
+func TestSignSumRingExactCounts(t *testing.T) {
+	const n, d = 4, 5
+	positives := []int{0, 1, 2, 3, 4}
+	signs, scales := deterministicSigns(n, d, positives)
+	c := cluster(n)
+	sums, total := SignSumRing(c, signs, scales, false)
+	if total != float64(n) {
+		t.Fatalf("scale sum %v", total)
+	}
+	for i := 0; i < d; i++ {
+		want := int64(2*positives[i] - n) // (+1)·p + (−1)·(n−p)
+		if sums[i] != want {
+			t.Fatalf("coordinate %d: sum %d, want %d", i, sums[i], want)
+		}
+	}
+}
+
+func TestSignSumTorusMatchesRing(t *testing.T) {
+	tor := topology.NewTorus(2, 3)
+	n := tor.Size()
+	const d = 7
+	positives := []int{0, 1, 2, 3, 4, 5, 6}
+	signs, scales := deterministicSigns(n, d, positives)
+
+	cr := cluster(n)
+	ringSums, ringTotal := SignSumRing(cr, signs, scales, false)
+	ct := cluster(n)
+	torusSums, torusTotal := SignSumTorus(ct, tor, signs, scales, false)
+
+	if ringTotal != torusTotal {
+		t.Fatalf("scale totals differ: %v vs %v", ringTotal, torusTotal)
+	}
+	for i := 0; i < d; i++ {
+		if ringSums[i] != torusSums[i] {
+			t.Fatalf("coordinate %d: ring %d vs torus %d", i, ringSums[i], torusSums[i])
+		}
+	}
+}
+
+func TestSignSumSingleWorker(t *testing.T) {
+	c := cluster(1)
+	signs := [][]float64{{1, -1}}
+	sums, total := SignSumRing(c, signs, []float64{2.5}, false)
+	if sums[0] != 1 || sums[1] != -1 || total != 2.5 {
+		t.Fatalf("singleton: %v %v", sums, total)
+	}
+	if c.TotalBytes() != 0 {
+		t.Fatal("singleton transmitted")
+	}
+}
+
+func TestSignSumValidation(t *testing.T) {
+	c := cluster(2)
+	for _, fn := range []func(){
+		func() { SignSumRing(c, [][]float64{{1}}, []float64{1}, false) },
+		func() { SignSumRing(c, [][]float64{{1}, {1, 2}}, []float64{1, 1}, false) },
+		func() {
+			SignSumTorus(c, topology.NewTorus(1, 3), [][]float64{{1}, {1}}, []float64{1, 1}, false)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSignSumEliasBytesSmaller(t *testing.T) {
+	// Concentrated sums (half + / half −) compress well under Elias.
+	const n, d = 8, 2048
+	r := rng.New(1)
+	signs := make([][]float64, n)
+	scales := make([]float64, n)
+	for w := 0; w < n; w++ {
+		signs[w] = make([]float64, d)
+		for i := range signs[w] {
+			if r.Bernoulli(0.5) {
+				signs[w][i] = 1
+			} else {
+				signs[w][i] = -1
+			}
+		}
+		scales[w] = 1
+	}
+	cFixed := cluster(n)
+	SignSumRing(cFixed, signs, scales, false)
+	cElias := cluster(n)
+	SignSumRing(cElias, signs, scales, true)
+	if cElias.TotalBytes() >= cFixed.TotalBytes() {
+		t.Fatalf("Elias %d B not below fixed %d B", cElias.TotalBytes(), cFixed.TotalBytes())
+	}
+}
+
+func TestSegmentedRingMatchesRing(t *testing.T) {
+	r := rng.New(11)
+	for _, chunks := range []int{1, 2, 3, 7} {
+		const n, d = 5, 83
+		c := cluster(n)
+		vecs, mean := randomVecs(r, n, d)
+		SegmentedRingAllReduce(c, vecs, chunks)
+		assertMean(t, vecs, mean)
+	}
+}
+
+func TestSegmentedRingSingleWorker(t *testing.T) {
+	c := cluster(1)
+	vecs := []tensor.Vec{{3, 4}}
+	SegmentedRingAllReduce(c, vecs, 4)
+	if vecs[0][0] != 3 || vecs[0][1] != 4 {
+		t.Fatal("singleton changed")
+	}
+}
+
+func TestSegmentedRingValidation(t *testing.T) {
+	c := cluster(2)
+	vecs, _ := randomVecs(rng.New(1), 2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SegmentedRingAllReduce(c, vecs, 0)
+}
+
+// TestSegmentedRingSameBytes: chunking changes pipelining, not the
+// total traffic.
+func TestSegmentedRingSameBytes(t *testing.T) {
+	r := rng.New(13)
+	const n, d = 4, 1024
+	run := func(chunks int) int64 {
+		c := cluster(n)
+		vecs, _ := randomVecs(r, n, d)
+		SegmentedRingAllReduce(c, vecs, chunks)
+		return c.TotalBytes()
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("chunking changed bytes: %d vs %d", a, b)
+	}
+}

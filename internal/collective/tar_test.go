@@ -1,0 +1,62 @@
+package collective
+
+import (
+	"testing"
+
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/topology"
+)
+
+// TestTARFasterThanRAR reproduces Figure 5's topology claim: with the
+// bandwidth-optimal hierarchical schedule, TAR matches RAR's bytes but
+// needs far fewer sequential steps, so it finishes sooner in every
+// regime.
+func TestTARFasterThanRAR(t *testing.T) {
+	const d = 1 << 14
+	tor := topology.NewTorus(4, 4)
+	n := tor.Size()
+	r := rng.New(3)
+
+	for _, scale := range []float64{1, 1000} {
+		model := netsim.ScaledCostModel(scale)
+
+		ring := netsim.NewCluster(n, model)
+		ringVecs, mean := randomVecs(r, n, d)
+		RingAllReduce(ring, ringVecs)
+		assertMean(t, ringVecs, mean)
+
+		tar := netsim.NewCluster(n, model)
+		tarVecs := make([][]float64, n)
+		for w := range tarVecs {
+			tarVecs[w] = append([]float64(nil), mean...)
+			for i := range tarVecs[w] {
+				tarVecs[w][i] += float64(w) // distinct but known mean shift
+			}
+		}
+		TorusAllReduce(tar, tor, tarVecs)
+		assertConsensus(t, tarVecs)
+
+		if tar.Time() >= ring.Time() {
+			t.Fatalf("scale %v: TAR %v not faster than RAR %v", scale, tar.Time(), ring.Time())
+		}
+		// Byte totals within 10% of each other (both ~2(M-1)/M·D·4·M).
+		rb, tb := float64(ring.TotalBytes()), float64(tar.TotalBytes())
+		if tb > 1.1*rb {
+			t.Fatalf("TAR bytes %v exceed RAR %v by >10%%", tb, rb)
+		}
+	}
+}
+
+// TestTARCorrectAcrossShapes checks exact mean for non-square tori.
+func TestTARCorrectAcrossShapes(t *testing.T) {
+	r := rng.New(7)
+	for _, shape := range [][2]int{{2, 2}, {2, 4}, {4, 2}, {3, 5}, {1, 6}, {6, 1}} {
+		tor := topology.NewTorus(shape[0], shape[1])
+		n := tor.Size()
+		c := cluster(n)
+		vecs, mean := randomVecs(r, n, 97)
+		TorusAllReduce(c, tor, vecs)
+		assertMean(t, vecs, mean)
+	}
+}

@@ -1,0 +1,177 @@
+package compress
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements Elias universal codes (Elias, IEEE Trans. IT 1975),
+// which the paper uses "to compact the transmission message among nodes"
+// for the baselines whose per-element payload grows to ⌈log2 M⌉ bits
+// (the SSDM bit-width-expansion scheme). Gamma codes suit small positive
+// integers such as per-coordinate sign sums.
+
+// BitWriter accumulates individual bits into a byte slice, MSB-first
+// within each byte.
+type BitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << uint(7-w.nbit%8)
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *BitWriter) Len() int { return w.nbit }
+
+// Bytes returns the encoded bytes (the final byte may be partially used).
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes bits produced by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int
+}
+
+// NewBitReader wraps data for reading.
+func NewBitReader(data []byte) *BitReader { return &BitReader{buf: data} }
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (uint, error) {
+	if r.pos >= 8*len(r.buf) {
+		return 0, fmt.Errorf("compress: bit stream exhausted at %d", r.pos)
+	}
+	b := (r.buf[r.pos/8] >> uint(7-r.pos%8)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits reads n bits MSB-first.
+func (r *BitReader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// EliasGammaEncode appends the Elias gamma code of v (v ≥ 1) to w:
+// ⌊log2 v⌋ zeros followed by the binary representation of v.
+func EliasGammaEncode(w *BitWriter, v uint64) {
+	if v == 0 {
+		panic("compress: Elias gamma undefined for 0")
+	}
+	n := bits.Len64(v) // position of the highest set bit, 1-based
+	for i := 0; i < n-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(v, n)
+}
+
+// EliasGammaDecode reads one gamma-coded value.
+func EliasGammaDecode(r *BitReader) (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 64 {
+			return 0, fmt.Errorf("compress: gamma prefix too long")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// EliasDeltaEncode appends the Elias delta code of v (v ≥ 1): the gamma
+// code of 1+⌊log2 v⌋ followed by the mantissa bits of v.
+func EliasDeltaEncode(w *BitWriter, v uint64) {
+	if v == 0 {
+		panic("compress: Elias delta undefined for 0")
+	}
+	n := bits.Len64(v)
+	EliasGammaEncode(w, uint64(n))
+	w.WriteBits(v&((1<<uint(n-1))-1), n-1)
+}
+
+// EliasDeltaDecode reads one delta-coded value.
+func EliasDeltaDecode(r *BitReader) (uint64, error) {
+	n, err := EliasGammaDecode(r)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 || n > 64 {
+		return 0, fmt.Errorf("compress: delta length %d out of range", n)
+	}
+	rest, err := r.ReadBits(int(n - 1))
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(n-1) | rest, nil
+}
+
+// ZigZag maps a signed integer to an unsigned one suitable for Elias
+// coding: 0→1, -1→2, 1→3, -2→4, ... (shifted by one because Elias codes
+// start at 1).
+func ZigZag(v int64) uint64 {
+	u := uint64(v<<1) ^ uint64(v>>63)
+	return u + 1
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	u--
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// EliasEncodeInts gamma-codes a slice of signed integers (e.g. the
+// per-coordinate sign sums of the overflow baseline) and returns the
+// packed bytes plus the exact bit length.
+func EliasEncodeInts(vals []int64) ([]byte, int) {
+	w := &BitWriter{}
+	for _, v := range vals {
+		EliasGammaEncode(w, ZigZag(v))
+	}
+	return w.Bytes(), w.Len()
+}
+
+// EliasDecodeInts decodes n signed integers from data.
+func EliasDecodeInts(data []byte, n int) ([]int64, error) {
+	r := NewBitReader(data)
+	out := make([]int64, n)
+	for i := range out {
+		u, err := EliasGammaDecode(r)
+		if err != nil {
+			return nil, fmt.Errorf("compress: value %d: %w", i, err)
+		}
+		out[i] = UnZigZag(u)
+	}
+	return out, nil
+}

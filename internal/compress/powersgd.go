@@ -1,0 +1,153 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"marsit/internal/tensor"
+)
+
+// PowerSGD is the rank-r low-rank compressor of Vogels et al.
+// (NeurIPS'19), which the paper's related-work section singles out as
+// ill-suited to RAR because it ships multiple sequential vectors per
+// synchronization. The gradient is viewed as a rows×cols matrix M
+// (zero-padded), one subspace iteration refines a persistent query
+// matrix Q: P = MQ (orthonormalized), Q' = MᵀP, and the payload is the
+// pair (P, Q') — 32·r·(rows+cols) bits. Decompression reconstructs
+// P·Q'ᵀ. The warm-started Q makes successive compressions track the
+// gradient's principal subspace.
+type PowerSGD struct {
+	Rank       int
+	rows, cols int
+	dim        int
+	q          []float64 // cols×rank, persistent across calls
+}
+
+// NewPowerSGD returns a rank-r PowerSGD compressor for gradients of
+// the given dimension. The matrix shape is near-square.
+func NewPowerSGD(rank, dim int) *PowerSGD {
+	if rank < 1 || dim < 1 {
+		panic(fmt.Sprintf("compress: PowerSGD(rank=%d, dim=%d)", rank, dim))
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(dim))))
+	rows := (dim + cols - 1) / cols
+	p := &PowerSGD{Rank: rank, rows: rows, cols: cols, dim: dim, q: make([]float64, cols*rank)}
+	// Deterministic non-degenerate start: shifted identity-ish columns.
+	for r := 0; r < rank; r++ {
+		for i := 0; i < cols; i++ {
+			p.q[i*rank+r] = math.Sin(float64(i*(r+2) + 1)) // fixed pseudo-random, seed-free
+		}
+	}
+	return p
+}
+
+// Name implements Compressor.
+func (p *PowerSGD) Name() string { return fmt.Sprintf("powersgd%d", p.Rank) }
+
+// at returns M[i][j] of the padded matrix view of g.
+func (p *PowerSGD) at(g tensor.Vec, i, j int) float64 {
+	idx := i*p.cols + j
+	if idx >= len(g) {
+		return 0
+	}
+	return g[idx]
+}
+
+// Compress implements Compressor. The payload's Dense field carries
+// P (rows×rank) followed by Q' (cols×rank).
+func (p *PowerSGD) Compress(g tensor.Vec) *Payload {
+	if len(g) != p.dim {
+		panic(fmt.Sprintf("compress: PowerSGD dim %d, got %d", p.dim, len(g)))
+	}
+	r := p.Rank
+	// P = M Q.
+	pm := make([]float64, p.rows*r)
+	for i := 0; i < p.rows; i++ {
+		for j := 0; j < p.cols; j++ {
+			v := p.at(g, i, j)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < r; k++ {
+				pm[i*r+k] += v * p.q[j*r+k]
+			}
+		}
+	}
+	orthonormalize(pm, p.rows, r)
+	// Q' = Mᵀ P.
+	qn := make([]float64, p.cols*r)
+	for i := 0; i < p.rows; i++ {
+		for j := 0; j < p.cols; j++ {
+			v := p.at(g, i, j)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < r; k++ {
+				qn[j*r+k] += v * pm[i*r+k]
+			}
+		}
+	}
+	copy(p.q, qn) // warm start for the next round
+	dense := make(tensor.Vec, len(pm)+len(qn))
+	copy(dense, pm)
+	copy(dense[len(pm):], qn)
+	return &Payload{Dense: dense, Bits: 32 * (p.rows + p.cols) * r}
+}
+
+// Decompress implements Compressor: dst = P·Q'ᵀ flattened (truncated
+// to the original dimension).
+func (p *PowerSGD) Decompress(dst tensor.Vec, pay *Payload) tensor.Vec {
+	if len(dst) != p.dim {
+		panic(fmt.Sprintf("compress: PowerSGD decompress dim %d, got %d", p.dim, len(dst)))
+	}
+	r := p.Rank
+	pm := pay.Dense[:p.rows*r]
+	qn := pay.Dense[p.rows*r:]
+	for i := 0; i < p.rows; i++ {
+		for j := 0; j < p.cols; j++ {
+			idx := i*p.cols + j
+			if idx >= p.dim {
+				continue
+			}
+			var s float64
+			for k := 0; k < r; k++ {
+				s += pm[i*r+k] * qn[j*r+k]
+			}
+			dst[idx] = s
+		}
+	}
+	return dst
+}
+
+// orthonormalize applies modified Gram–Schmidt to the rank columns of
+// the rows×rank matrix m (row-major). Degenerate columns are replaced
+// by unit basis vectors.
+func orthonormalize(m []float64, rows, rank int) {
+	col := func(k int, i int) *float64 { return &m[i*rank+k] }
+	for k := 0; k < rank; k++ {
+		for prev := 0; prev < k; prev++ {
+			var dot float64
+			for i := 0; i < rows; i++ {
+				dot += *col(k, i) * *col(prev, i)
+			}
+			for i := 0; i < rows; i++ {
+				*col(k, i) -= dot * *col(prev, i)
+			}
+		}
+		var norm float64
+		for i := 0; i < rows; i++ {
+			norm += *col(k, i) * *col(k, i)
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			for i := 0; i < rows; i++ {
+				*col(k, i) = 0
+			}
+			*col(k, k%rows) = 1
+			continue
+		}
+		for i := 0; i < rows; i++ {
+			*col(k, i) /= norm
+		}
+	}
+}

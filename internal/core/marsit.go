@@ -1,0 +1,389 @@
+// Package core implements Marsit, the paper's contribution: a learning
+// synchronization framework that keeps every multi-hop all-reduce
+// transmission at exactly one bit per gradient element.
+//
+// The three mechanisms of Section 4:
+//
+//  1. Unbiased sign aggregation — the bit-wise operator
+//     v ⊙ v* = (v AND v*) OR ((v XOR v*) AND t), where the transient
+//     vector t is pre-drawn from the Bernoulli distribution of Eq. (2).
+//     MergeSigns implements the weighted generalization: merging
+//     aggregates covering a and b workers resolves each disagreeing bit
+//     toward the local side with probability b/(a+b), so the merged bit
+//     is 1 with probability (#positive workers)/(a+b) by induction. The
+//     paper's rule is the case b = 1; the generalization is what the
+//     hierarchical 2D-torus reduction needs.
+//  2. Global compensation — every worker applies the identical
+//     compensation c_{t+1} = u_t − g_t (its scaled-gradient-plus-carry
+//     minus the global update), justified by i.i.d. cloud sharding.
+//  3. Periodic full-precision synchronization every K rounds, which
+//     resets the compensation and bounds error accumulation
+//     (Theorem 1's K(K+1)/T term).
+//
+// Sync executes Algorithm 1 for all workers of a simulated cluster in
+// lock step, charging wire bytes and simulated time to the netsim
+// substrate. Because compression and reception overlap by design
+// (Section 4.1.1), a one-bit round charges only the initial sign
+// packing and the final unpacking as compression time.
+package core
+
+import (
+	"fmt"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/collective"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+)
+
+// MergeSigns merges two one-bit sign aggregates in place: agg covers
+// aWeight workers, local covers bWeight workers. Bits that agree pass
+// through; each disagreeing bit resolves to the local bit with
+// probability bWeight/(aWeight+bWeight), drawn from r via the transient
+// vector of Eq. (2). After the call agg is an unbiased one-bit estimate
+// of the sign average over all aWeight+bWeight workers.
+func MergeSigns(agg, local *bitvec.Vec, aWeight, bWeight int, r *rng.PCG) {
+	if aWeight <= 0 || bWeight <= 0 {
+		panic("core: MergeSigns needs positive weights")
+	}
+	if agg.Len() != local.Len() {
+		panic(fmt.Sprintf("core: MergeSigns length mismatch %d != %d", agg.Len(), local.Len()))
+	}
+	total := float64(aWeight + bWeight)
+	pLocal1 := float64(bWeight) / total // local bit 1 → transient 1 w.p. b/(a+b)
+	pLocal0 := float64(aWeight) / total // local bit 0 → transient 1 w.p. a/(a+b)
+	transient := bitvec.New(agg.Len())
+	for i := 0; i < agg.Len(); i++ {
+		p := pLocal0
+		if local.Get(i) {
+			p = pLocal1
+		}
+		transient.Set(i, r.Bernoulli(p))
+	}
+	agg.Merge3(local, transient)
+}
+
+// Config parameterizes a Marsit instance.
+type Config struct {
+	// Workers is the number of participating workers M.
+	Workers int
+	// Dim is the gradient dimension D.
+	Dim int
+	// K is the full-precision synchronization period: rounds t with
+	// t mod K == 0 run at full precision (so K = 1 degenerates to
+	// PSGD). K <= 0 means one-bit forever (the paper's "Marsit", K=∞).
+	K int
+	// GlobalLR is the global step size η_s applied to the consensus
+	// sign vector of a one-bit round.
+	GlobalLR float64
+	// Torus selects 2D-torus all-reduce (TAR) when non-nil; otherwise
+	// ring all-reduce (RAR) is used. Its size must equal Workers.
+	Torus *topology.Torus
+	// Seed derives the per-worker Bernoulli streams. Workers draw the
+	// shared transient decisions deterministically from it.
+	Seed uint64
+	// DisableCompensation turns off the global compensation mechanism
+	// (ablation study; not part of the paper's algorithm). The sign
+	// aggregation still runs, but c_t stays zero.
+	DisableCompensation bool
+}
+
+// Marsit holds the per-worker compensation state of Algorithm 1 and
+// executes one synchronization per Sync call.
+type Marsit struct {
+	cfg   Config
+	comp  []tensor.Vec // c^(m)_t per worker
+	round int
+	rngs  []*rng.PCG // one stream per worker (transient draws)
+}
+
+// New validates cfg and returns a fresh Marsit with zero compensation
+// (Algorithm 2, line 1).
+func New(cfg Config) (*Marsit, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("core: Workers = %d, need >= 1", cfg.Workers)
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("core: Dim = %d, need >= 1", cfg.Dim)
+	}
+	if cfg.GlobalLR <= 0 {
+		return nil, fmt.Errorf("core: GlobalLR = %v, need > 0", cfg.GlobalLR)
+	}
+	if cfg.Torus != nil && cfg.Torus.Size() != cfg.Workers {
+		return nil, fmt.Errorf("core: torus size %d != workers %d", cfg.Torus.Size(), cfg.Workers)
+	}
+	m := &Marsit{
+		cfg:  cfg,
+		comp: make([]tensor.Vec, cfg.Workers),
+		rngs: make([]*rng.PCG, cfg.Workers),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.comp[w] = tensor.New(cfg.Dim)
+		m.rngs[w] = rng.NewStream(cfg.Seed, uint64(w)+1)
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on configuration errors; convenient in
+// examples and benchmarks.
+func MustNew(cfg Config) *Marsit {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Round returns the number of completed synchronizations t.
+func (m *Marsit) Round() int { return m.round }
+
+// Compensation returns a copy of worker w's compensation vector.
+func (m *Marsit) Compensation(w int) tensor.Vec {
+	return tensor.Clone(m.comp[w])
+}
+
+// MeanCompensation returns the average compensation c̄_t, the quantity
+// in Theorem 1's auxiliary sequence ỹ_t = x̃_t − c̄_t.
+func (m *Marsit) MeanCompensation() tensor.Vec {
+	out := tensor.New(m.cfg.Dim)
+	for _, c := range m.comp {
+		tensor.Add(out, c)
+	}
+	tensor.Scale(out, 1/float64(m.cfg.Workers))
+	return out
+}
+
+// FullPrecisionNext reports whether the upcoming Sync will run at full
+// precision (Algorithm 1's mod(t, K) == 0 branch). Trainers use it to
+// schedule the paper's learning-rate decay at full-precision rounds.
+func (m *Marsit) FullPrecisionNext() bool {
+	return m.cfg.K > 0 && m.round%m.cfg.K == 0
+}
+
+// Sync executes Algorithm 1 for one round. grads[w] must hold worker
+// w's locally scaled gradient η_l·g^(w)_t; the slice is not modified.
+// It returns the consensus global update g_t that every worker applies
+// as x̃_{t+1} = x̃_t − g_t, and advances the compensation state.
+// Simulated time and bytes are charged to c, which must have exactly
+// cfg.Workers workers.
+func (m *Marsit) Sync(c *netsim.Cluster, grads []tensor.Vec) tensor.Vec {
+	n := m.cfg.Workers
+	d := m.cfg.Dim
+	if c.Size() != n {
+		panic(fmt.Sprintf("core: cluster size %d != workers %d", c.Size(), n))
+	}
+	if len(grads) != n {
+		panic(fmt.Sprintf("core: %d gradients for %d workers", len(grads), n))
+	}
+	// Line 1: u_w = η_l·g_w + c_w.
+	u := make([]tensor.Vec, n)
+	for w := 0; w < n; w++ {
+		if len(grads[w]) != d {
+			panic(fmt.Sprintf("core: worker %d gradient dim %d, want %d", w, len(grads[w]), d))
+		}
+		u[w] = tensor.Clone(grads[w])
+		tensor.Add(u[w], m.comp[w])
+	}
+
+	full := m.FullPrecisionNext()
+	m.round++
+
+	if full {
+		// Lines 11–13: full-precision MAR; g_t = mean(u); c ← 0.
+		if m.cfg.Torus != nil {
+			collective.TorusAllReduce(c, m.cfg.Torus, u)
+		} else {
+			collective.RingAllReduce(c, u)
+		}
+		for w := 0; w < n; w++ {
+			tensor.Zero(m.comp[w])
+		}
+		return u[0]
+	}
+
+	// Lines 4–8: one-bit synchronization.
+	bits := m.oneBitAllReduce(c, u)
+
+	// Line 9: g_t = η_s · signs.
+	gt := tensor.New(d)
+	bits.UnpackSigns(gt)
+	tensor.Scale(gt, m.cfg.GlobalLR)
+	for w := 0; w < n; w++ {
+		c.AddDecompress(w, d)
+	}
+
+	// Line 10: c_{t+1} = u − g_t (skipped under the ablation).
+	if !m.cfg.DisableCompensation {
+		for w := 0; w < n; w++ {
+			copy(m.comp[w], u[w])
+			tensor.Sub(m.comp[w], gt)
+		}
+	}
+	c.Barrier()
+	return gt
+}
+
+// oneBitAllReduce runs the one-bit MAR over the workers' update
+// vectors and returns the consensus sign bits (identical at every
+// worker). Reception and merging overlap (Section 4.1.1), so only the
+// initial sign packing is charged as compression.
+func (m *Marsit) oneBitAllReduce(c *netsim.Cluster, u []tensor.Vec) *bitvec.Vec {
+	n := m.cfg.Workers
+	bits := make([]*bitvec.Vec, n)
+	for w := 0; w < n; w++ {
+		bits[w] = bitvec.FromSigns(u[w])
+		c.AddCompress(w, m.cfg.Dim)
+	}
+	if n == 1 {
+		return bits[0]
+	}
+	if m.cfg.Torus != nil {
+		m.oneBitRingGroups(c, bits, torusRowGroups(m.cfg.Torus), 1)
+		m.oneBitRingGroups(c, bits, torusColGroups(m.cfg.Torus), m.cfg.Torus.Cols())
+	} else {
+		m.oneBitRingGroups(c, bits, [][]int{ranks(n)}, 1)
+	}
+	return bits[0]
+}
+
+// oneBitRingGroups performs the one-bit ring reduce-scatter +
+// all-gather within each (disjoint) group simultaneously. Each worker's
+// bits vector enters holding an aggregate covering baseWeight workers
+// and leaves holding the group-wide aggregate (baseWeight·len(group)
+// workers), identical within the group.
+func (m *Marsit) oneBitRingGroups(c *netsim.Cluster, bits []*bitvec.Vec, groups [][]int, baseWeight int) {
+	d := m.cfg.Dim
+	// All groups in a phase have equal length by construction; run the
+	// schedule across groups step by step so Exchange sees the full
+	// round's messages at once.
+	maxLen := 0
+	for _, g := range groups {
+		if len(g) > maxLen {
+			maxLen = len(g)
+		}
+	}
+	if maxLen < 2 {
+		return
+	}
+	type segState struct {
+		segs []tensor.Segment
+		agg  []*bitvec.Vec // current aggregate segment held at ring position p
+	}
+	states := make([]*segState, len(groups))
+	for gi, g := range groups {
+		states[gi] = &segState{segs: tensor.Partition(d, len(g)), agg: make([]*bitvec.Vec, len(g))}
+	}
+	pos := func(i, mlen int) int { return ((i % mlen) + mlen) % mlen }
+
+	// Reduce phase.
+	for s := 0; s < maxLen-1; s++ {
+		var msgs []netsim.Message
+		type pending struct {
+			gi, p int
+			in    *bitvec.Vec
+		}
+		var pend []pending
+		for gi, g := range groups {
+			mlen := len(g)
+			if s >= mlen-1 {
+				continue
+			}
+			st := states[gi]
+			outgoing := make([]*bitvec.Vec, mlen)
+			for p := 0; p < mlen; p++ {
+				seg := st.segs[pos(p-s, mlen)]
+				if s == 0 {
+					outgoing[p] = bits[g[p]].Extract(seg.Lo, seg.Hi)
+				} else {
+					outgoing[p] = st.agg[p]
+				}
+				msgs = append(msgs, netsim.Message{
+					From: g[p], To: g[pos(p+1, mlen)], Bytes: (seg.Len() + 7) / 8,
+				})
+			}
+			for p := 0; p < mlen; p++ {
+				pend = append(pend, pending{gi, p, outgoing[pos(p-1, mlen)]})
+			}
+		}
+		c.Exchange(msgs)
+		for _, pd := range pend {
+			g := groups[pd.gi]
+			mlen := len(g)
+			st := states[pd.gi]
+			seg := st.segs[pos(pd.p-s-1, mlen)]
+			local := bits[g[pd.p]].Extract(seg.Lo, seg.Hi)
+			agg := pd.in.Clone()
+			// Received aggregate covers (s+1)·baseWeight workers; the
+			// local side covers baseWeight.
+			MergeSigns(agg, local, (s+1)*baseWeight, baseWeight, m.rngs[g[pd.p]])
+			st.agg[pd.p] = agg
+		}
+	}
+
+	// Gather phase: circulate the final segments and write them back.
+	for gi, g := range groups {
+		mlen := len(g)
+		st := states[gi]
+		// Position p holds the final aggregate of segment (p+1) mod mlen.
+		final := make([]*bitvec.Vec, mlen)
+		for p := 0; p < mlen; p++ {
+			final[pos(p+1, mlen)] = st.agg[p]
+		}
+		for p := 0; p < mlen; p++ {
+			for j, seg := range st.segs {
+				bits[g[p]].Insert(seg.Lo, final[j])
+			}
+		}
+	}
+	for s := 0; s < maxLen-1; s++ {
+		var msgs []netsim.Message
+		for gi, g := range groups {
+			mlen := len(g)
+			if s >= mlen-1 {
+				continue
+			}
+			st := states[gi]
+			for p := 0; p < mlen; p++ {
+				seg := st.segs[pos(p+1-s, mlen)]
+				msgs = append(msgs, netsim.Message{
+					From: g[p], To: g[pos(p+1, mlen)], Bytes: (seg.Len() + 7) / 8,
+				})
+			}
+		}
+		c.Exchange(msgs)
+	}
+}
+
+func ranks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func torusRowGroups(t *topology.Torus) [][]int {
+	groups := make([][]int, t.Rows())
+	for r := 0; r < t.Rows(); r++ {
+		row := make([]int, t.Cols())
+		for col := 0; col < t.Cols(); col++ {
+			row[col] = t.Rank(r, col)
+		}
+		groups[r] = row
+	}
+	return groups
+}
+
+func torusColGroups(t *topology.Torus) [][]int {
+	groups := make([][]int, t.Cols())
+	for col := 0; col < t.Cols(); col++ {
+		c := make([]int, t.Rows())
+		for r := 0; r < t.Rows(); r++ {
+			c[r] = t.Rank(r, col)
+		}
+		groups[col] = c
+	}
+	return groups
+}

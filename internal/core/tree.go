@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/topology"
+)
+
+// OneBitTreeAllReduce runs Marsit's unbiased sign aggregation over a
+// binary tree — the "tree all-reduce" extension Section 5 mentions.
+// Signs reduce upward with the weighted merge (each parent absorbs a
+// child aggregate covering the child's whole subtree), then the root's
+// consensus bits broadcast back down. Every transfer stays at one bit
+// per element. bits[w] is worker w's local sign vector on entry; on
+// return every worker holds the identical consensus, which is an
+// unbiased one-bit estimate of the sign average (the weighted-merge
+// induction composes along any reduction tree).
+//
+// rs must supply one Bernoulli stream per worker.
+func OneBitTreeAllReduce(c *netsim.Cluster, tr *topology.Tree, bits []*bitvec.Vec, rs []*rng.PCG) {
+	n := c.Size()
+	if tr.Size() != n {
+		panic("core: tree size mismatch")
+	}
+	if len(bits) != n || len(rs) != n {
+		panic(fmt.Sprintf("core: need %d bit vectors and streams", n))
+	}
+	d := bits[0].Len()
+	for w := 1; w < n; w++ {
+		if bits[w].Len() != d {
+			panic("core: bit vector length mismatch")
+		}
+	}
+	if n == 1 {
+		return
+	}
+	wire := (d + 7) / 8
+
+	// Subtree sizes (the merge weights).
+	size := make([]int, n)
+	for w := n - 1; w >= 0; w-- {
+		size[w] = 1
+		for _, ch := range tr.Children(w) {
+			size[w] += size[ch]
+		}
+	}
+	maxDepth := 0
+	for w := 0; w < n; w++ {
+		if dep := tr.Depth(w); dep > maxDepth {
+			maxDepth = dep
+		}
+	}
+
+	// Reduce up, deepest level first. The parent's current aggregate
+	// covers everything it has absorbed so far; absorbed children add
+	// their whole subtree.
+	absorbed := make([]int, n)
+	for w := range absorbed {
+		absorbed[w] = 1
+	}
+	for lvl := maxDepth; lvl >= 1; lvl-- {
+		var msgs []netsim.Message
+		type pend struct{ parent, child int }
+		var pends []pend
+		for w := 0; w < n; w++ {
+			if tr.Depth(w) == lvl {
+				p := tr.Parent(w)
+				msgs = append(msgs, netsim.Message{From: w, To: p, Bytes: wire})
+				pends = append(pends, pend{p, w})
+			}
+		}
+		c.Exchange(msgs)
+		for _, pd := range pends {
+			// Merge child (weight = its absorbed subtree) into parent.
+			agg := bits[pd.child].Clone()
+			MergeSigns(agg, bits[pd.parent], absorbed[pd.child], absorbed[pd.parent], rs[pd.parent])
+			bits[pd.parent] = agg
+			absorbed[pd.parent] += absorbed[pd.child]
+		}
+	}
+
+	// Broadcast the consensus down.
+	for lvl := 1; lvl <= maxDepth; lvl++ {
+		var msgs []netsim.Message
+		var dsts []int
+		for w := 0; w < n; w++ {
+			if tr.Depth(w) == lvl {
+				msgs = append(msgs, netsim.Message{From: tr.Parent(w), To: w, Bytes: wire})
+				dsts = append(dsts, w)
+			}
+		}
+		c.Exchange(msgs)
+		for _, w := range dsts {
+			bits[w] = bits[0].Clone()
+		}
+	}
+	c.Barrier()
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/rng"
+	"marsit/internal/topology"
+)
+
+func treeRngs(n int, seed uint64) []*rng.PCG {
+	out := make([]*rng.PCG, n)
+	for i := range out {
+		out[i] = rng.NewStream(seed, uint64(i))
+	}
+	return out
+}
+
+func TestTreeOneBitConsensus(t *testing.T) {
+	const n, d = 7, 40
+	tr := topology.NewTree(n)
+	c := cluster(n)
+	r := rng.New(3)
+	bits := make([]*bitvec.Vec, n)
+	for w := range bits {
+		bits[w] = bitvec.New(d)
+		bits[w].FillBernoulli(r, 0.5)
+	}
+	OneBitTreeAllReduce(c, tr, bits, treeRngs(n, 1))
+	for w := 1; w < n; w++ {
+		if !bits[0].Equal(bits[w]) {
+			t.Fatalf("worker %d lacks consensus", w)
+		}
+	}
+	if c.TotalBytes() <= 0 {
+		t.Fatal("no traffic")
+	}
+	// 2(n−1) one-bit transfers of ⌈d/8⌉ bytes.
+	if want := int64(2 * (n - 1) * ((d + 7) / 8)); c.TotalBytes() != want {
+		t.Fatalf("bytes %d, want %d", c.TotalBytes(), want)
+	}
+}
+
+// TestTreeOneBitUnbiased: the tree composition of weighted merges
+// preserves Eq. (2)'s guarantee, P(bit=1) = (#positive workers)/M.
+func TestTreeOneBitUnbiased(t *testing.T) {
+	const n, trials = 7, 30000
+	tr := topology.NewTree(n)
+	// Coordinate i has i positive workers (0..7).
+	d := n + 1
+	counts := make([]int, d)
+	for trial := 0; trial < trials; trial++ {
+		bits := make([]*bitvec.Vec, n)
+		for w := 0; w < n; w++ {
+			bits[w] = bitvec.New(d)
+			for i := 0; i < d; i++ {
+				bits[w].Set(i, w < i)
+			}
+		}
+		OneBitTreeAllReduce(cluster(n), tr, bits, treeRngs(n, uint64(trial)))
+		for i := 0; i < d; i++ {
+			if bits[0].Get(i) {
+				counts[i]++
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		want := math.Min(float64(i)/float64(n), 1)
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.012 {
+			t.Fatalf("coordinate %d: P(1)=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTreeOneBitSingleWorker(t *testing.T) {
+	tr := topology.NewTree(1)
+	bits := []*bitvec.Vec{bitvec.New(4)}
+	bits[0].Set(2, true)
+	OneBitTreeAllReduce(cluster(1), tr, bits, treeRngs(1, 1))
+	if !bits[0].Get(2) || bits[0].OnesCount() != 1 {
+		t.Fatal("singleton changed")
+	}
+}
+
+func TestTreeOneBitValidation(t *testing.T) {
+	tr := topology.NewTree(2)
+	c := cluster(2)
+	for _, fn := range []func(){
+		func() { OneBitTreeAllReduce(c, topology.NewTree(3), make([]*bitvec.Vec, 2), treeRngs(2, 1)) },
+		func() { OneBitTreeAllReduce(c, tr, []*bitvec.Vec{bitvec.New(4)}, treeRngs(2, 1)) },
+		func() {
+			OneBitTreeAllReduce(c, tr, []*bitvec.Vec{bitvec.New(4), bitvec.New(5)}, treeRngs(2, 1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTreeUnanimityDeterministic(t *testing.T) {
+	const n, d = 10, 16
+	tr := topology.NewTree(n)
+	for trial := 0; trial < 10; trial++ {
+		bits := make([]*bitvec.Vec, n)
+		for w := range bits {
+			bits[w] = bitvec.New(d)
+			for i := 0; i < d; i += 2 {
+				bits[w].Set(i, true)
+			}
+		}
+		OneBitTreeAllReduce(cluster(n), tr, bits, treeRngs(n, uint64(trial)))
+		for i := 0; i < d; i++ {
+			if bits[0].Get(i) != (i%2 == 0) {
+				t.Fatalf("unanimous bit %d flipped", i)
+			}
+		}
+	}
+}

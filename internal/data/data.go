@@ -1,0 +1,252 @@
+// Package data synthesizes the deterministic datasets that stand in
+// for the paper's MNIST, CIFAR-10, ImageNet and IMDb corpora (none of
+// which are available offline).
+//
+// Image-like sets are Gaussian class clusters in pixel space: class c
+// has a fixed mean template and samples scatter around it with a
+// controllable noise level (higher noise ⇒ harder task ⇒ lower
+// attainable accuracy, mirroring the MNIST ≫ CIFAR ≫ ImageNet accuracy
+// ordering). The text set is a two-topic bag-of-words mixture. Every
+// dataset is generated from a named rng stream, so experiments are
+// bit-reproducible, and sharding is i.i.d. — the assumption behind
+// Marsit's global compensation (Section 4.1.3).
+package data
+
+import (
+	"fmt"
+
+	"marsit/internal/rng"
+)
+
+// Dataset is a labelled collection of fixed-width feature vectors.
+type Dataset struct {
+	// Name identifies the dataset in reports.
+	Name string
+	// X holds one feature vector per sample.
+	X [][]float64
+	// Y holds the class label of each sample.
+	Y []int
+	// Classes is the number of distinct labels.
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature width (0 for an empty set).
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Split partitions d into a training set of n samples and a test set of
+// the remainder (no shuffling; generators already emit shuffled data).
+func (d *Dataset) Split(n int) (train, test *Dataset) {
+	if n < 0 || n > d.Len() {
+		panic(fmt.Sprintf("data: split %d of %d", n, d.Len()))
+	}
+	train = &Dataset{Name: d.Name + "/train", X: d.X[:n], Y: d.Y[:n], Classes: d.Classes}
+	test = &Dataset{Name: d.Name + "/test", X: d.X[n:], Y: d.Y[n:], Classes: d.Classes}
+	return train, test
+}
+
+// Shard splits d into m i.i.d. shards of near-equal size (sample i goes
+// to shard i mod m — the generators emit i.i.d. order, so this is an
+// i.i.d. sharding as the paper's cloud setting assumes).
+func (d *Dataset) Shard(m int) []*Dataset {
+	if m < 1 {
+		panic("data: non-positive shard count")
+	}
+	shards := make([]*Dataset, m)
+	for w := 0; w < m; w++ {
+		shards[w] = &Dataset{Name: fmt.Sprintf("%s/shard%d", d.Name, w), Classes: d.Classes}
+	}
+	for i := range d.X {
+		w := i % m
+		shards[w].X = append(shards[w].X, d.X[i])
+		shards[w].Y = append(shards[w].Y, d.Y[i])
+	}
+	return shards
+}
+
+// Batch draws a batch of `size` sample indices uniformly with
+// replacement from r and returns the selected samples.
+func (d *Dataset) Batch(r *rng.PCG, size int) (xs [][]float64, ys []int) {
+	if d.Len() == 0 {
+		panic("data: batch from empty dataset")
+	}
+	if size < 1 {
+		panic("data: non-positive batch size")
+	}
+	xs = make([][]float64, size)
+	ys = make([]int, size)
+	for i := 0; i < size; i++ {
+		j := r.Intn(d.Len())
+		xs[i] = d.X[j]
+		ys[i] = d.Y[j]
+	}
+	return xs, ys
+}
+
+// Accuracy evaluates classifier predict over the whole set.
+func (d *Dataset) Accuracy(predict func(x []float64) int) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range d.X {
+		if predict(d.X[i]) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// ClusterSpec parameterizes a Gaussian-cluster image-like dataset.
+type ClusterSpec struct {
+	Name    string
+	Samples int
+	Dim     int
+	Classes int
+	// Sep scales the class-mean templates (larger ⇒ easier).
+	Sep float64
+	// Noise is the per-pixel sample scatter (larger ⇒ harder).
+	Noise float64
+	Seed  uint64
+}
+
+// Clusters generates a Gaussian-cluster classification dataset:
+// class c gets a mean template µ_c with entries Sep·N(0,1); sample i of
+// class c is µ_c + Noise·N(0,1). Classes are exactly balanced and the
+// emitted order is a deterministic shuffle, so modulo sharding is i.i.d.
+func Clusters(spec ClusterSpec) *Dataset {
+	if spec.Samples < 1 || spec.Dim < 1 || spec.Classes < 2 {
+		panic(fmt.Sprintf("data: bad cluster spec %+v", spec))
+	}
+	r := rng.NewStream(spec.Seed, 0x0c1)
+	means := make([][]float64, spec.Classes)
+	for c := range means {
+		means[c] = r.NormVec(make([]float64, spec.Dim), 0, spec.Sep)
+	}
+	d := &Dataset{Name: spec.Name, Classes: spec.Classes}
+	for i := 0; i < spec.Samples; i++ {
+		c := i % spec.Classes
+		x := make([]float64, spec.Dim)
+		for j := range x {
+			x[j] = means[c][j] + spec.Noise*r.Norm()
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	d.shuffle(r)
+	return d
+}
+
+// shuffle applies a deterministic Fisher–Yates permutation so that
+// contiguous splits and modulo shards are i.i.d.
+func (d *Dataset) shuffle(r *rng.PCG) {
+	r.Shuffle(d.Len(), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// SyntheticMNIST mimics MNIST's difficulty profile: well-separated
+// clusters, 10 classes, 8×8 "images".
+func SyntheticMNIST(samples int, seed uint64) *Dataset {
+	return Clusters(ClusterSpec{
+		Name: "synth-mnist", Samples: samples, Dim: 64, Classes: 10,
+		Sep: 0.30, Noise: 0.7, Seed: seed,
+	})
+}
+
+// SyntheticCIFAR mimics CIFAR-10: 10 classes, 3-channel 8×8 "images",
+// noisier than MNIST so accuracy tops out lower.
+func SyntheticCIFAR(samples int, seed uint64) *Dataset {
+	return Clusters(ClusterSpec{
+		Name: "synth-cifar", Samples: samples, Dim: 192, Classes: 10,
+		Sep: 0.22, Noise: 1.1, Seed: seed,
+	})
+}
+
+// SyntheticImageNet mimics a many-class recognition task: 20 classes
+// (scaled from 1000), 16×16 features, high noise.
+func SyntheticImageNet(samples int, seed uint64) *Dataset {
+	return Clusters(ClusterSpec{
+		Name: "synth-imagenet", Samples: samples, Dim: 256, Classes: 20,
+		Sep: 0.20, Noise: 1.3, Seed: seed,
+	})
+}
+
+// SyntheticIMDB mimics the IMDb sentiment task: binary labels over a
+// bag-of-words vocabulary. Each class has a word-frequency profile;
+// documents sample `docLen` words and are ℓ1-normalized.
+func SyntheticIMDB(samples, vocab int, seed uint64) *Dataset {
+	if samples < 1 || vocab < 4 {
+		panic("data: bad IMDb spec")
+	}
+	const docLen = 64
+	r := rng.NewStream(seed, 0x1db)
+	// Two topic profiles: shared background plus class-specific lift on
+	// disjoint word ranges.
+	profile := func(cls int) []float64 {
+		p := make([]float64, vocab)
+		for i := range p {
+			p[i] = 1
+		}
+		lo, hi := 0, vocab/4
+		if cls == 1 {
+			lo, hi = vocab/4, vocab/2
+		}
+		for i := lo; i < hi; i++ {
+			p[i] = 4
+		}
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		return p
+	}
+	profiles := [][]float64{profile(0), profile(1)}
+	// Precompute CDFs for sampling.
+	cdfs := make([][]float64, 2)
+	for c, p := range profiles {
+		cdf := make([]float64, vocab)
+		acc := 0.0
+		for i, v := range p {
+			acc += v
+			cdf[i] = acc
+		}
+		cdfs[c] = cdf
+	}
+	sample := func(cdf []float64) int {
+		u := r.Float64()
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	d := &Dataset{Name: "synth-imdb", Classes: 2}
+	for i := 0; i < samples; i++ {
+		cls := i % 2
+		x := make([]float64, vocab)
+		for w := 0; w < docLen; w++ {
+			x[sample(cdfs[cls])] += 1.0 / docLen
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, cls)
+	}
+	d.shuffle(r)
+	return d
+}

@@ -1,0 +1,237 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"marsit/internal/rng"
+)
+
+func TestClustersShape(t *testing.T) {
+	d := Clusters(ClusterSpec{Name: "x", Samples: 100, Dim: 8, Classes: 4, Sep: 1, Noise: 0.5, Seed: 1})
+	if d.Len() != 100 || d.Dim() != 8 || d.Classes != 4 {
+		t.Fatalf("shape: len=%d dim=%d classes=%d", d.Len(), d.Dim(), d.Classes)
+	}
+	// Round-robin labels: any prefix is balanced.
+	counts := make([]int, 4)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 25 {
+			t.Fatalf("class %d count %d", c, n)
+		}
+	}
+}
+
+func TestClustersDeterministic(t *testing.T) {
+	spec := ClusterSpec{Name: "x", Samples: 10, Dim: 4, Classes: 2, Sep: 1, Noise: 0.5, Seed: 7}
+	a := Clusters(spec)
+	b := Clusters(spec)
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c := Clusters(ClusterSpec{Name: "x", Samples: 10, Dim: 4, Classes: 2, Sep: 1, Noise: 0.5, Seed: 8})
+	if a.X[0][0] == c.X[0][0] {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClustersValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Clusters(ClusterSpec{Samples: 10, Dim: 4, Classes: 1})
+}
+
+func TestSplit(t *testing.T) {
+	d := SyntheticMNIST(100, 1)
+	train, test := d.Split(80)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	if train.Classes != 10 || test.Classes != 10 {
+		t.Fatal("classes not propagated")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	d := SyntheticMNIST(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Split(11)
+}
+
+func TestShardBalancedAndComplete(t *testing.T) {
+	d := SyntheticMNIST(103, 2)
+	shards := d.Shard(4)
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Len() < 103/4 || s.Len() > 103/4+1 {
+			t.Fatalf("unbalanced shard: %d", s.Len())
+		}
+	}
+	if total != 103 {
+		t.Fatalf("shards lost samples: %d", total)
+	}
+	// Shards are i.i.d.: each shard sees (almost) all classes.
+	for _, s := range shards {
+		seen := map[int]bool{}
+		for _, y := range s.Y {
+			seen[y] = true
+		}
+		if len(seen) < 9 {
+			t.Fatalf("shard class coverage only %d", len(seen))
+		}
+	}
+}
+
+func TestBatchShapes(t *testing.T) {
+	d := SyntheticMNIST(50, 3)
+	r := rng.New(1)
+	xs, ys := d.Batch(r, 16)
+	if len(xs) != 16 || len(ys) != 16 {
+		t.Fatal("batch size wrong")
+	}
+	for i := range ys {
+		if ys[i] < 0 || ys[i] >= 10 || len(xs[i]) != 64 {
+			t.Fatal("bad batch sample")
+		}
+	}
+}
+
+func TestBatchPanics(t *testing.T) {
+	d := &Dataset{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Batch(rng.New(1), 4)
+}
+
+func TestAccuracy(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []int{0, 1, 0}, Classes: 2}
+	acc := d.Accuracy(func(x []float64) int {
+		if x[0] == 2 {
+			return 1
+		}
+		return 0
+	})
+	if acc != 1 {
+		t.Fatalf("acc = %v", acc)
+	}
+	if (&Dataset{}).Accuracy(func([]float64) int { return 0 }) != 0 {
+		t.Fatal("empty accuracy")
+	}
+}
+
+// TestDifficultyOrdering: a nearest-class-mean classifier should score
+// MNIST > CIFAR > ImageNet analogs, mirroring the paper's ordering.
+func TestDifficultyOrdering(t *testing.T) {
+	score := func(d *Dataset) float64 {
+		train, test := d.Split(d.Len() * 4 / 5)
+		// Class means from train split.
+		means := make([][]float64, d.Classes)
+		counts := make([]int, d.Classes)
+		for i := range train.X {
+			c := train.Y[i]
+			if means[c] == nil {
+				means[c] = make([]float64, d.Dim())
+			}
+			for j, v := range train.X[i] {
+				means[c][j] += v
+			}
+			counts[c]++
+		}
+		for c := range means {
+			for j := range means[c] {
+				means[c][j] /= float64(counts[c])
+			}
+		}
+		return test.Accuracy(func(x []float64) int {
+			best, bi := math.Inf(1), 0
+			for c := range means {
+				var s float64
+				for j := range x {
+					dd := x[j] - means[c][j]
+					s += dd * dd
+				}
+				if s < best {
+					best, bi = s, c
+				}
+			}
+			return bi
+		})
+	}
+	mnist := score(SyntheticMNIST(2000, 5))
+	cifar := score(SyntheticCIFAR(2000, 5))
+	imgnet := score(SyntheticImageNet(2000, 5))
+	if !(mnist > cifar && cifar > imgnet) {
+		t.Fatalf("difficulty ordering violated: mnist=%v cifar=%v imagenet=%v", mnist, cifar, imgnet)
+	}
+	if mnist < 0.8 {
+		t.Fatalf("synthetic MNIST too hard: %v", mnist)
+	}
+}
+
+func TestSyntheticIMDB(t *testing.T) {
+	d := SyntheticIMDB(200, 64, 9)
+	if d.Classes != 2 || d.Dim() != 64 || d.Len() != 200 {
+		t.Fatal("IMDb shape")
+	}
+	// Documents are ℓ1-normalized word frequencies.
+	for i := 0; i < 10; i++ {
+		var sum float64
+		for _, v := range d.X[i] {
+			if v < 0 {
+				t.Fatal("negative frequency")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d mass %v", i, sum)
+		}
+	}
+	// Class-0 docs lift words [0, V/4); class-1 docs lift [V/4, V/2).
+	mass := func(x []float64, lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		return s
+	}
+	var m0lift, m1lift int
+	for i := range d.X {
+		lo := mass(d.X[i], 0, 16)
+		hi := mass(d.X[i], 16, 32)
+		if d.Y[i] == 0 && lo > hi {
+			m0lift++
+		}
+		if d.Y[i] == 1 && hi > lo {
+			m1lift++
+		}
+	}
+	if m0lift < 80 || m1lift < 80 {
+		t.Fatalf("topic lift too weak: %d/%d of 100 each", m0lift, m1lift)
+	}
+}
+
+func TestSyntheticIMDBValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SyntheticIMDB(10, 2, 1)
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"marsit/internal/train"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablation", "fig1a", "fig1b", "fig3", "fig4a", "fig4b", "fig5", "remark", "table1", "table2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Quick); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func mustRun(t *testing.T, id string) *Output {
+	t.Helper()
+	o, err := Run(id, Quick)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if o.ID != id || o.Text == "" || len(o.Tables) == 0 || o.Notes == "" {
+		t.Fatalf("%s: incomplete output %+v", id, o)
+	}
+	return o
+}
+
+func TestTable1Shape(t *testing.T) {
+	o := mustRun(t, "table1")
+	tb := o.Tables[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("table1 rows: %d", len(tb.Rows))
+	}
+	// PSGD rows (2, 3) must have numeric accuracy; M=8 PSGD ≥ some
+	// reasonable floor while cascading M=8 diverges or is far worse.
+	casc8 := tb.Rows[1]
+	psgd8 := tb.Rows[3]
+	if psgd8[3] == "divergence" {
+		t.Fatal("PSGD M=8 diverged")
+	}
+	if casc8[3] != "divergence" && casc8[3] >= psgd8[3] {
+		// String compare is fine for %.1f-formatted same-width values.
+		t.Fatalf("cascading M=8 acc %q not below PSGD %q", casc8[3], psgd8[3])
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	o := mustRun(t, "fig1a")
+	tb := o.Tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("fig1a rows: %d", len(tb.Rows))
+	}
+	get := func(scheme string, col int) float64 {
+		for _, r := range tb.Rows {
+			if r[0] == scheme {
+				var v float64
+				if _, err := fscan(r[col], &v); err != nil {
+					t.Fatalf("parse %q: %v", r[col], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("scheme %s missing", scheme)
+		return 0
+	}
+	// Cascading has the largest compression column.
+	cascComp := get("SSDM (Cascading)", 2)
+	for _, s := range []string{"SSDM (PS)", "SSDM (Overflow)", "PSGD (RAR)", "PSGD (PS)"} {
+		if get(s, 2) >= cascComp {
+			t.Fatalf("%s compression not below cascading", s)
+		}
+	}
+	// PSGD RAR total < PSGD PS total (Section 3.1).
+	if get("PSGD (RAR)", 4) >= get("PSGD (PS)", 4) {
+		t.Fatal("RAR not faster than PS")
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	o := mustRun(t, "fig1b")
+	// Notes embed the measured means; cascading must be the lowest.
+	tb := o.Tables[0]
+	vals := map[string]float64{}
+	for _, r := range tb.Rows {
+		var v float64
+		if _, err := fscan(r[1], &v); err != nil {
+			t.Fatalf("parse %q: %v", r[1], err)
+		}
+		vals[r[0]] = v
+	}
+	if !(vals["cascading"] < vals["ssdm"]) {
+		t.Fatalf("cascading %v not below ssdm %v", vals["cascading"], vals["ssdm"])
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	o := mustRun(t, "fig3")
+	tb := o.Tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("fig3 rows: %d", len(tb.Rows))
+	}
+	// First row is K=1 (32 bits/elem-ish); last is K=∞ (~1 bit).
+	var bitsK1, bitsKInf float64
+	if _, err := fscan(tb.Rows[0][3], &bitsK1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscan(tb.Rows[len(tb.Rows)-1][3], &bitsKInf); err != nil {
+		t.Fatal(err)
+	}
+	if bitsK1 < 25 || bitsK1 > 40 {
+		t.Fatalf("K=1 bits/elem = %v, want ≈32", bitsK1)
+	}
+	if bitsKInf < 0.9 || bitsKInf > 1.5 {
+		t.Fatalf("K=∞ bits/elem = %v, want ≈1", bitsKInf)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	o := mustRun(t, "table2")
+	tb := o.Tables[0]
+	if len(tb.Rows) != 4 { // quick scale: 4 model rows
+		t.Fatalf("table2 rows: %d", len(tb.Rows))
+	}
+	if len(tb.Headers) != 9 {
+		t.Fatalf("table2 headers: %v", tb.Headers)
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	oa := mustRun(t, "fig4a")
+	if len(oa.Tables[0].Rows) != 6 {
+		t.Fatalf("fig4a rows: %d", len(oa.Tables[0].Rows))
+	}
+	ob := mustRun(t, "fig4b")
+	tb := ob.Tables[0]
+	// Marsit's communication must be far below PSGD's.
+	var psgdMB, marsitMB float64
+	for _, r := range tb.Rows {
+		if r[0] == "PSGD" {
+			if _, err := fscan(r[2], &psgdMB); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r[0] == "Marsit" {
+			if _, err := fscan(r[2], &marsitMB); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if marsitMB*8 > psgdMB {
+		t.Fatalf("Marsit %v MB not ≪ PSGD %v MB", marsitMB, psgdMB)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	o := mustRun(t, "fig5")
+	if len(o.Tables) != 2 {
+		t.Fatalf("fig5 tables: %d", len(o.Tables))
+	}
+	for _, tb := range o.Tables {
+		if len(tb.Rows) != 6 {
+			t.Fatalf("fig5 rows: %d", len(tb.Rows))
+		}
+		// Marsit transmission below PSGD transmission in both topologies.
+		var psgdTx, marsitTx float64
+		for _, r := range tb.Rows {
+			if r[0] == "PSGD" {
+				if _, err := fscan(r[3], &psgdTx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r[0] == "Marsit" {
+				if _, err := fscan(r[3], &marsitTx); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if marsitTx >= psgdTx {
+			t.Fatalf("%s: Marsit transmit %v not below PSGD %v", tb.Title, marsitTx, psgdTx)
+		}
+	}
+}
+
+func TestRemarkShape(t *testing.T) {
+	o := mustRun(t, "remark")
+	tb := o.Tables[0]
+	// Deviation ratio grows monotonically enough: last >> first.
+	var first, last float64
+	if _, err := fscan(tb.Rows[0][3], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscan(tb.Rows[len(tb.Rows)-1][3], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Fatalf("cascading/PS deviation ratio did not grow: %v → %v", first, last)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	o := mustRun(t, "ablation")
+	if len(o.Tables) != 2 {
+		t.Fatalf("ablation tables: %d", len(o.Tables))
+	}
+	if !strings.Contains(o.Text, "compensation") {
+		t.Fatal("ablation text missing compensation section")
+	}
+}
+
+// TestMethodNamesStable pins the presentation order used throughout.
+func TestMethodNamesStable(t *testing.T) {
+	names := train.MethodNames()
+	if names[0] != train.MethodPSGD || names[len(names)-1] != train.MethodMarsit {
+		t.Fatalf("method order: %v", names)
+	}
+}
+
+// fscan parses the first float in s (handles "1.23x" suffixes too).
+func fscan(s string, v *float64) (int, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "x")
+	s = strings.TrimSuffix(s, "%")
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"marsit/internal/collective"
+	"marsit/internal/data"
+	"marsit/internal/netsim"
+	"marsit/internal/nn"
+	"marsit/internal/report"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/train"
+)
+
+func init() {
+	register("fig1a", fig1a)
+	register("fig1b", fig1b)
+}
+
+// fig1a reproduces Figure 1a: the per-iteration time breakdown
+// (training, compression+decompression, transmission) of five schemes
+// with M = 3 workers on an AlexNet-sized gradient: SSDM under
+// cascading compression, SSDM under PS, SSDM with bit-width overflow,
+// PSGD under RAR and PSGD under PS.
+func fig1a(s Scale) (*Output, error) {
+	const m = 3
+	dim := 1 << 16 // stands in for AlexNet's 23M weights
+	if s == Full {
+		dim = 1 << 20
+	}
+	r := rng.New(41)
+	baseGrads := make([]tensor.Vec, m)
+	for w := range baseGrads {
+		baseGrads[w] = r.NormVec(make(tensor.Vec, dim), 0, 1)
+	}
+	// Identical per-scheme training compute: one forward+backward of a
+	// dim-parameter model on a 16-sample batch.
+	computeFlops := 3.0 * float64(dim) * 16
+
+	runScheme := func(name string, sync func(c *netsim.Cluster, vecs []tensor.Vec)) []string {
+		c := netsim.NewCluster(m, scaledCost)
+		vecs := make([]tensor.Vec, m)
+		for w := range vecs {
+			vecs[w] = tensor.Clone(baseGrads[w])
+			c.AddComputeFlops(w, computeFlops)
+		}
+		sync(c, vecs)
+		bd := c.MeanBreakdown()
+		return []string{
+			name,
+			report.FormatFloat(bd.Compute() * 1e3),
+			report.FormatFloat(bd.Compress() * 1e3),
+			report.FormatFloat(bd.Transmit() * 1e3),
+			report.FormatFloat(bd.Total() * 1e3),
+		}
+	}
+	rngs := func(seed uint64) []*rng.PCG {
+		out := make([]*rng.PCG, m)
+		for i := range out {
+			out[i] = rng.NewStream(seed, uint64(i))
+		}
+		return out
+	}
+
+	tb := report.NewTable("Figure 1a — per-iteration time, M=3 (ms, simulated)",
+		"Scheme", "Training", "Compress+Decompress", "Transmission", "Total")
+	rows := [][]string{
+		runScheme("SSDM (Cascading)", func(c *netsim.Cluster, v []tensor.Vec) {
+			collective.CascadingRing(c, v, rngs(1))
+		}),
+		runScheme("SSDM (PS)", func(c *netsim.Cluster, v []tensor.Vec) {
+			collective.SSDMPS(c, v, rngs(2))
+		}),
+		runScheme("SSDM (Overflow)", func(c *netsim.Cluster, v []tensor.Vec) {
+			collective.OverflowRing(c, v, rngs(3), false)
+		}),
+		runScheme("PSGD (RAR)", func(c *netsim.Cluster, v []tensor.Vec) {
+			collective.RingAllReduce(c, v)
+		}),
+		runScheme("PSGD (PS)", func(c *netsim.Cluster, v []tensor.Vec) {
+			collective.PSAllReduce(c, v)
+		}),
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
+	}
+	o := &Output{ID: "fig1a", Title: "Figure 1a: time length per iteration", Tables: []*report.Table{tb}}
+	o.Notes = "paper: cascading pays a large compression period; PSGD(RAR) beats PSGD(PS); " +
+		"overflow transmits more than one bit per element. measured table should show the same ordering " +
+		"(cascading has the largest compress column; RAR total < PS total)."
+	render(o, tb.Render())
+	return o, nil
+}
+
+// fig1b reproduces Figure 1b: the matching rate (sign agreement with
+// the uncompressed aggregate) over training iterations for cascading
+// compression, signSGD and SSDM with 3 workers.
+func fig1b(s Scale) (*Output, error) {
+	samples, rounds := 800, 50
+	if s == Full {
+		samples, rounds = 4000, 400
+	}
+	ds := data.SyntheticMNIST(samples, 43)
+	trainSet, testSet := ds.Split(samples * 4 / 5)
+
+	methods := []train.Method{train.MethodCascading, train.MethodSignSGD, train.MethodSSDM}
+	chart := report.NewChart("Figure 1b — matching rate vs iteration (M=3)", "iteration", "match rate")
+	tb := report.NewTable("Figure 1b — mean matching rate", "Scheme", "Mean match rate")
+	means := map[train.Method]float64{}
+	for _, m := range methods {
+		cfg := train.Config{
+			Method: m, Topo: train.TopoRing, Workers: 3, Rounds: rounds,
+			Batch: 16, LocalLR: 0.3, Optimizer: "sgd", Seed: 47, EvalSamples: 100,
+			Model: func(r *rng.PCG) *nn.Network { return nn.NewMLP(r, 64, []int{32}, 10) },
+			Train: trainSet, Test: testSet,
+		}
+		res, err := train.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]float64, len(res.Points))
+		ys := make([]float64, len(res.Points))
+		var sum float64
+		for i, p := range res.Points {
+			xs[i] = float64(p.Round)
+			ys[i] = p.MatchRate
+			sum += p.MatchRate
+		}
+		mean := sum / float64(len(res.Points))
+		means[m] = mean
+		chart.Add(string(m), xs, ys)
+		tb.AddRow(string(m), report.FormatFloat(mean))
+	}
+	o := &Output{ID: "fig1b", Title: "Figure 1b: matching rate", Tables: []*report.Table{tb}}
+	o.Notes = fmt.Sprintf(
+		"paper: cascading has the lowest matching rate (~0.56), below signSGD and SSDM. "+
+			"measured means: cascading %.3f, signsgd %.3f, ssdm %.3f.",
+		means[train.MethodCascading], means[train.MethodSignSGD], means[train.MethodSSDM])
+	render(o, chart.Render(), tb.Render())
+	return o, nil
+}

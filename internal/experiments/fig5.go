@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"marsit/internal/data"
+	"marsit/internal/nn"
+	"marsit/internal/report"
+	"marsit/internal/rng"
+	"marsit/internal/train"
+)
+
+func init() { register("fig5", fig5) }
+
+// fig5 reproduces Figure 5: per-epoch training time under TAR and RAR
+// for the six methods, split into computation, compression and
+// transmission phases, on the AlexNet/CIFAR analogue.
+func fig5(s Scale) (*Output, error) {
+	samples, rounds, workers, kPeriod := 600, 12, 16, 4
+	if s == Full {
+		samples, rounds, workers, kPeriod = 3000, 60, 16, 20
+	}
+	ds := data.SyntheticCIFAR(samples, 81)
+	trainSet, testSet := ds.Split(samples * 4 / 5)
+
+	labels := []string{"PSGD", "signSGD", "EF-signSGD", "SSDM", fmt.Sprintf("Marsit-%d", kPeriod), "Marsit"}
+	methods := []train.Method{
+		train.MethodPSGD, train.MethodSignSGD, train.MethodEFSignSGD,
+		train.MethodSSDM, train.MethodMarsit, train.MethodMarsit,
+	}
+	ks := []int{0, 0, 0, 0, kPeriod, 0}
+
+	var tables []*report.Table
+	summary := map[string]map[string]float64{} // topo → label → transmit share
+	for _, topo := range []train.Topo{train.TopoTorus, train.TopoRing} {
+		name := map[train.Topo]string{train.TopoTorus: "TAR", train.TopoRing: "RAR"}[topo]
+		tb := report.NewTable(
+			fmt.Sprintf("Figure 5 (%s) — time per epoch (s, simulated), M=%d", name, workers),
+			"Scheme", "Computation", "Compression", "Transmission", "Total")
+		summary[name] = map[string]float64{}
+		for i, label := range labels {
+			lr := 0.2
+			if methods[i] == train.MethodSSDM {
+				lr = 0.2 / ssdmLRDivisor
+			}
+			cfg := train.Config{
+				Method: methods[i], Topo: topo, Workers: workers,
+				Rounds: rounds, Batch: 16, LocalLR: lr, GlobalLR: 0.003, K: ks[i],
+				Optimizer: "sgd", EvalSamples: 50, Seed: 83,
+				Cost:  &scaledCost,
+				Model: func(r *rng.PCG) *nn.Network { return nn.NewMLP(r, 192, []int{96, 48}, 10) },
+				Train: trainSet, Test: testSet,
+			}
+			res, err := train.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, label, err)
+			}
+			// Normalize the cumulative breakdown to one epoch.
+			epochs := res.Points[len(res.Points)-1].Epoch
+			bd := res.Breakdown
+			tb.AddRow(label,
+				report.FormatFloat(bd.Compute()/epochs),
+				report.FormatFloat(bd.Compress()/epochs),
+				report.FormatFloat(bd.Transmit()/epochs),
+				report.FormatFloat(bd.Total()/epochs))
+			summary[name][label] = bd.Transmit() / epochs
+		}
+		tables = append(tables, tb)
+	}
+
+	o := &Output{ID: "fig5", Title: "Figure 5: time breakdown under TAR and RAR", Tables: tables}
+	o.Notes = fmt.Sprintf(
+		"paper: Marsit/Marsit-K spend the least transmission time; TAR communicates faster than RAR; "+
+			"Marsit's compression overhead is minor. measured transmission (s/epoch): RAR PSGD %.2f vs "+
+			"RAR Marsit %.2f; TAR PSGD %.2f vs TAR Marsit %.2f.",
+		summary["RAR"]["PSGD"], summary["RAR"]["Marsit"],
+		summary["TAR"]["PSGD"], summary["TAR"]["Marsit"])
+	render(o, tables[0].Render(), tables[1].Render())
+	return o, nil
+}

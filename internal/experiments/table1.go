@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"marsit/internal/data"
+	"marsit/internal/nn"
+	"marsit/internal/report"
+	"marsit/internal/rng"
+	"marsit/internal/train"
+)
+
+func init() { register("table1", table1) }
+
+// table1 reproduces Table 1: training MNIST over AlexNet with
+// cascading compression vs no compression, M ∈ {3, 8}. The paper
+// reports rounds-to-best-accuracy, best test accuracy over a step-size
+// grid, and wall time; cascading diverges at M=8 while PSGD improves
+// with more workers.
+func table1(s Scale) (*Output, error) {
+	samples, rounds, targetRounds := 800, 60, 120
+	grid := []float64{0.5, 0.3, 0.1} // stands in for the paper's {0.03, 0.01, 0.005}
+	if s == Full {
+		samples, rounds, targetRounds = 4000, 300, 600
+		_ = targetRounds
+	}
+	ds := data.SyntheticMNIST(samples, 21)
+	trainSet, testSet := ds.Split(samples * 4 / 5)
+
+	type row struct {
+		scheme   string
+		m        int
+		rounds   string
+		acc      string
+		timeMin  float64
+		diverged bool
+	}
+	var rows []row
+	runBest := func(method train.Method, m int) row {
+		best := row{scheme: string(method), m: m, rounds: "—", acc: "divergence", timeMin: math.NaN(), diverged: true}
+		bestAcc := -1.0
+		for _, lr := range grid {
+			cfg := train.Config{
+				Method: method, Topo: train.TopoRing, Workers: m,
+				Rounds: rounds, Batch: 16, LocalLR: lr, Optimizer: "sgd",
+				EvalEvery: 5, EvalSamples: 150, Seed: 31,
+				Cost:  &scaledCost,
+				Model: func(r *rng.PCG) *nn.Network { return nn.NewMLP(r, 64, []int{32}, 10) },
+				Train: trainSet, Test: testSet,
+			}
+			res, err := train.Run(cfg)
+			if err != nil || res.Diverged {
+				continue
+			}
+			if res.BestAcc > bestAcc {
+				bestAcc = res.BestAcc
+				// Rounds to reach 95% of the run's best accuracy.
+				target := 0.95 * res.BestAcc
+				toTarget := res.Points[len(res.Points)-1].Round
+				for _, p := range res.Points {
+					if !math.IsNaN(p.TestAcc) && p.TestAcc >= target {
+						toTarget = p.Round
+						break
+					}
+				}
+				best = row{
+					scheme: string(method), m: m,
+					rounds:  fmt.Sprint(toTarget),
+					acc:     fmt.Sprintf("%.1f", 100*res.BestAcc),
+					timeMin: res.TotalTime / 60, diverged: false,
+				}
+			}
+		}
+		return best
+	}
+
+	for _, m := range []int{3, 8} {
+		rows = append(rows, runBest(train.MethodCascading, m))
+	}
+	for _, m := range []int{3, 8} {
+		rows = append(rows, runBest(train.MethodPSGD, m))
+	}
+
+	tb := report.NewTable("Table 1 — synthetic-MNIST over MiniMLP, best over stepsize grid",
+		"Scheme", "M", "Rounds", "Accuracy (%)", "Time (min, simulated)")
+	for _, r := range rows {
+		timeStr := report.FormatFloat(r.timeMin)
+		if r.diverged {
+			timeStr = "NA"
+		}
+		tb.AddRow(map[bool]string{true: "cascading compression", false: "no compression"}[r.scheme == "cascading"],
+			fmt.Sprint(r.m), r.rounds, r.acc, timeStr)
+	}
+
+	o := &Output{ID: "table1", Title: "Table 1: cascading compression vs no compression", Tables: []*report.Table{tb}}
+	casc3, casc8 := rows[0], rows[1]
+	psgd3, psgd8 := rows[2], rows[3]
+	o.Notes = fmt.Sprintf(
+		"paper: cascading M=3 converges below PSGD, M=8 diverges; PSGD improves with M. "+
+			"measured: cascading M=3 %s%%, M=8 %s; PSGD M=3 %s%% vs M=8 %s%%.",
+		casc3.acc, casc8.acc, psgd3.acc, psgd8.acc)
+	render(o, tb.Render())
+	return o, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"marsit/internal/data"
+	"marsit/internal/nn"
+	"marsit/internal/report"
+	"marsit/internal/rng"
+	"marsit/internal/train"
+)
+
+func init() { register("table2", table2) }
+
+// table2Row describes one model/dataset row of Table 2.
+type table2Row struct {
+	model   string
+	dataset string
+	build   func(r *rng.PCG) *nn.Network
+	train   *data.Dataset
+	test    *data.Dataset
+	lr      float64
+	opt     string
+	// Marsit-driven SGD step sizes (per row, like the paper's
+	// per-task grids): η_l and η_s.
+	marsitLLR float64
+	marsitGLR float64
+}
+
+// table2 reproduces Table 2: Top-1 accuracy of PSGD, signSGD,
+// EF-signSGD, SSDM, Marsit-K and Marsit across the paper's five
+// model/dataset pairs (scaled-down analogues).
+func table2(s Scale) (*Output, error) {
+	samples, rounds, workers, kPeriod := 600, 50, 4, 10
+	fullRows := s == Full
+	if s == Full {
+		samples, rounds, kPeriod = 3000, 300, 100
+	}
+
+	mkRow := func(model, dataset string, ds *data.Dataset, build func(r *rng.PCG) *nn.Network, lr float64, opt string, mLLR, mGLR float64) table2Row {
+		trainSet, testSet := ds.Split(ds.Len() * 4 / 5)
+		return table2Row{model: model, dataset: dataset, build: build, train: trainSet, test: testSet,
+			lr: lr, opt: opt, marsitLLR: mLLR, marsitGLR: mGLR}
+	}
+
+	rows := []table2Row{
+		mkRow("MiniAlexNet", "synth-CIFAR", data.SyntheticCIFAR(samples, 61),
+			func(r *rng.PCG) *nn.Network { return nn.NewMLP(r, 192, []int{64}, 10) }, 0.3, "momentum", 1.0, 0.01),
+		mkRow("MiniResNet-20", "synth-CIFAR", data.SyntheticCIFAR(samples, 62),
+			func(r *rng.PCG) *nn.Network { return nn.NewMiniResNet(r, 192, 32, 2, 10) }, 0.2, "momentum", 1.0, 0.02),
+		mkRow("MiniResNet-50", "synth-ImageNet", data.SyntheticImageNet(samples, 64),
+			func(r *rng.PCG) *nn.Network { return nn.NewMiniResNet(r, 256, 48, 3, 20) }, 0.2, "momentum", 1.0, 0.01),
+		mkRow("MiniDistilBERT", "synth-IMDb", data.SyntheticIMDB(samples, 256, 65),
+			func(r *rng.PCG) *nn.Network { return nn.NewBoWText(r, 256, 32, 2) }, 0.01, "adam", 1.0, 0.003),
+	}
+	if fullRows {
+		extra := mkRow("MiniResNet-18", "synth-ImageNet", data.SyntheticImageNet(samples, 63),
+			func(r *rng.PCG) *nn.Network { return nn.NewMiniResNet(r, 256, 32, 2, 20) }, 0.2, "momentum", 1.0, 0.01)
+		rows = append(rows[:2], append([]table2Row{extra}, rows[2:]...)...)
+	}
+
+	type methodCfg struct {
+		label  string
+		method train.Method
+		k      int
+	}
+	methods := []methodCfg{
+		{"PSGD", train.MethodPSGD, 0},
+		{"signSGD", train.MethodSignSGD, 0},
+		{"EF-signSGD", train.MethodEFSignSGD, 0},
+		{"SSDM", train.MethodSSDM, 0},
+		{fmt.Sprintf("Marsit-%d", kPeriod), train.MethodMarsit, kPeriod},
+		{"Marsit", train.MethodMarsit, 0},
+	}
+
+	headers := []string{"Model", "Dataset", "#params"}
+	for _, m := range methods {
+		headers = append(headers, m.label)
+	}
+	tb := report.NewTable("Table 2 — Top-1 accuracy (%)", headers...)
+
+	type key struct{ row, method string }
+	accs := map[key]float64{}
+	for _, row := range rows {
+		cells := []string{row.model, row.dataset, ""}
+		for _, m := range methods {
+			lr := row.lr
+			// SSDM's decode is ‖g‖₂-scaled; only adaptive optimizers
+			// absorb that factor on their own.
+			if m.method == train.MethodSSDM && row.opt != "adam" {
+				lr = row.lr / ssdmLRDivisor
+			}
+			// Marsit is Marsit-driven SGD (Algorithm 2): its update
+			// already carries η_l and η_s, tuned per row.
+			opt := row.opt
+			if m.method == train.MethodMarsit {
+				opt = "sgd"
+				lr = row.marsitLLR
+			}
+			cfg := train.Config{
+				Method: m.method, Topo: train.TopoRing, Workers: workers,
+				Rounds: rounds, Batch: 16, LocalLR: lr,
+				GlobalLR: row.marsitGLR, K: m.k,
+				Optimizer: opt, EvalEvery: 0, EvalSamples: 150, Seed: 67,
+				Model: row.build, Train: row.train, Test: row.test,
+			}
+			res, err := train.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", row.model, m.label, err)
+			}
+			cells[2] = fmt.Sprint(res.Params)
+			acc := res.FinalAcc
+			if res.Diverged {
+				acc = 0
+			}
+			accs[key{row.model, m.label}] = acc
+			cells = append(cells, fmt.Sprintf("%.2f", 100*acc))
+		}
+		tb.AddRow(cells...)
+	}
+
+	o := &Output{ID: "table2", Title: "Table 2: accuracy across models and datasets", Tables: []*report.Table{tb}}
+	// Shape summary: Marsit within a few points of PSGD; signSGD lowest.
+	var marsitGap, signGap float64
+	for _, row := range rows {
+		p := accs[key{row.model, "PSGD"}]
+		marsitGap += p - maxf(accs[key{row.model, "Marsit"}], accs[key{row.model, methods[4].label}])
+		signGap += p - accs[key{row.model, "signSGD"}]
+	}
+	nr := float64(len(rows))
+	o.Notes = fmt.Sprintf(
+		"paper: compression baselines drop up to ~5%% below PSGD; Marsit/Marsit-K close most of the gap. "+
+			"measured mean PSGD−Marsit gap %.2f%%, PSGD−signSGD gap %.2f%% (Marsit gap should be smaller).",
+		100*marsitGap/nr, 100*signGap/nr)
+	render(o, tb.Render())
+	return o, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

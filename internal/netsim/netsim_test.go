@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func model() CostModel {
+	return CostModel{
+		Latency:           1e-3, // 1 ms — large so tests reason in round units
+		BytePeriod:        1e-6, // 1 µs per byte
+		CompressPerElem:   1e-6,
+		DecompressPerElem: 2e-6,
+		FlopPeriod:        1e-9,
+	}
+}
+
+func feq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestNewClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCluster(0, model())
+}
+
+func TestChargesAdvanceClockAndPhases(t *testing.T) {
+	c := NewCluster(2, model())
+	c.AddCompute(0, 0.5)
+	c.AddCompress(0, 100)   // 100 µs
+	c.AddDecompress(0, 100) // 200 µs
+	if !feq(c.Clock(0), 0.5+100e-6+200e-6) {
+		t.Fatalf("clock = %v", c.Clock(0))
+	}
+	b := c.PhaseBreakdown(0)
+	if !feq(b.Compute(), 0.5) || !feq(b.Compress(), 300e-6) || b.Transmit() != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if c.Clock(1) != 0 {
+		t.Fatal("worker 1 charged")
+	}
+}
+
+func TestAddComputeFlops(t *testing.T) {
+	c := NewCluster(1, model())
+	c.AddComputeFlops(0, 1e6)
+	if !feq(c.Clock(0), 1e-3) {
+		t.Fatalf("clock = %v", c.Clock(0))
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	c := NewCluster(1, model())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.AddCompute(0, -1)
+}
+
+func TestExchangeRingStep(t *testing.T) {
+	// A symmetric ring step: each worker sends 1000 bytes to the next.
+	// Cut-through full duplex: every clock advances by α + B·β exactly.
+	c := NewCluster(4, model())
+	msgs := []Message{{0, 1, 1000}, {1, 2, 1000}, {2, 3, 1000}, {3, 0, 1000}}
+	c.Exchange(msgs)
+	want := 1e-3 + 1000e-6
+	for w := 0; w < 4; w++ {
+		if !feq(c.Clock(w), want) {
+			t.Fatalf("worker %d clock %v, want %v", w, c.Clock(w), want)
+		}
+		if !feq(c.PhaseBreakdown(w).Transmit(), want) {
+			t.Fatal("transmit phase mismatch")
+		}
+	}
+}
+
+func TestExchangeHubCongestion(t *testing.T) {
+	// Three clients pushing to a server serialize on the server NIC:
+	// server completion ≈ α + 3·B·β, strictly more than a single push.
+	c := NewCluster(4, model())
+	c.Exchange([]Message{{1, 0, 1000}, {2, 0, 1000}, {3, 0, 1000}})
+	single := 1e-3 + 1000e-6
+	if c.Clock(0) < single+2*1000e-6-1e-12 {
+		t.Fatalf("server clock %v shows no congestion (single = %v)", c.Clock(0), single)
+	}
+	// Clients only pay their own serialization.
+	if !feq(c.Clock(1), 1000e-6) {
+		t.Fatalf("client clock %v", c.Clock(1))
+	}
+}
+
+func TestExchangeEgressSerialization(t *testing.T) {
+	// Server broadcasting to 3 clients serializes on its send NIC: the
+	// last client hears strictly later than the first.
+	c := NewCluster(4, model())
+	c.Exchange([]Message{{0, 1, 1000}, {0, 2, 1000}, {0, 3, 1000}})
+	if !(c.Clock(3) > c.Clock(1)) {
+		t.Fatalf("no egress serialization: %v vs %v", c.Clock(3), c.Clock(1))
+	}
+	if !feq(c.Clock(1), 1e-3+1000e-6) {
+		t.Fatalf("first client %v", c.Clock(1))
+	}
+}
+
+func TestExchangeSelfMessageFree(t *testing.T) {
+	c := NewCluster(2, model())
+	c.Exchange([]Message{{0, 0, 1 << 20}})
+	if c.Clock(0) != 0 || c.TotalBytes() != 0 {
+		t.Fatal("self message charged")
+	}
+}
+
+func TestExchangeDeterministicOrder(t *testing.T) {
+	a := NewCluster(4, model())
+	b := NewCluster(4, model())
+	msgs := []Message{{2, 0, 500}, {1, 0, 700}, {3, 0, 100}}
+	rev := []Message{{3, 0, 100}, {1, 0, 700}, {2, 0, 500}}
+	a.Exchange(msgs)
+	b.Exchange(rev)
+	if !feq(a.Clock(0), b.Clock(0)) {
+		t.Fatalf("order-dependent result: %v vs %v", a.Clock(0), b.Clock(0))
+	}
+}
+
+func TestExchangeRespectsStartingClocks(t *testing.T) {
+	c := NewCluster(2, model())
+	c.AddCompute(0, 1.0) // sender is late
+	c.Exchange([]Message{{0, 1, 100}})
+	if c.Clock(1) < 1.0 {
+		t.Fatalf("receiver finished (%v) before sender started", c.Clock(1))
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	c := NewCluster(3, model())
+	c.Exchange([]Message{{0, 1, 100}, {1, 2, 50}})
+	if c.BytesSent(0) != 100 || c.BytesSent(1) != 50 || c.BytesSent(2) != 0 {
+		t.Fatal("per-worker bytes wrong")
+	}
+	if c.TotalBytes() != 150 {
+		t.Fatalf("TotalBytes = %d", c.TotalBytes())
+	}
+}
+
+func TestNegativeBytesPanics(t *testing.T) {
+	c := NewCluster(2, model())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Exchange([]Message{{0, 1, -5}})
+}
+
+func TestBarrierAttributesWaitToTransmit(t *testing.T) {
+	c := NewCluster(2, model())
+	c.AddCompute(0, 2.0)
+	c.Barrier()
+	if !feq(c.Clock(1), 2.0) {
+		t.Fatalf("worker 1 clock %v", c.Clock(1))
+	}
+	if !feq(c.PhaseBreakdown(1).Transmit(), 2.0) {
+		t.Fatal("barrier wait not counted as transmit")
+	}
+	if !feq(c.Time(), 2.0) {
+		t.Fatal("Time()")
+	}
+}
+
+func TestMeanBreakdown(t *testing.T) {
+	c := NewCluster(2, model())
+	c.AddCompute(0, 2.0)
+	c.AddCompute(1, 4.0)
+	mb := c.MeanBreakdown()
+	if !feq(mb.Compute(), 3.0) {
+		t.Fatalf("mean compute %v", mb.Compute())
+	}
+	if !feq(mb.Total(), 3.0) {
+		t.Fatalf("total %v", mb.Total())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCluster(2, model())
+	c.AddCompute(0, 1)
+	c.Exchange([]Message{{0, 1, 10}})
+	c.Reset()
+	if c.Time() != 0 || c.TotalBytes() != 0 || c.MeanBreakdown().Total() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseCompute.String() != "compute" || PhaseCompress.String() != "compress" ||
+		PhaseTransmit.String() != "transmit" {
+		t.Fatal("phase names")
+	}
+	if Phase(42).String() == "" {
+		t.Fatal("unknown phase must render")
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := DefaultCostModel()
+	if m.Latency <= 0 || m.BytePeriod <= 0 || m.CompressPerElem <= 0 ||
+		m.DecompressPerElem <= 0 || m.FlopPeriod <= 0 {
+		t.Fatal("default model has non-positive constants")
+	}
+}
+
+// TestRingBeatsPSForLargeMessages reproduces the Section 3.1 claim: for
+// a D-dimension model, RAR moves 2(M−1)·D/M per worker while PS funnels
+// 2·M·D through one hub, so ring all-reduce completes faster.
+func TestRingBeatsPSForLargeMessages(t *testing.T) {
+	const M, bytes = 8, 1 << 20
+
+	ring := NewCluster(M, model())
+	seg := bytes / M
+	for step := 0; step < 2*(M-1); step++ {
+		msgs := make([]Message, M)
+		for w := 0; w < M; w++ {
+			msgs[w] = Message{From: w, To: (w + 1) % M, Bytes: seg}
+		}
+		ring.Exchange(msgs)
+	}
+	ring.Barrier()
+
+	ps := NewCluster(M+1, model())
+	push := make([]Message, M)
+	for w := 0; w < M; w++ {
+		push[w] = Message{From: w + 1, To: 0, Bytes: bytes}
+	}
+	ps.Exchange(push)
+	pull := make([]Message, M)
+	for w := 0; w < M; w++ {
+		pull[w] = Message{From: 0, To: w + 1, Bytes: bytes}
+	}
+	ps.Exchange(pull)
+	ps.Barrier()
+
+	if ring.Time() >= ps.Time() {
+		t.Fatalf("ring %v not faster than PS %v", ring.Time(), ps.Time())
+	}
+}
+
+func BenchmarkExchangeRing(b *testing.B) {
+	c := NewCluster(32, DefaultCostModel())
+	msgs := make([]Message, 32)
+	for w := 0; w < 32; w++ {
+		msgs[w] = Message{From: w, To: (w + 1) % 32, Bytes: 4096}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Exchange(msgs)
+	}
+}

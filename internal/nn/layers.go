@@ -1,0 +1,395 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"marsit/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Dense
+
+// Dense is a fully connected layer: out = W·in + b, with W stored
+// row-major ([out][in]) followed by b in the flat parameter slice.
+type Dense struct {
+	In, Out int
+}
+
+// NewDense returns a Dense layer mapping in → out.
+func NewDense(in, out int) *Dense {
+	if in < 1 || out < 1 {
+		panic(fmt.Sprintf("nn: Dense(%d, %d)", in, out))
+	}
+	return &Dense{In: in, Out: out}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense%dx%d", d.In, d.Out) }
+
+// NumParams implements Layer.
+func (d *Dense) NumParams() int { return d.In*d.Out + d.Out }
+
+// InDim implements Layer.
+func (d *Dense) InDim() int { return d.In }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim() int { return d.Out }
+
+// Flops implements Layer.
+func (d *Dense) Flops() int { return d.In * d.Out }
+
+// Init applies He-uniform initialization: W ~ U(±√(6/fan_in)), b = 0.
+func (d *Dense) Init(r *rng.PCG, p []float64) {
+	bound := math.Sqrt(6.0 / float64(d.In))
+	for i := 0; i < d.In*d.Out; i++ {
+		p[i] = (2*r.Float64() - 1) * bound
+	}
+	for i := d.In * d.Out; i < len(p); i++ {
+		p[i] = 0
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(p, in []float64) []float64 {
+	out := make([]float64, d.Out)
+	b := p[d.In*d.Out:]
+	for o := 0; o < d.Out; o++ {
+		row := p[o*d.In : (o+1)*d.In]
+		s := b[o]
+		for i, x := range in {
+			s += row[i] * x
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(p, in, _, dout, dp []float64) []float64 {
+	din := make([]float64, d.In)
+	dB := dp[d.In*d.Out:]
+	for o := 0; o < d.Out; o++ {
+		g := dout[o]
+		row := p[o*d.In : (o+1)*d.In]
+		dRow := dp[o*d.In : (o+1)*d.In]
+		dB[o] += g
+		for i := 0; i < d.In; i++ {
+			dRow[i] += g * in[i]
+			din[i] += g * row[i]
+		}
+	}
+	return din
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+
+// ReLU is the element-wise rectifier.
+type ReLU struct {
+	Dim int
+}
+
+// NewReLU returns a ReLU over dim elements.
+func NewReLU(dim int) *ReLU {
+	if dim < 1 {
+		panic("nn: ReLU dim < 1")
+	}
+	return &ReLU{Dim: dim}
+}
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return fmt.Sprintf("relu%d", l.Dim) }
+
+// NumParams implements Layer.
+func (l *ReLU) NumParams() int { return 0 }
+
+// InDim implements Layer.
+func (l *ReLU) InDim() int { return l.Dim }
+
+// OutDim implements Layer.
+func (l *ReLU) OutDim() int { return l.Dim }
+
+// Flops implements Layer.
+func (l *ReLU) Flops() int { return l.Dim }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(_, in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, x := range in {
+		if x > 0 {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(_, in, _, dout, _ []float64) []float64 {
+	din := make([]float64, len(in))
+	for i, x := range in {
+		if x > 0 {
+			din[i] = dout[i]
+		}
+	}
+	return din
+}
+
+// ---------------------------------------------------------------------------
+// Tanh
+
+// Tanh is the element-wise hyperbolic tangent.
+type Tanh struct {
+	Dim int
+}
+
+// NewTanh returns a Tanh over dim elements.
+func NewTanh(dim int) *Tanh {
+	if dim < 1 {
+		panic("nn: Tanh dim < 1")
+	}
+	return &Tanh{Dim: dim}
+}
+
+// Name implements Layer.
+func (l *Tanh) Name() string { return fmt.Sprintf("tanh%d", l.Dim) }
+
+// NumParams implements Layer.
+func (l *Tanh) NumParams() int { return 0 }
+
+// InDim implements Layer.
+func (l *Tanh) InDim() int { return l.Dim }
+
+// OutDim implements Layer.
+func (l *Tanh) OutDim() int { return l.Dim }
+
+// Flops implements Layer.
+func (l *Tanh) Flops() int { return 4 * l.Dim }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(_, in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, x := range in {
+		out[i] = math.Tanh(x)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(_, _, out, dout, _ []float64) []float64 {
+	din := make([]float64, len(out))
+	for i, y := range out {
+		din[i] = dout[i] * (1 - y*y)
+	}
+	return din
+}
+
+// ---------------------------------------------------------------------------
+// Conv2D
+
+// Conv2D is a naive 2-D convolution over CHW-flattened inputs with
+// square kernels, stride, and same-size zero padding disabled (valid
+// convolution). Parameters are [outC][inC][k][k] weights then [outC]
+// biases.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC, K       int
+	Stride        int
+}
+
+// NewConv2D returns a valid (unpadded) convolution layer.
+func NewConv2D(inC, inH, inW, outC, k, stride int) *Conv2D {
+	c := &Conv2D{InC: inC, InH: inH, InW: inW, OutC: outC, K: k, Stride: stride}
+	if inC < 1 || inH < 1 || inW < 1 || outC < 1 || k < 1 || stride < 1 {
+		panic("nn: Conv2D non-positive shape")
+	}
+	if c.outH() < 1 || c.outW() < 1 {
+		panic(fmt.Sprintf("nn: Conv2D kernel %d too large for %dx%d", k, inH, inW))
+	}
+	return c
+}
+
+func (c *Conv2D) outH() int { return (c.InH-c.K)/c.Stride + 1 }
+func (c *Conv2D) outW() int { return (c.InW-c.K)/c.Stride + 1 }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%dx%d-%dk%ds%d", c.InC, c.InH, c.InW, c.OutC, c.K, c.Stride)
+}
+
+// NumParams implements Layer.
+func (c *Conv2D) NumParams() int { return c.OutC*c.InC*c.K*c.K + c.OutC }
+
+// InDim implements Layer.
+func (c *Conv2D) InDim() int { return c.InC * c.InH * c.InW }
+
+// OutDim implements Layer.
+func (c *Conv2D) OutDim() int { return c.OutC * c.outH() * c.outW() }
+
+// Flops implements Layer.
+func (c *Conv2D) Flops() int { return c.OutC * c.outH() * c.outW() * c.InC * c.K * c.K }
+
+// Init applies He-uniform initialization over the kernel fan-in.
+func (c *Conv2D) Init(r *rng.PCG, p []float64) {
+	fanIn := float64(c.InC * c.K * c.K)
+	bound := math.Sqrt(6.0 / fanIn)
+	nw := c.OutC * c.InC * c.K * c.K
+	for i := 0; i < nw; i++ {
+		p[i] = (2*r.Float64() - 1) * bound
+	}
+	for i := nw; i < len(p); i++ {
+		p[i] = 0
+	}
+}
+
+func (c *Conv2D) wIdx(oc, ic, kr, kc int) int {
+	return ((oc*c.InC+ic)*c.K+kr)*c.K + kc
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(p, in []float64) []float64 {
+	oh, ow := c.outH(), c.outW()
+	out := make([]float64, c.OutC*oh*ow)
+	bias := p[c.OutC*c.InC*c.K*c.K:]
+	for oc := 0; oc < c.OutC; oc++ {
+		for r := 0; r < oh; r++ {
+			for cc := 0; cc < ow; cc++ {
+				s := bias[oc]
+				r0, c0 := r*c.Stride, cc*c.Stride
+				for ic := 0; ic < c.InC; ic++ {
+					for kr := 0; kr < c.K; kr++ {
+						inRow := in[(ic*c.InH+(r0+kr))*c.InW+c0:]
+						w := p[c.wIdx(oc, ic, kr, 0):]
+						for kc := 0; kc < c.K; kc++ {
+							s += w[kc] * inRow[kc]
+						}
+					}
+				}
+				out[(oc*oh+r)*ow+cc] = s
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(p, in, _, dout, dp []float64) []float64 {
+	oh, ow := c.outH(), c.outW()
+	din := make([]float64, len(in))
+	dBias := dp[c.OutC*c.InC*c.K*c.K:]
+	for oc := 0; oc < c.OutC; oc++ {
+		for r := 0; r < oh; r++ {
+			for cc := 0; cc < ow; cc++ {
+				g := dout[(oc*oh+r)*ow+cc]
+				if g == 0 {
+					continue
+				}
+				dBias[oc] += g
+				r0, c0 := r*c.Stride, cc*c.Stride
+				for ic := 0; ic < c.InC; ic++ {
+					for kr := 0; kr < c.K; kr++ {
+						base := (ic*c.InH + (r0 + kr)) * c.InW
+						w := p[c.wIdx(oc, ic, kr, 0):]
+						dw := dp[c.wIdx(oc, ic, kr, 0):]
+						for kc := 0; kc < c.K; kc++ {
+							dw[kc] += g * in[base+c0+kc]
+							din[base+c0+kc] += g * w[kc]
+						}
+					}
+				}
+			}
+		}
+	}
+	return din
+}
+
+// ---------------------------------------------------------------------------
+// Residual block
+
+// Residual is a two-dense residual block: out = in + W2·relu(W1·in+b1)+b2,
+// the building pattern of the paper's ResNet models. Input and output
+// widths are equal.
+type Residual struct {
+	Dim, Hidden int
+	fc1, fc2    *Dense
+}
+
+// NewResidual builds a residual block of the given width.
+func NewResidual(dim, hidden int) *Residual {
+	if dim < 1 || hidden < 1 {
+		panic("nn: Residual non-positive dims")
+	}
+	return &Residual{Dim: dim, Hidden: hidden, fc1: NewDense(dim, hidden), fc2: NewDense(hidden, dim)}
+}
+
+// Name implements Layer.
+func (l *Residual) Name() string { return fmt.Sprintf("res%d-%d", l.Dim, l.Hidden) }
+
+// NumParams implements Layer.
+func (l *Residual) NumParams() int { return l.fc1.NumParams() + l.fc2.NumParams() }
+
+// InDim implements Layer.
+func (l *Residual) InDim() int { return l.Dim }
+
+// OutDim implements Layer.
+func (l *Residual) OutDim() int { return l.Dim }
+
+// Flops implements Layer.
+func (l *Residual) Flops() int { return l.fc1.Flops() + l.fc2.Flops() + l.Hidden }
+
+// Init initializes fc1 with He-uniform scaling and fc2 with zeros
+// ("zero-init residual"): each block starts as the identity, so
+// activations do not grow with depth and deep stacks train stably.
+func (l *Residual) Init(r *rng.PCG, p []float64) {
+	l.fc1.Init(r, p[:l.fc1.NumParams()])
+	for i := l.fc1.NumParams(); i < len(p); i++ {
+		p[i] = 0
+	}
+}
+
+// Forward implements Layer.
+func (l *Residual) Forward(p, in []float64) []float64 {
+	p1 := p[:l.fc1.NumParams()]
+	p2 := p[l.fc1.NumParams():]
+	h := l.fc1.Forward(p1, in)
+	for i, x := range h {
+		if x < 0 {
+			h[i] = 0
+		}
+	}
+	out := l.fc2.Forward(p2, h)
+	for i := range out {
+		out[i] += in[i]
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Residual) Backward(p, in, _, dout, dp []float64) []float64 {
+	p1 := p[:l.fc1.NumParams()]
+	p2 := p[l.fc1.NumParams():]
+	dp1 := dp[:l.fc1.NumParams()]
+	dp2 := dp[l.fc1.NumParams():]
+
+	// Recompute the hidden activation (cheap, avoids caching plumbing).
+	pre := l.fc1.Forward(p1, in)
+	h := make([]float64, len(pre))
+	for i, x := range pre {
+		if x > 0 {
+			h[i] = x
+		}
+	}
+	// Branch gradient.
+	dh := l.fc2.Backward(p2, h, nil, dout, dp2)
+	for i, x := range pre {
+		if x <= 0 {
+			dh[i] = 0
+		}
+	}
+	din := l.fc1.Backward(p1, in, nil, dh, dp1)
+	// Skip connection.
+	for i := range din {
+		din[i] += dout[i]
+	}
+	return din
+}

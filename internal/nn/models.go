@@ -1,0 +1,69 @@
+package nn
+
+import "marsit/internal/rng"
+
+// This file builds the scaled-down analogues of the paper's five
+// model/dataset rows (Table 2). Parameter counts are 10³–10⁵ rather
+// than 10⁶–10⁹, but each keeps the architectural trait that matters to
+// gradient-compression behaviour: AlexNet → convolution + dense head,
+// ResNet → residual blocks, DistilBERT on IMDb → wide sparse-input text
+// classifier.
+
+// NewLogReg builds multinomial logistic regression (the smallest
+// sanity model).
+func NewLogReg(r *rng.PCG, in, classes int) *Network {
+	return MustNetwork(r, NewDense(in, classes))
+}
+
+// NewMLP builds a ReLU multi-layer perceptron with the given hidden
+// widths.
+func NewMLP(r *rng.PCG, in int, hidden []int, classes int) *Network {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h), NewReLU(h))
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, classes))
+	return MustNetwork(r, layers...)
+}
+
+// NewMiniAlexNet builds the AlexNet analogue: two convolutions with a
+// stride-2 reduction followed by a dense classifier, over c×h×w inputs.
+func NewMiniAlexNet(r *rng.PCG, c, h, w, classes int) *Network {
+	conv1 := NewConv2D(c, h, w, 8, 3, 1)
+	h1, w1 := (h-3)+1, (w-3)+1
+	conv2 := NewConv2D(8, h1, w1, 16, 3, 2)
+	h2, w2 := (h1-3)/2+1, (w1-3)/2+1
+	flat := 16 * h2 * w2
+	return MustNetwork(r,
+		conv1, NewReLU(8*h1*w1),
+		conv2, NewReLU(flat),
+		NewDense(flat, 64), NewReLU(64),
+		NewDense(64, classes),
+	)
+}
+
+// NewMiniResNet builds the ResNet analogue: a stem projection, then
+// `blocks` two-layer residual blocks of the given width, then a
+// classifier head.
+func NewMiniResNet(r *rng.PCG, in, width, blocks, classes int) *Network {
+	layers := []Layer{NewDense(in, width), NewReLU(width)}
+	for i := 0; i < blocks; i++ {
+		layers = append(layers, NewResidual(width, width))
+	}
+	layers = append(layers, NewReLU(width), NewDense(width, classes))
+	return MustNetwork(r, layers...)
+}
+
+// NewBoWText builds the DistilBERT-on-IMDb analogue: a wide
+// bag-of-words input projected to a small hidden representation, then
+// classified — the text-classification shape at a fraction of the
+// size.
+func NewBoWText(r *rng.PCG, vocab, embed, classes int) *Network {
+	return MustNetwork(r,
+		NewDense(vocab, embed), NewTanh(embed),
+		NewDense(embed, embed/2), NewReLU(embed/2),
+		NewDense(embed/2, classes),
+	)
+}

@@ -1,0 +1,206 @@
+// Package nn is the deep-learning substrate of the reproduction: a
+// small neural-network library with manual backpropagation over a flat
+// parameter vector.
+//
+// The paper trains AlexNet, ResNet-20/18/50 and DistilBERT with
+// PyTorch on GPUs; none of that exists here, and the compression
+// experiments only require that (a) gradients come from a real
+// non-convex optimization, (b) parameters live in one flat vector the
+// collectives can ship, and (c) model capacity suffices for a visible
+// accuracy signal. The layer zoo therefore covers dense, ReLU, 2-D
+// convolution and residual blocks — enough to build scaled-down
+// analogues of each paper model (see models.go).
+//
+// All parameters of a Network live in a single flat tensor.Vec, so a
+// gradient is likewise one flat vector — exactly the object Marsit and
+// the baseline collectives synchronize.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Parameters are views
+// into the network's flat vector; layers are stateless between calls.
+type Layer interface {
+	// Name identifies the layer in diagnostics.
+	Name() string
+	// NumParams returns the layer's parameter count.
+	NumParams() int
+	// OutDim returns the output width.
+	OutDim() int
+	// InDim returns the expected input width.
+	InDim() int
+	// Forward computes the activation for input in using parameters p
+	// (length NumParams) and writes it to a fresh slice.
+	Forward(p, in []float64) []float64
+	// Backward computes gradients: given the forward input/output and
+	// the loss gradient w.r.t. the output, it accumulates parameter
+	// gradients into dp and returns the gradient w.r.t. the input.
+	Backward(p, in, out, dout, dp []float64) []float64
+	// Flops estimates the multiply-accumulate count of one forward
+	// pass (used for simulated computation time).
+	Flops() int
+}
+
+// Network is a feed-forward stack of layers over one flat parameter
+// vector.
+type Network struct {
+	layers  []Layer
+	offsets []int // offset of each layer's slice in params
+	params  tensor.Vec
+	inDim   int
+	outDim  int
+}
+
+// NewNetwork stacks layers (validating dimension compatibility) and
+// initializes parameters with He-uniform fan-in scaling from r.
+func NewNetwork(r *rng.PCG, layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: empty network")
+	}
+	total := 0
+	offsets := make([]int, len(layers))
+	for i, l := range layers {
+		if i > 0 && layers[i-1].OutDim() != l.InDim() {
+			return nil, fmt.Errorf("nn: layer %d (%s) wants input %d, previous (%s) outputs %d",
+				i, l.Name(), l.InDim(), layers[i-1].Name(), layers[i-1].OutDim())
+		}
+		offsets[i] = total
+		total += l.NumParams()
+	}
+	n := &Network{
+		layers:  layers,
+		offsets: offsets,
+		params:  tensor.New(total),
+		inDim:   layers[0].InDim(),
+		outDim:  layers[len(layers)-1].OutDim(),
+	}
+	for i, l := range layers {
+		if init, ok := l.(interface {
+			Init(r *rng.PCG, p []float64)
+		}); ok {
+			init.Init(r, n.paramSlice(i))
+		}
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork that panics on error.
+func MustNetwork(r *rng.PCG, layers ...Layer) *Network {
+	n, err := NewNetwork(r, layers...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Network) paramSlice(i int) []float64 {
+	return n.params[n.offsets[i] : n.offsets[i]+n.layers[i].NumParams()]
+}
+
+// NumParams returns the total parameter count D.
+func (n *Network) NumParams() int { return len(n.params) }
+
+// InDim returns the input width.
+func (n *Network) InDim() int { return n.inDim }
+
+// OutDim returns the output (logit) width.
+func (n *Network) OutDim() int { return n.outDim }
+
+// Params returns the live flat parameter vector. Mutating it updates
+// the model — this is how the trainer applies synchronized updates.
+func (n *Network) Params() tensor.Vec { return n.params }
+
+// SetParams copies src into the model (dimension must match).
+func (n *Network) SetParams(src tensor.Vec) {
+	if len(src) != len(n.params) {
+		panic(fmt.Sprintf("nn: SetParams dim %d, want %d", len(src), len(n.params)))
+	}
+	copy(n.params, src)
+}
+
+// Flops estimates multiply-accumulates of one forward pass.
+func (n *Network) Flops() int {
+	total := 0
+	for _, l := range n.layers {
+		total += l.Flops()
+	}
+	return total
+}
+
+// Forward computes the logits for a single input.
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.inDim {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), n.inDim))
+	}
+	act := x
+	for i, l := range n.layers {
+		act = l.Forward(n.paramSlice(i), act)
+	}
+	return act
+}
+
+// Predict returns the argmax class of the logits for x.
+func (n *Network) Predict(x []float64) int {
+	return tensor.Argmax(n.Forward(x))
+}
+
+// LossGrad runs a forward/backward pass for one labelled sample,
+// accumulating the parameter gradient of the softmax cross-entropy loss
+// into grad (length NumParams) and returning the loss value.
+func (n *Network) LossGrad(x []float64, label int, grad tensor.Vec) float64 {
+	if len(grad) != len(n.params) {
+		panic(fmt.Sprintf("nn: grad dim %d, want %d", len(grad), len(n.params)))
+	}
+	if label < 0 || label >= n.outDim {
+		panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, n.outDim))
+	}
+	// Forward, keeping activations.
+	acts := make([][]float64, len(n.layers)+1)
+	acts[0] = x
+	for i, l := range n.layers {
+		acts[i+1] = l.Forward(n.paramSlice(i), acts[i])
+	}
+	logits := acts[len(n.layers)]
+
+	loss, dlogits := SoftmaxCrossEntropy(logits, label)
+
+	// Backward.
+	dout := dlogits
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		l := n.layers[i]
+		dp := grad[n.offsets[i] : n.offsets[i]+l.NumParams()]
+		dout = l.Backward(n.paramSlice(i), acts[i], acts[i+1], dout, dp)
+	}
+	return loss
+}
+
+// SoftmaxCrossEntropy returns the cross-entropy loss of logits against
+// the label and the gradient w.r.t. the logits (softmax − one-hot),
+// computed with the max-shift trick for stability.
+func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	probs := make([]float64, len(logits))
+	for i, v := range logits {
+		probs[i] = math.Exp(v - maxv)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	loss := -math.Log(math.Max(probs[label], 1e-300))
+	grad := probs
+	grad[label] -= 1
+	return loss, grad
+}

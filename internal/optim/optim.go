@@ -1,0 +1,145 @@
+// Package optim provides the first-order optimizers the paper's
+// experiments use: plain SGD, momentum SGD (image classification) and
+// Adam (sentiment analysis). Optimizers operate in place on a flat
+// parameter vector given a flat update direction; in distributed runs
+// every worker holds identical optimizer state because the synchronized
+// update is identical, preserving the consensus invariant.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"marsit/internal/tensor"
+)
+
+// Optimizer applies an update direction g (a gradient or a synchronized
+// global update) to params in place.
+type Optimizer interface {
+	// Name identifies the optimizer in reports.
+	Name() string
+	// Step applies one update. g is not modified.
+	Step(params, g tensor.Vec)
+	// SetLR changes the learning rate (for decay schedules).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is vanilla stochastic gradient descent: p ← p − lr·g.
+type SGD struct {
+	lr float64
+}
+
+// NewSGD returns plain SGD with the given learning rate.
+func NewSGD(lr float64) *SGD {
+	if lr <= 0 {
+		panic("optim: non-positive learning rate")
+	}
+	return &SGD{lr: lr}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, g tensor.Vec) {
+	tensor.Axpy(params, -s.lr, g)
+}
+
+// Momentum is heavy-ball SGD: v ← µ·v + g; p ← p − lr·v.
+type Momentum struct {
+	lr, mu float64
+	v      tensor.Vec
+}
+
+// NewMomentum returns momentum SGD over dim parameters.
+func NewMomentum(lr, mu float64, dim int) *Momentum {
+	if lr <= 0 || mu < 0 || mu >= 1 {
+		panic(fmt.Sprintf("optim: bad momentum config lr=%v mu=%v", lr, mu))
+	}
+	return &Momentum{lr: lr, mu: mu, v: tensor.New(dim)}
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// LR implements Optimizer.
+func (m *Momentum) LR() float64 { return m.lr }
+
+// SetLR implements Optimizer.
+func (m *Momentum) SetLR(lr float64) { m.lr = lr }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params, g tensor.Vec) {
+	if len(g) != len(m.v) {
+		panic(fmt.Sprintf("optim: momentum dim %d, got %d", len(m.v), len(g)))
+	}
+	for i := range m.v {
+		m.v[i] = m.mu*m.v[i] + g[i]
+		params[i] -= m.lr * m.v[i]
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	lr, b1, b2, eps float64
+	m, v            tensor.Vec
+	t               int
+}
+
+// NewAdam returns Adam with the canonical defaults β1=0.9, β2=0.999,
+// ε=1e-8 over dim parameters.
+func NewAdam(lr float64, dim int) *Adam {
+	if lr <= 0 {
+		panic("optim: non-positive learning rate")
+	}
+	return &Adam{lr: lr, b1: 0.9, b2: 0.999, eps: 1e-8, m: tensor.New(dim), v: tensor.New(dim)}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, g tensor.Vec) {
+	if len(g) != len(a.m) {
+		panic(fmt.Sprintf("optim: adam dim %d, got %d", len(a.m), len(g)))
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	for i := range a.m {
+		a.m[i] = a.b1*a.m[i] + (1-a.b1)*g[i]
+		a.v[i] = a.b2*a.v[i] + (1-a.b2)*g[i]*g[i]
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
+	}
+}
+
+// ByName constructs an optimizer from its report name. lr is the
+// learning rate, dim the parameter count.
+func ByName(name string, lr float64, dim int) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return NewSGD(lr), nil
+	case "momentum":
+		return NewMomentum(lr, 0.9, dim), nil
+	case "adam":
+		return NewAdam(lr, dim), nil
+	default:
+		return nil, fmt.Errorf("optim: unknown optimizer %q", name)
+	}
+}

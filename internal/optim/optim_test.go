@@ -1,0 +1,120 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"marsit/internal/tensor"
+)
+
+func TestSGDStep(t *testing.T) {
+	o := NewSGD(0.1)
+	p := tensor.Vec{1, 2}
+	o.Step(p, tensor.Vec{10, -10})
+	if p[0] != 0 || p[1] != 3 {
+		t.Fatalf("SGD step: %v", p)
+	}
+	if o.Name() != "sgd" || o.LR() != 0.1 {
+		t.Fatal("metadata")
+	}
+	o.SetLR(0.5)
+	if o.LR() != 0.5 {
+		t.Fatal("SetLR")
+	}
+}
+
+func TestSGDValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSGD(0)
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	o := NewMomentum(1.0, 0.5, 1)
+	p := tensor.Vec{0}
+	g := tensor.Vec{1}
+	o.Step(p, g) // v=1, p=-1
+	o.Step(p, g) // v=1.5, p=-2.5
+	if math.Abs(p[0]+2.5) > 1e-12 {
+		t.Fatalf("momentum trajectory: %v", p[0])
+	}
+}
+
+func TestMomentumValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMomentum(0, 0.9, 1) },
+		func() { NewMomentum(0.1, 1.0, 1) },
+		func() { NewMomentum(0.1, -0.1, 1) },
+		func() { NewMomentum(0.1, 0.9, 1).Step(tensor.Vec{1, 2}, tensor.Vec{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, the first Adam step is ≈ lr·sign(g).
+	o := NewAdam(0.1, 2)
+	p := tensor.Vec{0, 0}
+	o.Step(p, tensor.Vec{3, -7})
+	if math.Abs(p[0]+0.1) > 1e-6 || math.Abs(p[1]-0.1) > 1e-6 {
+		t.Fatalf("first Adam step: %v", p)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = x² from x = 5.
+	o := NewAdam(0.3, 1)
+	p := tensor.Vec{5}
+	for i := 0; i < 200; i++ {
+		o.Step(p, tensor.Vec{2 * p[0]})
+	}
+	if math.Abs(p[0]) > 0.1 {
+		t.Fatalf("Adam did not converge: x = %v", p[0])
+	}
+}
+
+func TestOptimizersDescendQuadratic(t *testing.T) {
+	for _, o := range []Optimizer{NewSGD(0.1), NewMomentum(0.05, 0.9, 1), NewAdam(0.2, 1)} {
+		p := tensor.Vec{4}
+		f := func() float64 { return p[0] * p[0] }
+		before := f()
+		for i := 0; i < 100; i++ {
+			o.Step(p, tensor.Vec{2 * p[0]})
+		}
+		if f() >= before/10 {
+			t.Fatalf("%s did not descend: %v → %v", o.Name(), before, f())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sgd", "momentum", "adam"} {
+		o, err := ByName(name, 0.1, 4)
+		if err != nil || o.Name() != name {
+			t.Fatalf("ByName(%q): %v %v", name, o, err)
+		}
+	}
+	if _, err := ByName("lamb", 0.1, 4); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+}
+
+func TestAdamDimMismatchPanics(t *testing.T) {
+	o := NewAdam(0.1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	o.Step(tensor.Vec{1}, tensor.Vec{1})
+}

@@ -1,0 +1,227 @@
+// Package report renders experiment results as aligned text tables,
+// ASCII line charts and CSV — the output surface of the benchmark
+// harness that regenerates the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of fmt.Sprint-rendered values.
+func (t *Table) AddRowf(cells ...interface{}) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			s[i] = FormatFloat(v)
+		default:
+			s[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(s...)
+}
+
+// FormatFloat renders a float compactly (4 significant-ish digits).
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "—"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render returns the aligned text form of the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV returns the comma-separated form (quotes cells containing commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a multi-series ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+}
+
+// NewChart creates a chart with default 72×20 cells.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// Add appends a series (x and y must have equal length).
+func (c *Chart) Add(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("report: series %q has %d x, %d y", name, len(x), len(y)))
+	}
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+var chartMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart with one mark per series, a legend, and axis
+// ranges. Non-finite points are skipped.
+func (c *Chart) Render() string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.Series {
+		mark := chartMarks[si%len(chartMarks)]
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(c.Width-1))
+			row := c.Height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(c.Height-1))
+			grid[row][col] = mark
+		}
+	}
+	fmt.Fprintf(&b, "%s %s\n", c.YLabel, FormatFloat(ymax))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "  %s", FormatFloat(xmin))
+	pad := c.Width - len(FormatFloat(xmin)) - len(FormatFloat(xmax))
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s%s  (%s)\n", strings.Repeat(" ", pad), FormatFloat(xmax), c.XLabel)
+	fmt.Fprintf(&b, "  y-min %s\n", FormatFloat(ymin))
+	// Legend in series insertion order.
+	names := make([]string, len(c.Series))
+	for i, s := range c.Series {
+		names[i] = fmt.Sprintf("%c %s", chartMarks[i%len(chartMarks)], s.Name)
+	}
+	fmt.Fprintf(&b, "  legend: %s\n", strings.Join(names, " | "))
+	return b.String()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

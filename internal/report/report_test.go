@@ -1,0 +1,131 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "2")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Fatalf("title: %q", lines[0])
+	}
+	// Header, separator and rows share the same width.
+	if len(lines) != 5 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[3], "short") {
+		t.Fatalf("row: %q", lines[3])
+	}
+}
+
+func TestTableMissingAndExtraCells(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")           // missing cell
+	tb.AddRow("1", "2", "3") // extra cell dropped
+	out := tb.Render()
+	if strings.Contains(out, "3") {
+		t.Fatal("extra cell kept")
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRowf(3.14159)
+	tb.AddRowf(42)
+	tb.AddRowf("s")
+	if tb.Rows[0][0] != "3.14" || tb.Rows[1][0] != "42" || tb.Rows[2][0] != "s" {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.235e+06",
+		123.456: "123.5",
+		12.3456: "12.35",
+		0.5:     "0.5000",
+		1e-9:    "1.000e-09",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "—" {
+		t.Fatal("NaN formatting")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `he said "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"he said ""hi"""`) {
+		t.Fatalf("quote not doubled: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("header: %s", csv)
+	}
+}
+
+func TestChartRenderBasics(t *testing.T) {
+	c := NewChart("acc vs time", "s", "acc")
+	c.Add("psgd", []float64{0, 1, 2}, []float64{0.1, 0.5, 0.9})
+	c.Add("marsit", []float64{0, 1, 2}, []float64{0.2, 0.7, 0.95})
+	out := c.Render()
+	if !strings.Contains(out, "acc vs time") || !strings.Contains(out, "legend:") {
+		t.Fatalf("chart missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("marks missing")
+	}
+	if !strings.Contains(out, "psgd") || !strings.Contains(out, "marsit") {
+		t.Fatal("legend entries missing")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	c := NewChart("empty", "x", "y")
+	if !strings.Contains(c.Render(), "(no data)") {
+		t.Fatal("empty chart")
+	}
+	c.Add("nan", []float64{math.NaN()}, []float64{math.NaN()})
+	if !strings.Contains(c.Render(), "(no data)") {
+		t.Fatal("all-NaN chart")
+	}
+	// Single point: degenerate ranges must not divide by zero.
+	c2 := NewChart("one", "x", "y")
+	c2.Add("p", []float64{1}, []float64{2})
+	if out := c2.Render(); !strings.Contains(out, "*") {
+		t.Fatalf("single point lost:\n%s", out)
+	}
+}
+
+func TestChartMismatchedSeriesPanics(t *testing.T) {
+	c := NewChart("t", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Add("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestChartSkipsNaNPoints(t *testing.T) {
+	c := NewChart("t", "x", "y")
+	c.Add("s", []float64{0, 1, 2}, []float64{1, math.NaN(), 3})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatal("finite points missing")
+	}
+}

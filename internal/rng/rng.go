@@ -1,0 +1,214 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used throughout the Marsit reproduction. Every stochastic
+// component (data synthesis, stochastic sign compression, Bernoulli
+// transient vectors) draws from a named stream derived from a root seed,
+// making every experiment bit-reproducible.
+//
+// The generator is PCG-XSH-RR 64/32 combined into a 64-bit output
+// (two 32-bit halves from consecutive states), with SplitMix64 used for
+// seeding and stream derivation.
+package rng
+
+import "math"
+
+// PCG is a permuted congruential generator (PCG-XSH-RR) with a 64-bit
+// state and a selectable stream. The zero value is NOT usable; construct
+// with New or Split.
+type PCG struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+
+	// Cached second variate of the polar method used by Norm.
+	spare    float64
+	hasSpare bool
+}
+
+const pcgMult = 6364136223846793005
+
+// splitmix64 advances x and returns a well-mixed 64-bit value. It is the
+// standard SplitMix64 finalizer, used for seeding.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed on stream 0.
+func New(seed uint64) *PCG {
+	return NewStream(seed, 0)
+}
+
+// NewStream returns a generator seeded from seed on the given stream.
+// Distinct streams with the same seed produce statistically independent
+// sequences.
+func NewStream(seed, stream uint64) *PCG {
+	s := seed
+	p := &PCG{}
+	p.inc = (splitmix64(&s)+2*stream)<<1 | 1
+	p.state = splitmix64(&s)
+	p.step()
+	p.state += splitmix64(&s)
+	p.step()
+	return p
+}
+
+// Split derives an independent child generator from the parent's current
+// state and a label. The parent advances, so successive Split calls with
+// the same label still produce distinct children.
+func (p *PCG) Split(label uint64) *PCG {
+	seed := p.Uint64() ^ (label * 0x9E3779B97F4A7C15)
+	return NewStream(seed, label)
+}
+
+func (p *PCG) step() uint64 {
+	old := p.state
+	p.state = old*pcgMult + p.inc
+	return old
+}
+
+// next32 produces the next 32-bit PCG-XSH-RR output.
+func (p *PCG) next32() uint32 {
+	old := p.step()
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns a uniform 64-bit value.
+func (p *PCG) Uint64() uint64 {
+	hi := uint64(p.next32())
+	lo := uint64(p.next32())
+	return hi<<32 | lo
+}
+
+// Uint32 returns a uniform 32-bit value.
+func (p *PCG) Uint32() uint32 { return p.next32() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := p.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability prob. Probabilities outside
+// [0, 1] are clamped.
+func (p *PCG) Bernoulli(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return p.Float64() < prob
+}
+
+// Norm returns a standard normal variate via the polar (Marsaglia) method.
+func (p *PCG) Norm() float64 {
+	if p.hasSpare {
+		p.hasSpare = false
+		return p.spare
+	}
+	for {
+		u := 2*p.Float64() - 1
+		v := 2*p.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			p.spare = v * f
+			p.hasSpare = true
+			return u * f
+		}
+	}
+}
+
+// NormVec fills dst with independent N(mean, stddev²) variates and
+// returns it.
+func (p *PCG) NormVec(dst []float64, mean, stddev float64) []float64 {
+	for i := range dst {
+		dst[i] = mean + stddev*p.Norm()
+	}
+	return dst
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher–Yates).
+func (p *PCG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Shuffle pseudo-randomly permutes the first n indices using swap.
+func (p *PCG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// BernoulliWord returns a 64-bit word whose bits are independently 1 with
+// probability prob. For prob exactly 1/2 a single Uint64 draw is used;
+// otherwise bits are drawn individually (exactness over speed, matching
+// the per-element Bernoulli of the paper's transient vector).
+func (p *PCG) BernoulliWord(prob float64, nbits int) uint64 {
+	if nbits <= 0 {
+		return 0
+	}
+	if nbits > 64 {
+		nbits = 64
+	}
+	if prob <= 0 {
+		return 0
+	}
+	mask := ^uint64(0)
+	if nbits < 64 {
+		mask = (1 << uint(nbits)) - 1
+	}
+	if prob >= 1 {
+		return mask
+	}
+	if prob == 0.5 {
+		return p.Uint64() & mask
+	}
+	var w uint64
+	for b := 0; b < nbits; b++ {
+		if p.Float64() < prob {
+			w |= 1 << uint(b)
+		}
+	}
+	return w
+}

@@ -1,0 +1,493 @@
+// Package train runs distributed data-parallel training over the
+// simulated cluster, binding together the data shards, the neural
+// network, the optimizer, and one of the synchronization methods the
+// paper compares:
+//
+//	psgd        full-precision all-reduce (RAR, TAR, or PS)
+//	signsgd     majority-vote signSGD (sign sums under MAR, majority at PS)
+//	ef-signsgd  error-feedback signSGD (per-worker residual carrying)
+//	ssdm        stochastic sign descent with bit-width expansion
+//	cascading   SSDM with per-hop decompress–add–recompress (Section 3.2)
+//	marsit      the paper's framework (one-bit ⊙ merge + compensation)
+//
+// Every method keeps all workers at consensus parameters, so one model
+// instance represents the cluster; per-worker state (gradients, EF
+// residuals, RNG streams) is explicit. The trainer records the metric
+// series the paper's figures plot: loss, test accuracy, simulated
+// seconds, megabytes on the wire, matching rate, and the per-phase time
+// breakdown.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"marsit/internal/collective"
+	"marsit/internal/core"
+	"marsit/internal/data"
+	"marsit/internal/netsim"
+	"marsit/internal/nn"
+	"marsit/internal/optim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+)
+
+// Method selects the synchronization scheme.
+type Method string
+
+// The synchronization methods of the paper's evaluation.
+const (
+	MethodPSGD      Method = "psgd"
+	MethodSignSGD   Method = "signsgd"
+	MethodEFSignSGD Method = "ef-signsgd"
+	MethodSSDM      Method = "ssdm"
+	MethodCascading Method = "cascading"
+	MethodMarsit    Method = "marsit"
+)
+
+// Topo selects the interconnect.
+type Topo string
+
+// Supported interconnects.
+const (
+	TopoRing  Topo = "ring"  // RAR
+	TopoTorus Topo = "torus" // TAR
+	TopoPS    Topo = "ps"    // parameter server (star)
+)
+
+// Config parameterizes one training run.
+type Config struct {
+	Method Method
+	Topo   Topo
+	// Workers is the cluster size M.
+	Workers int
+	// Rounds is the number of synchronizations T.
+	Rounds int
+	// Batch is the per-worker batch size.
+	Batch int
+	// LocalLR is η_l (the optimizer learning rate for baselines).
+	LocalLR float64
+	// GlobalLR is η_s, the Marsit global step size.
+	GlobalLR float64
+	// K is Marsit's full-precision period (0 ⇒ never, the paper's
+	// "Marsit"; 100 ⇒ "Marsit-100").
+	K int
+	// Optimizer is "sgd", "momentum" or "adam".
+	Optimizer string
+	// DecayAtFullSync multiplies the learning rate by 0.1 at every
+	// full-precision synchronization after the first (the paper's
+	// schedule for image tasks).
+	DecayAtFullSync bool
+	// UseElias enables Elias-gamma compaction for sign-sum transports.
+	UseElias bool
+	// MarsitNoCompensation disables Marsit's global compensation
+	// (ablation study).
+	MarsitNoCompensation bool
+	// EvalEvery is the round interval between test evaluations
+	// (0 ⇒ only at the end).
+	EvalEvery int
+	// EvalSamples caps the number of test samples per evaluation
+	// (0 ⇒ all).
+	EvalSamples int
+	// Seed drives every stochastic component of the run.
+	Seed uint64
+	// Model constructs the network (called once).
+	Model func(r *rng.PCG) *nn.Network
+	// Train and Test are the sharded corpus and held-out split.
+	Train, Test *data.Dataset
+	// Cost overrides the default netsim cost model when non-nil.
+	Cost *netsim.CostModel
+}
+
+// Point is one recorded round of a run.
+type Point struct {
+	// Round is the synchronization index t (1-based at recording time).
+	Round int
+	// Epoch is the fractional data epoch completed.
+	Epoch float64
+	// Loss is the mean training loss across workers this round.
+	Loss float64
+	// TestAcc is the test accuracy, or NaN when not evaluated.
+	TestAcc float64
+	// SimTime is the cumulative simulated seconds.
+	SimTime float64
+	// MB is the cumulative wire traffic in megabytes.
+	MB float64
+	// MatchRate is the sign agreement between the synchronized update
+	// and the true mean gradient.
+	MatchRate float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Config    Config
+	Points    []Point
+	FinalAcc  float64
+	BestAcc   float64
+	TotalTime float64
+	TotalMB   float64
+	// Breakdown is the mean per-worker phase split over the whole run.
+	Breakdown netsim.Breakdown
+	// Diverged reports early termination on a non-finite loss.
+	Diverged bool
+	// DivergedAt is the round of divergence (0 if none).
+	DivergedAt int
+	// Params is the model dimension D.
+	Params int
+}
+
+// MethodNames lists the methods in the paper's presentation order.
+func MethodNames() []Method {
+	return []Method{MethodPSGD, MethodSignSGD, MethodEFSignSGD, MethodSSDM, MethodCascading, MethodMarsit}
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Workers < 1 {
+		return fmt.Errorf("train: Workers = %d", cfg.Workers)
+	}
+	if cfg.Rounds < 1 {
+		return fmt.Errorf("train: Rounds = %d", cfg.Rounds)
+	}
+	if cfg.Batch < 1 {
+		return fmt.Errorf("train: Batch = %d", cfg.Batch)
+	}
+	if cfg.LocalLR <= 0 {
+		return fmt.Errorf("train: LocalLR = %v", cfg.LocalLR)
+	}
+	if cfg.Model == nil || cfg.Train == nil || cfg.Test == nil {
+		return fmt.Errorf("train: Model/Train/Test must be set")
+	}
+	if cfg.Train.Len() < cfg.Workers {
+		return fmt.Errorf("train: %d samples for %d workers", cfg.Train.Len(), cfg.Workers)
+	}
+	switch cfg.Method {
+	case MethodPSGD, MethodSignSGD, MethodEFSignSGD, MethodSSDM, MethodCascading, MethodMarsit:
+	default:
+		return fmt.Errorf("train: unknown method %q", cfg.Method)
+	}
+	switch cfg.Topo {
+	case TopoRing, TopoTorus, TopoPS:
+	case "":
+		cfg.Topo = TopoRing
+	default:
+		return fmt.Errorf("train: unknown topology %q", cfg.Topo)
+	}
+	if cfg.Method == MethodCascading && cfg.Topo != TopoRing {
+		return fmt.Errorf("train: cascading is defined on the ring only")
+	}
+	if cfg.Method == MethodMarsit && cfg.Topo == TopoPS {
+		return fmt.Errorf("train: marsit is a MAR method (ring or torus)")
+	}
+	if cfg.Method == MethodMarsit && cfg.GlobalLR <= 0 {
+		return fmt.Errorf("train: marsit needs GlobalLR > 0")
+	}
+	if cfg.Optimizer == "" {
+		cfg.Optimizer = "sgd"
+	}
+	return nil
+}
+
+// Run executes the configured training and returns its metric series.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.NewStream(cfg.Seed, 0x7a11)
+	model := cfg.Model(root.Split(1))
+	d := model.NumParams()
+
+	costModel := netsim.DefaultCostModel()
+	if cfg.Cost != nil {
+		costModel = *cfg.Cost
+	}
+	cluster := netsim.NewCluster(cfg.Workers, costModel)
+
+	shards := cfg.Train.Shard(cfg.Workers)
+	batchRNGs := make([]*rng.PCG, cfg.Workers)
+	ssdmRNGs := make([]*rng.PCG, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		batchRNGs[w] = rng.NewStream(cfg.Seed, 0xb000+uint64(w))
+		ssdmRNGs[w] = rng.NewStream(cfg.Seed, 0xc000+uint64(w))
+	}
+
+	var tor *topology.Torus
+	if cfg.Topo == TopoTorus {
+		tor = topology.SquareTorus(cfg.Workers)
+	}
+
+	// Optimizer: Marsit's g_t already carries its step sizes, so its
+	// optimizer runs at lr = 1; baselines consume the raw mean gradient
+	// at lr = LocalLR.
+	optLR := cfg.LocalLR
+	if cfg.Method == MethodMarsit {
+		optLR = 1
+	}
+	opt, err := optim.ByName(cfg.Optimizer, optLR, d)
+	if err != nil {
+		return nil, err
+	}
+
+	var marsit *core.Marsit
+	if cfg.Method == MethodMarsit {
+		marsit, err = core.New(core.Config{
+			Workers:             cfg.Workers,
+			Dim:                 d,
+			K:                   cfg.K,
+			GlobalLR:            cfg.GlobalLR,
+			Torus:               tor,
+			Seed:                cfg.Seed ^ 0x3a55,
+			DisableCompensation: cfg.MarsitNoCompensation,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var efState []*compressEF
+	if cfg.Method == MethodEFSignSGD {
+		efState = make([]*compressEF, cfg.Workers)
+		for w := range efState {
+			efState[w] = newCompressEF(d)
+		}
+	}
+
+	res := &Result{Config: cfg, Params: d}
+	grads := make([]tensor.Vec, cfg.Workers)
+	for w := range grads {
+		grads[w] = tensor.New(d)
+	}
+	trueMean := tensor.New(d)
+	flopsPerRound := 3 * float64(model.Flops()) * float64(cfg.Batch)
+	samplesPerRound := cfg.Workers * cfg.Batch
+
+	evalAcc := func() float64 {
+		test := cfg.Test
+		if cfg.EvalSamples > 0 && test.Len() > cfg.EvalSamples {
+			sub := &data.Dataset{Name: test.Name, X: test.X[:cfg.EvalSamples], Y: test.Y[:cfg.EvalSamples], Classes: test.Classes}
+			test = sub
+		}
+		return test.Accuracy(model.Predict)
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Local gradient computation on each worker's shard.
+		roundLoss := 0.0
+		for w := 0; w < cfg.Workers; w++ {
+			tensor.Zero(grads[w])
+			xs, ys := shards[w].Batch(batchRNGs[w], cfg.Batch)
+			for i := range xs {
+				roundLoss += model.LossGrad(xs[i], ys[i], grads[w])
+			}
+			tensor.Scale(grads[w], 1/float64(cfg.Batch))
+			cluster.AddComputeFlops(w, flopsPerRound)
+		}
+		roundLoss /= float64(samplesPerRound)
+
+		// True mean gradient, for the matching-rate metric.
+		tensor.Zero(trueMean)
+		for w := 0; w < cfg.Workers; w++ {
+			tensor.Add(trueMean, grads[w])
+		}
+		tensor.Scale(trueMean, 1/float64(cfg.Workers))
+
+		// Synchronize.
+		var update tensor.Vec
+		fullSync := false
+		switch cfg.Method {
+		case MethodPSGD:
+			work := cloneAll(grads)
+			switch cfg.Topo {
+			case TopoRing:
+				collective.RingAllReduce(cluster, work)
+			case TopoTorus:
+				collective.TorusAllReduce(cluster, tor, work)
+			case TopoPS:
+				collective.PSAllReduce(cluster, work)
+			}
+			update = work[0]
+		case MethodSignSGD:
+			update = signVoteSync(cluster, cfg, tor, grads, ssdmRNGs, false, nil)
+		case MethodEFSignSGD:
+			update = signVoteSync(cluster, cfg, tor, grads, ssdmRNGs, false, efState)
+		case MethodSSDM:
+			update = signVoteSync(cluster, cfg, tor, grads, ssdmRNGs, true, nil)
+		case MethodCascading:
+			work := cloneAll(grads)
+			collective.CascadingRing(cluster, work, ssdmRNGs)
+			update = work[0]
+		case MethodMarsit:
+			fullSync = marsit.FullPrecisionNext()
+			scaled := make([]tensor.Vec, cfg.Workers)
+			for w := range scaled {
+				scaled[w] = tensor.Clone(grads[w])
+				tensor.Scale(scaled[w], cfg.LocalLR)
+			}
+			update = marsit.Sync(cluster, scaled)
+		}
+
+		match := tensor.MatchRate(update, trueMean)
+		opt.Step(model.Params(), update)
+		if cfg.DecayAtFullSync && fullSync && round > 0 {
+			opt.SetLR(opt.LR() * 0.1)
+		}
+
+		pt := Point{
+			Round:     round + 1,
+			Epoch:     float64((round+1)*samplesPerRound) / float64(cfg.Train.Len()),
+			Loss:      roundLoss,
+			TestAcc:   math.NaN(),
+			SimTime:   cluster.Time(),
+			MB:        float64(cluster.TotalBytes()) / 1e6,
+			MatchRate: match,
+		}
+		if !isFinite(roundLoss) || roundLoss > 1e8 || !allFinite(model.Params()) {
+			res.Diverged = true
+			res.DivergedAt = round + 1
+			res.Points = append(res.Points, pt)
+			break
+		}
+		if cfg.EvalEvery > 0 && (round+1)%cfg.EvalEvery == 0 {
+			pt.TestAcc = evalAcc()
+			if pt.TestAcc > res.BestAcc {
+				res.BestAcc = pt.TestAcc
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	if !res.Diverged {
+		res.FinalAcc = evalAcc()
+		if res.FinalAcc > res.BestAcc {
+			res.BestAcc = res.FinalAcc
+		}
+		if len(res.Points) > 0 {
+			res.Points[len(res.Points)-1].TestAcc = res.FinalAcc
+		}
+	}
+	res.TotalTime = cluster.Time()
+	res.TotalMB = float64(cluster.TotalBytes()) / 1e6
+	res.Breakdown = cluster.MeanBreakdown()
+	return res, nil
+}
+
+// signVoteSync implements the three sign-sum-transport baselines. With
+// ssdm true the signs are stochastic (SSDM); otherwise deterministic
+// signSGD, optionally with per-worker error feedback (efState non-nil).
+// Under MAR the sums travel with bit-width expansion; under PS the hub
+// push–pull carries 1-bit signs up and a dense mean down.
+func signVoteSync(cluster *netsim.Cluster, cfg Config, tor *topology.Torus, grads []tensor.Vec, rs []*rng.PCG, ssdm bool, efState []*compressEF) tensor.Vec {
+	n := cfg.Workers
+	d := len(grads[0])
+	signs := make([][]float64, n)
+	scales := make([]float64, n)
+	for w := 0; w < n; w++ {
+		src := grads[w]
+		if efState != nil {
+			src = efState[w].corrected(grads[w])
+		}
+		if ssdm {
+			signs[w], scales[w] = collective.SSDMSigns(src, rs[w])
+		} else {
+			signs[w] = make([]float64, d)
+			tensor.SignVec(signs[w], src)
+			scales[w] = tensor.Norm1(src) / float64(d)
+		}
+		cluster.AddCompress(w, d)
+		if efState != nil {
+			efState[w].update(src, signs[w], scales[w])
+		}
+	}
+
+	update := tensor.New(d)
+	if cfg.Topo == TopoPS {
+		// Hub aggregation: signs+scale up, dense mean down (majority
+		// semantics for deterministic signs, norm-weighted for SSDM).
+		for w := 0; w < n; w++ {
+			for i := 0; i < d; i++ {
+				update[i] += scales[w] * signs[w][i]
+			}
+		}
+		tensor.Scale(update, 1/float64(n))
+		up := make([]int, n)
+		down := make([]int, n)
+		for w := range up {
+			up[w] = (d+7)/8 + 4
+			down[w] = d * 4
+		}
+		collective.HubPushPull(cluster, up, down)
+	} else {
+		var sums []int64
+		var totalScale float64
+		if cfg.Topo == TopoTorus {
+			sums, totalScale = collective.SignSumTorus(cluster, tor, signs, scales, cfg.UseElias)
+		} else {
+			sums, totalScale = collective.SignSumRing(cluster, signs, scales, cfg.UseElias)
+		}
+		meanScale := totalScale / float64(n)
+		if ssdm || efState != nil {
+			// Linear decode: mean scale × mean sign sum.
+			for i := 0; i < d; i++ {
+				update[i] = meanScale * float64(sums[i]) / float64(n)
+			}
+		} else {
+			// Majority vote: sign of the sum.
+			for i := 0; i < d; i++ {
+				if sums[i] >= 0 {
+					update[i] = meanScale
+				} else {
+					update[i] = -meanScale
+				}
+			}
+		}
+	}
+	for w := 0; w < n; w++ {
+		cluster.AddDecompress(w, d)
+	}
+	cluster.Barrier()
+	return update
+}
+
+// compressEF carries the per-worker error-feedback residual of
+// EF-signSGD: e ← (g + e) − transmitted.
+type compressEF struct {
+	residual tensor.Vec
+	buf      tensor.Vec
+}
+
+func newCompressEF(d int) *compressEF {
+	return &compressEF{residual: tensor.New(d), buf: tensor.New(d)}
+}
+
+// corrected returns g + e (into an internal buffer; valid until the
+// next call).
+func (e *compressEF) corrected(g tensor.Vec) tensor.Vec {
+	copy(e.buf, g)
+	tensor.Add(e.buf, e.residual)
+	return e.buf
+}
+
+// update sets e ← corrected − scale·signs.
+func (e *compressEF) update(corrected tensor.Vec, signs []float64, scale float64) {
+	for i := range e.residual {
+		e.residual[i] = corrected[i] - scale*signs[i]
+	}
+}
+
+func cloneAll(vecs []tensor.Vec) []tensor.Vec {
+	out := make([]tensor.Vec, len(vecs))
+	for i, v := range vecs {
+		out[i] = tensor.Clone(v)
+	}
+	return out
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func allFinite(v tensor.Vec) bool {
+	for _, x := range v {
+		if !isFinite(x) {
+			return false
+		}
+	}
+	return true
+}

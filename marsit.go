@@ -1,0 +1,72 @@
+// Package marsit is the public API of the Marsit reproduction — a
+// learning synchronization framework that performs multi-hop all-reduce
+// (ring or 2D-torus) with exactly one bit per gradient element
+// ("Sign Bit is Enough", DAC 2022).
+//
+// The facade re-exports the pieces a downstream user composes:
+//
+//	sim  := marsit.NewCluster(8)                 // simulated workers
+//	sync := marsit.MustNew(marsit.Config{        // the framework
+//	    Workers: 8, Dim: d, K: 100, GlobalLR: 0.005,
+//	})
+//	gt := sync.Sync(sim, scaledGrads)            // one-bit all-reduce
+//
+// Training loops, baselines and the experiment harness live in
+// internal/train and internal/experiments; the runnable entry points
+// are cmd/marsit-bench and cmd/marsit-train, and the examples/ tree
+// shows end-to-end usage.
+package marsit
+
+import (
+	"marsit/internal/core"
+	"marsit/internal/netsim"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+)
+
+// Config parameterizes a Marsit instance. See core.Config for field
+// semantics: Workers (M), Dim (D), K (full-precision period, 0 = never),
+// GlobalLR (η_s), Torus (nil = ring), Seed.
+type Config = core.Config
+
+// Marsit executes Algorithm 1 of the paper: unbiased one-bit sign
+// aggregation with global compensation and periodic full-precision
+// synchronization.
+type Marsit = core.Marsit
+
+// Cluster is the simulated cluster (per-worker clocks, α–β link costs,
+// phase breakdown and byte accounting).
+type Cluster = netsim.Cluster
+
+// CostModel holds the α–β simulation constants.
+type CostModel = netsim.CostModel
+
+// Vec is a flat float64 gradient/parameter vector.
+type Vec = tensor.Vec
+
+// New validates cfg and returns a fresh Marsit with zero compensation.
+func New(cfg Config) (*Marsit, error) { return core.New(cfg) }
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Marsit { return core.MustNew(cfg) }
+
+// NewCluster builds a simulated cluster of n workers with the default
+// public-cloud cost model (50 µs latency, 10 Gbit/s links).
+func NewCluster(n int) *Cluster {
+	return netsim.NewCluster(n, netsim.DefaultCostModel())
+}
+
+// NewClusterWithModel builds a simulated cluster with a custom cost
+// model.
+func NewClusterWithModel(n int, m CostModel) *Cluster {
+	return netsim.NewCluster(n, m)
+}
+
+// DefaultCostModel returns the default α–β constants.
+func DefaultCostModel() CostModel { return netsim.DefaultCostModel() }
+
+// NewTorus builds a rows×cols 2D-torus topology for TAR-mode Marsit.
+func NewTorus(rows, cols int) *topology.Torus { return topology.NewTorus(rows, cols) }
+
+// SquareTorus builds the most balanced torus for n workers.
+func SquareTorus(n int) *topology.Torus { return topology.SquareTorus(n) }
