@@ -1,0 +1,33 @@
+# Development targets for the Marsit reproduction.
+#
+#   make check   fmt + vet + build + test (what CI should run)
+#   make race    race-detector pass over the concurrency-bearing packages
+#   make bench   engine benchmarks (sequential vs parallel speedup)
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race . ./internal/runtime/... ./internal/transport/... \
+		./internal/core/... ./internal/rng/... ./internal/train/...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .

@@ -10,9 +10,12 @@
 package marsit
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
+	"marsit/internal/collective"
 	"marsit/internal/experiments"
 	"marsit/internal/rng"
 	"marsit/internal/tensor"
@@ -88,6 +91,157 @@ func BenchmarkSyncOneBit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = sync.Sync(cluster, grads)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Execution-engine benchmarks: concurrent engine vs the sequential
+// lock-step loop on the hot collectives. Each benchmark times the
+// parallel path and reports the sequential baseline and the resulting
+// speedup (seq-ns/op ÷ par-ns/op; > 1 means the goroutine engine wins)
+// as custom metrics. Run with:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchmem .
+
+// reportSeqBaseline emits the speedup metrics given a sequential
+// baseline measured over iters iterations.
+func reportSeqBaseline(b *testing.B, seqElapsed time.Duration, iters int) {
+	b.Helper()
+	par := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	seq := float64(seqElapsed.Nanoseconds()) / float64(iters)
+	b.ReportMetric(seq, "seq-ns/op")
+	b.ReportMetric(seq/par, "speedup")
+}
+
+// baselineIters caps the untimed sequential baseline loop.
+func baselineIters(n int) int {
+	if n > 5 {
+		return 5
+	}
+	return n
+}
+
+func benchEngineRAR(b *testing.B, workers, dim int) {
+	r := rng.New(17)
+	base := make([]Vec, workers)
+	for w := range base {
+		base[w] = r.NormVec(make(Vec, dim), 0, 1)
+	}
+	work := make([]Vec, workers)
+	for w := range work {
+		work[w] = tensor.Clone(base[w])
+	}
+	cluster := NewCluster(workers)
+	eng := NewEngine(workers)
+	defer eng.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RingAllReduce(cluster, work)
+	}
+	b.StopTimer()
+
+	iters := baselineIters(b.N)
+	seqCluster := NewCluster(workers)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		collective.RingAllReduce(seqCluster, work)
+	}
+	reportSeqBaseline(b, time.Since(start), iters)
+}
+
+func benchEngineMarsit(b *testing.B, workers, dim int) {
+	r := rng.New(19)
+	grads := make([]Vec, workers)
+	for w := range grads {
+		grads[w] = r.NormVec(make(Vec, dim), 0, 1)
+	}
+	parSync := MustNew(Config{Workers: workers, Dim: dim, K: 0, GlobalLR: 0.01, Seed: 23, Parallel: true})
+	defer parSync.Close()
+	cluster := NewCluster(workers)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = parSync.Sync(cluster, grads)
+	}
+	b.StopTimer()
+
+	iters := baselineIters(b.N)
+	seqSync := MustNew(Config{Workers: workers, Dim: dim, K: 0, GlobalLR: 0.01, Seed: 23})
+	seqCluster := NewCluster(workers)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		_ = seqSync.Sync(seqCluster, grads)
+	}
+	reportSeqBaseline(b, time.Since(start), iters)
+}
+
+// BenchmarkEngineRAR measures full-precision ring all-reduce on the
+// concurrent engine against the sequential collective, M ∈ {4, 8} and
+// D ∈ {1e5, 1e6}.
+func BenchmarkEngineRAR(b *testing.B) {
+	for _, workers := range []int{4, 8} {
+		for _, dim := range []int{100_000, 1_000_000} {
+			b.Run(fmt.Sprintf("M=%d/D=%d", workers, dim), func(b *testing.B) {
+				benchEngineRAR(b, workers, dim)
+			})
+		}
+	}
+}
+
+// BenchmarkEngineMarsit measures the one-bit Marsit synchronization on
+// the concurrent engine against the sequential core path.
+func BenchmarkEngineMarsit(b *testing.B) {
+	for _, workers := range []int{4, 8} {
+		for _, dim := range []int{100_000, 1_000_000} {
+			b.Run(fmt.Sprintf("M=%d/D=%d", workers, dim), func(b *testing.B) {
+				benchEngineMarsit(b, workers, dim)
+			})
+		}
+	}
+}
+
+// TestEngineFacade exercises marsit.NewEngine through the public API and
+// cross-checks it against the sequential collective, plus the Parallel
+// facade configuration.
+func TestEngineFacade(t *testing.T) {
+	const workers, dim = 4, 513
+	r := rng.New(29)
+	base := make([]Vec, workers)
+	for w := range base {
+		base[w] = r.NormVec(make(Vec, dim), 0, 1)
+	}
+	seqV := make([]Vec, workers)
+	parV := make([]Vec, workers)
+	for w := range base {
+		seqV[w] = tensor.Clone(base[w])
+		parV[w] = tensor.Clone(base[w])
+	}
+	seqC, parC := NewCluster(workers), NewCluster(workers)
+	collective.RingAllReduce(seqC, seqV)
+	eng := NewEngine(workers)
+	defer eng.Close()
+	eng.RingAllReduce(parC, parV)
+	for w := range seqV {
+		for i := range seqV[w] {
+			if seqV[w][i] != parV[w][i] {
+				t.Fatalf("worker %d elem %d: seq %v, par %v", w, i, seqV[w][i], parV[w][i])
+			}
+		}
+	}
+	if seqC.TotalBytes() != parC.TotalBytes() {
+		t.Fatalf("bytes: seq %d, par %d", seqC.TotalBytes(), parC.TotalBytes())
+	}
+
+	sync := MustNew(Config{Workers: workers, Dim: dim, K: 2, GlobalLR: 0.05, Seed: 4, Parallel: true})
+	defer sync.Close()
+	cluster := NewCluster(workers)
+	for round := 0; round < 4; round++ {
+		if gt := sync.Sync(cluster, base); len(gt) != dim {
+			t.Fatalf("round %d: g_t dim %d", round, len(gt))
+		}
 	}
 }
 

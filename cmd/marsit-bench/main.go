@@ -7,6 +7,12 @@
 //	marsit-bench -exp all               # everything
 //	marsit-bench -list                  # enumerate experiment ids
 //	marsit-bench -exp fig3 -csv out.csv # also dump tables as CSV
+//	marsit-bench -exp fig5 -engine par  # concurrent execution engine
+//
+// -engine selects the execution engine: seq is the single-threaded
+// virtual-time loop; par runs one goroutine per simulated worker
+// (bit-identical results and α–β accounting for the ported collectives,
+// so figures are unchanged — only wall-clock speed differs).
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"strings"
 
 	"marsit/internal/experiments"
+	"marsit/internal/train"
 )
 
 func main() {
@@ -24,8 +31,19 @@ func main() {
 		scale   = flag.String("scale", "quick", "quick | full")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvPath = flag.String("csv", "", "write result tables as CSV to this file")
+		engine  = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
 	)
 	flag.Parse()
+
+	switch *engine {
+	case "seq":
+		train.DefaultEngine = train.EngineSeq
+	case "par":
+		train.DefaultEngine = train.EnginePar
+	default:
+		fmt.Fprintf(os.Stderr, "marsit-bench: unknown engine %q (want seq or par)\n", *engine)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

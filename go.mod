@@ -1,0 +1,3 @@
+module marsit
+
+go 1.24

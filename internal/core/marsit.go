@@ -34,6 +34,7 @@ import (
 	"marsit/internal/collective"
 	"marsit/internal/netsim"
 	"marsit/internal/rng"
+	"marsit/internal/runtime"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
 )
@@ -88,6 +89,14 @@ type Config struct {
 	// (ablation study; not part of the paper's algorithm). The sign
 	// aggregation still runs, but c_t stays zero.
 	DisableCompensation bool
+	// Parallel selects the concurrent execution engine
+	// (internal/runtime): every Sync runs one goroutine per worker,
+	// exchanging messages over an in-process loopback transport, instead
+	// of the single-threaded lock-step loop. Results, wire bytes and
+	// simulated clocks are bit-identical to the sequential path for a
+	// fixed Seed. Call Close when the instance is no longer needed to
+	// release the worker goroutines.
+	Parallel bool
 }
 
 // Marsit holds the per-worker compensation state of Algorithm 1 and
@@ -97,6 +106,11 @@ type Marsit struct {
 	comp  []tensor.Vec // c^(m)_t per worker
 	round int
 	rngs  []*rng.PCG // one stream per worker (transient draws)
+	// engine is the concurrent execution engine; nil in sequential mode.
+	// Each rank's goroutine owns rngs[rank] exclusively during a
+	// collective, so the per-worker streams advance exactly as in the
+	// sequential schedule.
+	engine *runtime.Engine
 }
 
 // New validates cfg and returns a fresh Marsit with zero compensation
@@ -123,7 +137,19 @@ func New(cfg Config) (*Marsit, error) {
 		m.comp[w] = tensor.New(cfg.Dim)
 		m.rngs[w] = rng.NewStream(cfg.Seed, uint64(w)+1)
 	}
+	if cfg.Parallel {
+		m.engine = runtime.New(cfg.Workers)
+	}
 	return m, nil
+}
+
+// Close releases the worker goroutines of a Parallel instance; it is a
+// no-op in sequential mode. The Marsit must not be used afterwards.
+func (m *Marsit) Close() error {
+	if m.engine != nil {
+		return m.engine.Close()
+	}
+	return nil
 }
 
 // MustNew is New that panics on configuration errors; convenient in
@@ -192,9 +218,14 @@ func (m *Marsit) Sync(c *netsim.Cluster, grads []tensor.Vec) tensor.Vec {
 
 	if full {
 		// Lines 11–13: full-precision MAR; g_t = mean(u); c ← 0.
-		if m.cfg.Torus != nil {
+		switch {
+		case m.engine != nil && m.cfg.Torus != nil:
+			m.engine.TorusAllReduce(c, m.cfg.Torus, u)
+		case m.engine != nil:
+			m.engine.RingAllReduce(c, u)
+		case m.cfg.Torus != nil:
 			collective.TorusAllReduce(c, m.cfg.Torus, u)
-		} else {
+		default:
 			collective.RingAllReduce(c, u)
 		}
 		for w := 0; w < n; w++ {
@@ -230,6 +261,9 @@ func (m *Marsit) Sync(c *netsim.Cluster, grads []tensor.Vec) tensor.Vec {
 // worker). Reception and merging overlap (Section 4.1.1), so only the
 // initial sign packing is charged as compression.
 func (m *Marsit) oneBitAllReduce(c *netsim.Cluster, u []tensor.Vec) *bitvec.Vec {
+	if m.engine != nil {
+		return m.oneBitAllReduceParallel(c, u)
+	}
 	n := m.cfg.Workers
 	bits := make([]*bitvec.Vec, n)
 	for w := 0; w < n; w++ {
@@ -244,6 +278,32 @@ func (m *Marsit) oneBitAllReduce(c *netsim.Cluster, u []tensor.Vec) *bitvec.Vec 
 		m.oneBitRingGroups(c, bits, torusColGroups(m.cfg.Torus), m.cfg.Torus.Cols())
 	} else {
 		m.oneBitRingGroups(c, bits, [][]int{ranks(n)}, 1)
+	}
+	return bits[0]
+}
+
+// oneBitAllReduceParallel is oneBitAllReduce on the concurrent engine:
+// sign packing and the ⊙-merge ring run one goroutine per worker, with
+// each rank's merges drawing from its own stream in the sequential
+// order, so the returned consensus bits are identical to the
+// single-threaded schedule's.
+func (m *Marsit) oneBitAllReduceParallel(c *netsim.Cluster, u []tensor.Vec) *bitvec.Vec {
+	n := m.cfg.Workers
+	bits := make([]*bitvec.Vec, n)
+	m.engine.ParallelFor(func(w int) {
+		bits[w] = bitvec.FromSigns(u[w])
+		c.AddCompress(w, m.cfg.Dim)
+	})
+	if n == 1 {
+		return bits[0]
+	}
+	merge := func(rank int, agg, local *bitvec.Vec, aggWeight, localWeight int) {
+		MergeSigns(agg, local, aggWeight, localWeight, m.rngs[rank])
+	}
+	if m.cfg.Torus != nil {
+		m.engine.OneBitTorusAllReduce(c, m.cfg.Torus, bits, merge)
+	} else {
+		m.engine.OneBitRingAllReduce(c, bits, merge)
 	}
 	return bits[0]
 }

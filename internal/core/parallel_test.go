@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+)
+
+// runEngines drives a sequential and a parallel Marsit with identical
+// configs and gradients for several rounds and asserts bit-identical
+// updates, compensation state and cluster accounting every round.
+func runEngines(t *testing.T, cfg Config, rounds int) {
+	t.Helper()
+	seqCfg, parCfg := cfg, cfg
+	seqCfg.Parallel = false
+	parCfg.Parallel = true
+	seqM := MustNew(seqCfg)
+	parM := MustNew(parCfg)
+	defer parM.Close()
+	seqC := netsim.NewCluster(cfg.Workers, netsim.DefaultCostModel())
+	parC := netsim.NewCluster(cfg.Workers, netsim.DefaultCostModel())
+
+	r := rng.New(cfg.Seed ^ 0xfeed)
+	for round := 0; round < rounds; round++ {
+		grads := make([]tensor.Vec, cfg.Workers)
+		for w := range grads {
+			grads[w] = r.NormVec(make(tensor.Vec, cfg.Dim), 0, 1)
+		}
+		seqG := seqM.Sync(seqC, grads)
+		parG := parM.Sync(parC, grads)
+		for i := range seqG {
+			if seqG[i] != parG[i] {
+				t.Fatalf("round %d elem %d: seq %v, par %v", round, i, seqG[i], parG[i])
+			}
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			sc, pc := seqM.Compensation(w), parM.Compensation(w)
+			for i := range sc {
+				if sc[i] != pc[i] {
+					t.Fatalf("round %d worker %d comp %d: seq %v, par %v", round, w, i, sc[i], pc[i])
+				}
+			}
+			if seqC.BytesSent(w) != parC.BytesSent(w) {
+				t.Fatalf("round %d worker %d bytes: seq %d, par %d",
+					round, w, seqC.BytesSent(w), parC.BytesSent(w))
+			}
+			if d := math.Abs(seqC.Clock(w) - parC.Clock(w)); d > 1e-12 {
+				t.Fatalf("round %d worker %d clock: seq %v, par %v",
+					round, w, seqC.Clock(w), parC.Clock(w))
+			}
+		}
+	}
+}
+
+// TestParallelSyncEquivalenceRing covers the RAR path with a mix of
+// one-bit and periodic full-precision rounds (K=3) and the pure one-bit
+// configuration (K=0).
+func TestParallelSyncEquivalenceRing(t *testing.T) {
+	for _, k := range []int{0, 3} {
+		for _, workers := range []int{1, 2, 4, 5} {
+			t.Run(fmt.Sprintf("M=%d_K=%d", workers, k), func(t *testing.T) {
+				runEngines(t, Config{
+					Workers: workers, Dim: 203, K: k, GlobalLR: 0.05, Seed: uint64(31 + workers),
+				}, 7)
+			})
+		}
+	}
+}
+
+// TestParallelSyncEquivalenceTorus covers the TAR path, including
+// rectangular and degenerate tori.
+func TestParallelSyncEquivalenceTorus(t *testing.T) {
+	for _, sh := range [][2]int{{2, 2}, {2, 3}, {4, 1}, {1, 4}} {
+		rows, cols := sh[0], sh[1]
+		t.Run(fmt.Sprintf("%dx%d", rows, cols), func(t *testing.T) {
+			runEngines(t, Config{
+				Workers: rows * cols, Dim: 157, K: 4, GlobalLR: 0.02,
+				Torus: topology.NewTorus(rows, cols), Seed: 77,
+			}, 9)
+		})
+	}
+}
+
+// TestParallelCloseSequentialNoop checks Close is safe in both modes.
+func TestParallelCloseSequentialNoop(t *testing.T) {
+	seq := MustNew(Config{Workers: 2, Dim: 8, GlobalLR: 0.1, Seed: 1})
+	if err := seq.Close(); err != nil {
+		t.Fatalf("sequential Close: %v", err)
+	}
+	par := MustNew(Config{Workers: 2, Dim: 8, GlobalLR: 0.1, Seed: 1, Parallel: true})
+	if err := par.Close(); err != nil {
+		t.Fatalf("parallel Close: %v", err)
+	}
+	if err := par.Close(); err != nil {
+		t.Fatalf("parallel double Close: %v", err)
+	}
+}

@@ -7,6 +7,18 @@
 // The generator is PCG-XSH-RR 64/32 combined into a 64-bit output
 // (two 32-bit halves from consecutive states), with SplitMix64 used for
 // seeding and stream derivation.
+//
+// # Concurrency
+//
+// A *PCG is a self-contained value: it holds no package-level or shared
+// state, so distinct streams may be used by distinct goroutines
+// concurrently without synchronization. This is the contract the
+// concurrent execution engine (internal/runtime) relies on — each worker
+// goroutine owns exactly one stream and consumes it in the sequential
+// schedule's order, which keeps parallel runs bit-identical to
+// single-threaded ones. A single *PCG must never be shared between
+// goroutines; give each worker its own via NewStream with distinct
+// stream ids (or the Streams convenience).
 package rng
 
 import "math"
@@ -52,6 +64,21 @@ func NewStream(seed, stream uint64) *PCG {
 	p.state += splitmix64(&s)
 	p.step()
 	return p
+}
+
+// Streams returns n generators on streams 0..n-1 of the given seed, one
+// per worker. Each may be used from a different goroutine concurrently;
+// see the package comment's concurrency contract. Note this is a
+// convenience layout for new code and tests — existing components keep
+// their own stream-id schedules (core.Marsit derives worker w's
+// transient stream as NewStream(seed, w+1)), which this helper must not
+// replace without changing every fixed-seed result.
+func Streams(seed uint64, n int) []*PCG {
+	out := make([]*PCG, n)
+	for i := range out {
+		out[i] = NewStream(seed, uint64(i))
+	}
+	return out
 }
 
 // Split derives an independent child generator from the parent's current

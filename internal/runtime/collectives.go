@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"marsit/internal/netsim"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+	"marsit/internal/transport"
+)
+
+// mod returns i modulo m in [0, m).
+func mod(i, m int) int { return ((i % m) + m) % m }
+
+// RingAllReduce is the concurrent counterpart of
+// collective.RingAllReduce: full-precision ring reduce-scatter +
+// all-gather across all ranks, each running on its own goroutine. On
+// return every vector holds the element-wise mean; results, wire bytes
+// and virtual clocks are bit-identical to the sequential path.
+func (e *Engine) RingAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
+	d := e.checkShape(c, vecs)
+	n := e.n
+	segs := tensor.Partition(d, n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		rk := newRankCtx(c, ep, rank)
+		if n >= 2 {
+			next, prev := mod(rank+1, n), mod(rank-1, n)
+			ringReduceScatter(rk, next, prev, rank, n, vecs[rank], segs)
+			ringAllGather(rk, next, prev, rank, n, vecs[rank], segs)
+		}
+		tensor.Scale(vecs[rank], 1/float64(n))
+		rk.finish()
+	})
+	c.Barrier()
+}
+
+// ringReduceScatter runs the reduce-scatter half of ring all-reduce for
+// one rank at ring position p of an m-ring: at step s it sends segment
+// (p−s) mod m downstream and accumulates the received segment
+// (p−s−1) mod m. Encoding the outgoing segment before receiving snapshots
+// it exactly like the sequential schedule.
+func ringReduceScatter(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []tensor.Segment) {
+	for s := 0; s < m-1; s++ {
+		out := segs[mod(p-s, m)]
+		in := rk.exchange(next, encodeFloats(out.Of(vec)), out.Len()*floatWireBytes, prev)
+		addFloats(segs[mod(p-s-1, m)].Of(vec), in)
+	}
+}
+
+// ringAllGather runs the all-gather half: at step s the rank sends its
+// freshest segment (p+1−s) mod m and overwrites segment (p−s) mod m with
+// the received one.
+func ringAllGather(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []tensor.Segment) {
+	for s := 0; s < m-1; s++ {
+		out := segs[mod(p+1-s, m)]
+		in := rk.exchange(next, encodeFloats(out.Of(vec)), out.Len()*floatWireBytes, prev)
+		copyFloats(segs[mod(p-s, m)].Of(vec), in)
+	}
+}
+
+// TorusAllReduce is the concurrent counterpart of
+// collective.TorusAllReduce: hierarchical 2D-torus all-reduce (row
+// reduce-scatter, column all-reduce on the owned segment, row
+// all-gather). On return every vector holds the element-wise mean.
+func (e *Engine) TorusAllReduce(c *netsim.Cluster, tor *topology.Torus, vecs []tensor.Vec) {
+	d := e.checkShape(c, vecs)
+	if tor.Size() != e.n {
+		panic("runtime: torus size mismatch")
+	}
+	n := e.n
+	rows, cols := tor.Rows(), tor.Cols()
+
+	if cols == 1 {
+		// Degenerate torus: a single column ring over the full vector.
+		segs := tensor.Partition(d, rows)
+		e.run(func(rank int, ep transport.Endpoint) {
+			rk := newRankCtx(c, ep, rank)
+			r, _ := tor.Coord(rank)
+			if rows >= 2 {
+				next, prev := tor.Rank(r+1, 0), tor.Rank(r-1, 0)
+				ringReduceScatter(rk, next, prev, r, rows, vecs[rank], segs)
+				ringAllGather(rk, next, prev, r, rows, vecs[rank], segs)
+			}
+			tensor.Scale(vecs[rank], 1/float64(n))
+			rk.finish()
+		})
+		c.Barrier()
+		return
+	}
+
+	rowSegs := tensor.Partition(d, cols)
+	e.run(func(rank int, ep transport.Endpoint) {
+		rk := newRankCtx(c, ep, rank)
+		r, p := tor.Coord(rank)
+		rowNext, rowPrev := tor.Rank(r, p+1), tor.Rank(r, p-1)
+
+		// Phase 1: ring reduce-scatter along the row. The rank ends
+		// owning row segment (p+1) mod cols with the row-wide sum.
+		ringReduceScatter(rk, rowNext, rowPrev, p, cols, vecs[rank], rowSegs)
+
+		// Phase 2: ring all-reduce along the column, restricted to the
+		// owned segment; it becomes the global sum.
+		if rows > 1 {
+			owned := rowSegs[mod(p+1, cols)].Of(vecs[rank])
+			sub := tensor.Partition(len(owned), rows)
+			colNext, colPrev := tor.Rank(r+1, p), tor.Rank(r-1, p)
+			ringReduceScatter(rk, colNext, colPrev, r, rows, owned, sub)
+			ringAllGather(rk, colNext, colPrev, r, rows, owned, sub)
+		}
+
+		// Phase 3: ring all-gather along the row restores the full
+		// vector.
+		ringAllGather(rk, rowNext, rowPrev, p, cols, vecs[rank], rowSegs)
+
+		tensor.Scale(vecs[rank], 1/float64(n))
+		rk.finish()
+	})
+	c.Barrier()
+}

@@ -1,0 +1,289 @@
+// Package runtime is the concurrent execution engine of the Marsit
+// reproduction: M persistent worker goroutines, one per rank, each owning
+// its shard of every collective and exchanging messages through a
+// transport.Transport. It is the parallel counterpart of the lock-step
+// loops in internal/collective and internal/core — the D-dimensional math
+// genuinely runs on M cores, while the α–β virtual-time accounting of
+// internal/netsim is reproduced exactly, so simulated times, wire bytes
+// and phase breakdowns match the sequential engine bit for bit.
+//
+// Two invariants make the equivalence hold:
+//
+//  1. Data: every ported collective performs, per rank, the same sequence
+//     of segment snapshots, additions and sign merges as the sequential
+//     schedule, and payloads round-trip through an exact float64/bit
+//     encoding. Per-rank RNG streams are goroutine-confined, so merge
+//     draws consume each stream in the sequential order.
+//  2. Time: each Packet carries the sender's virtual clock; the receiver
+//     applies the same cut-through arithmetic as netsim.Cluster.Exchange
+//     (arrival = sender clock + α + Bytes·β, floored by the local clock),
+//     which is exact because every ported step is one send plus one
+//     receive per NIC — no contention cases arise.
+//
+// The engine accounts onto a *netsim.Cluster: workers touch only their
+// own rank's clock, phase and byte entries (disjoint, race-free), and the
+// coordinator barriers after every collective.
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"marsit/internal/netsim"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+)
+
+// Engine runs one goroutine per rank, dispatching collective bodies to
+// all of them and joining on completion. Create with New (in-process
+// loopback fabric) or NewWithTransport, and Close when done to release
+// the worker goroutines.
+type Engine struct {
+	n             int
+	tr            transport.Transport
+	ownsTransport bool
+	jobs          []chan job
+	closed        atomic.Bool
+	closeOnce     sync.Once
+	failOnce      sync.Once
+}
+
+type job struct {
+	body func(rank int, ep transport.Endpoint)
+	wg   *sync.WaitGroup
+	// panics[rank] records a recovered worker panic for the coordinator.
+	panics []any
+}
+
+// New starts an engine of workers ranks connected by an in-process
+// loopback transport.
+func New(workers int) *Engine {
+	e := NewWithTransport(transport.NewLoopback(workers))
+	e.ownsTransport = true
+	return e
+}
+
+// NewWithTransport starts an engine over an existing fabric (one rank per
+// transport endpoint). The caller retains ownership of tr: Close does not
+// close it. Exception: a panic on a worker goroutine poisons the engine
+// and closes tr (owned or not) — the only way to unblock peers mid-
+// collective so the join can complete and re-raise the panic.
+func NewWithTransport(tr transport.Transport) *Engine {
+	n := tr.Size()
+	if n < 1 {
+		panic("runtime: engine needs >= 1 workers")
+	}
+	e := &Engine{n: n, tr: tr, jobs: make([]chan job, n)}
+	for r := 0; r < n; r++ {
+		e.jobs[r] = make(chan job)
+		go e.workerLoop(r, e.jobs[r], tr.Endpoint(r))
+	}
+	return e
+}
+
+// Workers returns the number of ranks.
+func (e *Engine) Workers() int { return e.n }
+
+// Close stops the worker goroutines and closes the transport if the
+// engine owns it. Close is idempotent; the engine is unusable afterwards.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		for _, ch := range e.jobs {
+			close(ch)
+		}
+		if e.ownsTransport {
+			e.tr.Close()
+		}
+	})
+	return nil
+}
+
+func (e *Engine) workerLoop(rank int, jobs <-chan job, ep transport.Endpoint) {
+	for j := range jobs {
+		func() {
+			defer j.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					j.panics[rank] = r
+					// Poison the engine and unblock peers mid-collective
+					// so the join cannot hang; their transport errors
+					// are recorded too. See NewWithTransport on why the
+					// transport is closed even when not owned.
+					e.failOnce.Do(func() {
+						e.closed.Store(true)
+						e.tr.Close()
+					})
+				}
+			}()
+			j.body(rank, ep)
+		}()
+	}
+}
+
+// run executes body(rank) on every worker goroutine and waits for all of
+// them. A worker panic is re-raised on the caller after the join.
+func (e *Engine) run(body func(rank int, ep transport.Endpoint)) {
+	if e.closed.Load() {
+		panic("runtime: engine used after Close")
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.n)
+	j := job{body: body, wg: &wg, panics: make([]any, e.n)}
+	for _, ch := range e.jobs {
+		ch <- j
+	}
+	wg.Wait()
+	// A root-cause panic closes the transport, so peers blocked in
+	// Send/Recv record secondary "transport: closed" panics too; prefer
+	// the originating one so the symptom does not mask the cause.
+	firstRank := -1
+	for rank, p := range j.panics {
+		if p == nil {
+			continue
+		}
+		if firstRank < 0 {
+			firstRank = rank
+		}
+		if !strings.Contains(fmt.Sprint(p), transport.ErrClosed.Error()) {
+			panic(fmt.Sprintf("runtime: worker %d: %v", rank, p))
+		}
+	}
+	if firstRank >= 0 {
+		panic(fmt.Sprintf("runtime: worker %d: %v", firstRank, j.panics[firstRank]))
+	}
+}
+
+// ParallelFor executes body(rank) on every worker goroutine — shard-local
+// work with no communication (gradient packing, scaling, decoding). The
+// body must touch only rank-owned state.
+func (e *Engine) ParallelFor(body func(rank int)) {
+	e.run(func(rank int, _ transport.Endpoint) { body(rank) })
+}
+
+// checkShape validates one vector per rank, all of equal dimension, and
+// returns the dimension (mirror of the collective-layer check).
+func (e *Engine) checkShape(c *netsim.Cluster, vecs []tensor.Vec) int {
+	if c.Size() != e.n {
+		panic(fmt.Sprintf("runtime: cluster size %d != engine workers %d", c.Size(), e.n))
+	}
+	if len(vecs) != e.n {
+		panic(fmt.Sprintf("runtime: %d vectors for %d workers", len(vecs), e.n))
+	}
+	d := len(vecs[0])
+	for w, v := range vecs {
+		if len(v) != d {
+			panic(fmt.Sprintf("runtime: worker %d has dim %d, want %d", w, len(v), d))
+		}
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Rank-local accounting and exchange
+
+// rankCtx is a worker's view of one collective: its endpoint, its virtual
+// clock, and the cluster it charges. All cluster touches are confined to
+// the rank's own entries.
+type rankCtx struct {
+	c    *netsim.Cluster
+	ep   transport.Endpoint
+	rank int
+	clk  float64
+}
+
+func newRankCtx(c *netsim.Cluster, ep transport.Endpoint, rank int) *rankCtx {
+	return &rankCtx{c: c, ep: ep, rank: rank, clk: c.Clock(rank)}
+}
+
+// exchange performs one symmetric ring step — post data to next, block on
+// prev — and advances the virtual clock with exactly the arithmetic of
+// netsim.Cluster.Exchange for a one-send, one-receive round:
+//
+//	sendDone  = start + outWire·β
+//	recvStart = max(sender start + α, start)
+//	recvDone  = recvStart + inWire·β
+//	clock     = max(start, sendDone, recvDone)
+//
+// The sender's step-start clock rides on the packet. Wire bytes are
+// accounted to the sender, as in netsim.
+func (r *rankCtx) exchange(next int, data []byte, outWire int, prev int) []byte {
+	model := r.c.Model
+	start := r.clk
+	err := r.ep.Send(next, transport.Packet{Data: data, Wire: outWire, Clock: start})
+	if err != nil {
+		panic(fmt.Sprintf("runtime: rank %d send to %d: %v", r.rank, next, err))
+	}
+	r.c.AccountBytes(r.rank, outWire)
+	p, err := r.ep.Recv(prev)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: rank %d recv from %d: %v", r.rank, prev, err))
+	}
+	sendDone := start + float64(outWire)*model.BytePeriod
+	recvStart := p.Clock + model.Latency
+	if start > recvStart {
+		recvStart = start
+	}
+	recvDone := recvStart + float64(p.Wire)*model.BytePeriod
+	if sendDone > r.clk {
+		r.clk = sendDone
+	}
+	if recvDone > r.clk {
+		r.clk = recvDone
+	}
+	return p.Data
+}
+
+// finish writes the accumulated transmission time back to the cluster:
+// everything beyond the charges already applied is transmit time, exactly
+// how the sequential Exchange attributes it.
+func (r *rankCtx) finish() {
+	r.c.AdvanceTransmit(r.rank, r.clk)
+}
+
+// ---------------------------------------------------------------------------
+// Exact payload codecs
+
+// floatWireBytes is the simulated wire width of one full-precision
+// element (float32, matching internal/collective).
+const floatWireBytes = 4
+
+// encodeFloats serializes v as raw little-endian float64 bits — an exact
+// round-trip, so parallel arithmetic matches the sequential engine bit
+// for bit. The returned slice doubles as the sequential schedule's
+// pre-mutation snapshot.
+func encodeFloats(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// addFloats accumulates an encodeFloats payload into dst (dst[i] += x_i),
+// the reduce-scatter combine, without materializing the decoded vector.
+func addFloats(dst []float64, data []byte) {
+	checkFloatPayload(len(dst), data)
+	for i := range dst {
+		dst[i] += math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}
+
+// copyFloats overwrites dst with an encodeFloats payload, the all-gather
+// combine.
+func copyFloats(dst []float64, data []byte) {
+	checkFloatPayload(len(dst), data)
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}
+
+func checkFloatPayload(n int, data []byte) {
+	if len(data) != 8*n {
+		panic(fmt.Sprintf("runtime: float payload of %d bytes for %d elements", len(data), n))
+	}
+}

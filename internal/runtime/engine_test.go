@@ -1,0 +1,362 @@
+package runtime_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/collective"
+	"marsit/internal/core"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/runtime"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+)
+
+func randVecs(seed uint64, n, d int) []tensor.Vec {
+	r := rng.New(seed)
+	out := make([]tensor.Vec, n)
+	for w := range out {
+		out[w] = r.NormVec(make(tensor.Vec, d), 0, 1)
+	}
+	return out
+}
+
+func cloneAll(vecs []tensor.Vec) []tensor.Vec {
+	out := make([]tensor.Vec, len(vecs))
+	for i, v := range vecs {
+		out[i] = tensor.Clone(v)
+	}
+	return out
+}
+
+// requireSameAccounting asserts that the parallel engine charged the
+// cluster exactly like the sequential collective: identical wire bytes
+// and (up to float tolerance) identical per-worker clocks and phase
+// breakdowns.
+func requireSameAccounting(t *testing.T, seq, par *netsim.Cluster) {
+	t.Helper()
+	if seq.TotalBytes() != par.TotalBytes() {
+		t.Fatalf("wire bytes: seq %d, par %d", seq.TotalBytes(), par.TotalBytes())
+	}
+	const tol = 1e-12
+	for w := 0; w < seq.Size(); w++ {
+		if seq.BytesSent(w) != par.BytesSent(w) {
+			t.Fatalf("worker %d bytes: seq %d, par %d", w, seq.BytesSent(w), par.BytesSent(w))
+		}
+		if d := math.Abs(seq.Clock(w) - par.Clock(w)); d > tol {
+			t.Fatalf("worker %d clock: seq %v, par %v", w, seq.Clock(w), par.Clock(w))
+		}
+		sb, pb := seq.PhaseBreakdown(w), par.PhaseBreakdown(w)
+		for ph := 0; ph < 3; ph++ {
+			if d := math.Abs(sb[ph] - pb[ph]); d > tol {
+				t.Fatalf("worker %d phase %d: seq %v, par %v", w, ph, sb[ph], pb[ph])
+			}
+		}
+	}
+}
+
+func requireSameVecs(t *testing.T, seq, par []tensor.Vec) {
+	t.Helper()
+	for w := range seq {
+		for i := range seq[w] {
+			if seq[w][i] != par[w][i] {
+				t.Fatalf("worker %d elem %d: seq %v, par %v", w, i, seq[w][i], par[w][i])
+			}
+		}
+	}
+}
+
+// TestRingAllReduceEquivalence checks the parallel ring all-reduce is
+// bit-identical to collective.RingAllReduce — values, bytes and clocks —
+// across worker counts and (unbalanced) dimensions.
+func TestRingAllReduceEquivalence(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for _, d := range []int{1, 5, 64, 1001} {
+			t.Run(fmt.Sprintf("M=%d_D=%d", n, d), func(t *testing.T) {
+				base := randVecs(uint64(n*1000+d), n, d)
+				seqV, parV := cloneAll(base), cloneAll(base)
+				seqC := netsim.NewCluster(n, netsim.DefaultCostModel())
+				parC := netsim.NewCluster(n, netsim.DefaultCostModel())
+
+				collective.RingAllReduce(seqC, seqV)
+
+				eng := runtime.New(n)
+				defer eng.Close()
+				eng.RingAllReduce(parC, parV)
+
+				requireSameVecs(t, seqV, parV)
+				requireSameAccounting(t, seqC, parC)
+			})
+		}
+	}
+}
+
+// TestTorusAllReduceEquivalence covers square, rectangular, single-row
+// and single-column tori against collective.TorusAllReduce.
+func TestTorusAllReduceEquivalence(t *testing.T) {
+	shapes := [][2]int{{2, 2}, {2, 3}, {3, 2}, {4, 1}, {1, 4}, {3, 3}}
+	for _, sh := range shapes {
+		rows, cols := sh[0], sh[1]
+		n := rows * cols
+		for _, d := range []int{13, 96, 501} {
+			t.Run(fmt.Sprintf("%dx%d_D=%d", rows, cols, d), func(t *testing.T) {
+				tor := topology.NewTorus(rows, cols)
+				base := randVecs(uint64(rows*100+cols*10+d), n, d)
+				seqV, parV := cloneAll(base), cloneAll(base)
+				seqC := netsim.NewCluster(n, netsim.DefaultCostModel())
+				parC := netsim.NewCluster(n, netsim.DefaultCostModel())
+
+				collective.TorusAllReduce(seqC, tor, seqV)
+
+				eng := runtime.New(n)
+				defer eng.Close()
+				eng.TorusAllReduce(parC, tor, parV)
+
+				requireSameVecs(t, seqV, parV)
+				requireSameAccounting(t, seqC, parC)
+			})
+		}
+	}
+}
+
+// mergeWithStreams builds a MergeFunc backed by per-rank RNG streams,
+// the exact shape core.Marsit uses.
+func mergeWithStreams(seed uint64, n int) runtime.MergeFunc {
+	streams := rng.Streams(seed, n)
+	return func(rank int, agg, local *bitvec.Vec, aw, bw int) {
+		core.MergeSigns(agg, local, aw, bw, streams[rank])
+	}
+}
+
+func modPos(i, m int) int { return ((i % m) + m) % m }
+
+// seqOneBitGroups is a lockstep reference of the one-bit ring schedule
+// (the data flow of core's sequential path, without the netsim
+// substrate): reduce-scatter with per-hop merges drawing from the
+// owner's stream, then segment write-back. It mutates bits in place.
+func seqOneBitGroups(bits []*bitvec.Vec, d int, groups [][]int, baseWeight int, streams []*rng.PCG) {
+	for _, g := range groups {
+		m := len(g)
+		if m < 2 {
+			continue
+		}
+		segs := tensor.Partition(d, m)
+		agg := make([]*bitvec.Vec, m)
+		for s := 0; s < m-1; s++ {
+			outgoing := make([]*bitvec.Vec, m)
+			for p := 0; p < m; p++ {
+				if s == 0 {
+					seg := segs[modPos(p, m)]
+					outgoing[p] = bits[g[p]].Extract(seg.Lo, seg.Hi)
+				} else {
+					outgoing[p] = agg[p]
+				}
+			}
+			for p := 0; p < m; p++ {
+				in := outgoing[modPos(p-1, m)].Clone()
+				seg := segs[modPos(p-s-1, m)]
+				local := bits[g[p]].Extract(seg.Lo, seg.Hi)
+				core.MergeSigns(in, local, (s+1)*baseWeight, baseWeight, streams[g[p]])
+				agg[p] = in
+			}
+		}
+		final := make([]*bitvec.Vec, m)
+		for p := 0; p < m; p++ {
+			final[modPos(p+1, m)] = agg[p]
+		}
+		for p := 0; p < m; p++ {
+			for j, seg := range segs {
+				bits[g[p]].Insert(seg.Lo, final[j])
+			}
+		}
+	}
+}
+
+func allRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func requireSameBits(t *testing.T, want, got []*bitvec.Vec) {
+	t.Helper()
+	for w := range want {
+		if !want[w].Equal(got[w]) {
+			t.Fatalf("rank %d bits differ from sequential reference", w)
+		}
+	}
+}
+
+func randBits(seed uint64, n, d int) []*bitvec.Vec {
+	vecs := randVecs(seed, n, d)
+	bits := make([]*bitvec.Vec, n)
+	for w := range bits {
+		bits[w] = bitvec.FromSigns(vecs[w])
+	}
+	return bits
+}
+
+// TestOneBitRingEquivalence checks the concurrent one-bit ring against
+// the lockstep sequential reference (per-rank bit equality with shared
+// seeds), ring-wide consensus, wire-byte accounting, and determinism
+// across runs despite goroutine interleaving.
+func TestOneBitRingEquivalence(t *testing.T) {
+	const n, d = 4, 101
+	run := func() ([]*bitvec.Vec, *netsim.Cluster) {
+		bits := randBits(7, n, d)
+		c := netsim.NewCluster(n, netsim.DefaultCostModel())
+		eng := runtime.New(n)
+		defer eng.Close()
+		eng.OneBitRingAllReduce(c, bits, mergeWithStreams(99, n))
+		return bits, c
+	}
+	bits1, c1 := run()
+	want := randBits(7, n, d)
+	seqOneBitGroups(want, d, [][]int{allRanks(n)}, 1, rng.Streams(99, n))
+	requireSameBits(t, want, bits1)
+	for w := 1; w < n; w++ {
+		if !bits1[0].Equal(bits1[w]) {
+			t.Fatalf("rank %d disagrees with rank 0", w)
+		}
+	}
+	// Sequential wire accounting: 2(M−1) steps of one segment per rank.
+	segs := tensor.Partition(d, n)
+	wantBytes := int64(0)
+	for s := 0; s < n-1; s++ {
+		for p := 0; p < n; p++ {
+			wantBytes += int64((segs[modPos(p-s, n)].Len() + 7) / 8)   // reduce
+			wantBytes += int64((segs[modPos(p+1-s, n)].Len() + 7) / 8) // gather
+		}
+	}
+	if c1.TotalBytes() != wantBytes {
+		t.Fatalf("wire bytes %d, want %d", c1.TotalBytes(), wantBytes)
+	}
+	bits2, _ := run()
+	requireSameBits(t, bits1, bits2)
+}
+
+// torusGroups enumerates row groups and column groups of a torus.
+func torusGroups(tor *topology.Torus) (rows, cols [][]int) {
+	rows = make([][]int, tor.Rows())
+	for r := range rows {
+		for c := 0; c < tor.Cols(); c++ {
+			rows[r] = append(rows[r], tor.Rank(r, c))
+		}
+	}
+	cols = make([][]int, tor.Cols())
+	for c := range cols {
+		for r := 0; r < tor.Rows(); r++ {
+			cols[c] = append(cols[c], tor.Rank(r, c))
+		}
+	}
+	return rows, cols
+}
+
+// TestOneBitTorusEquivalence checks the two-phase torus schedule against
+// the sequential reference per rank. Ranks within a column share one
+// merge chain and must agree; ranks in different columns draw different
+// transients, so cluster-wide equality is not expected — exactly the
+// sequential semantics.
+func TestOneBitTorusEquivalence(t *testing.T) {
+	for _, sh := range [][2]int{{2, 2}, {2, 3}, {3, 2}, {1, 4}, {4, 1}} {
+		rows, cols := sh[0], sh[1]
+		n := rows * cols
+		t.Run(fmt.Sprintf("%dx%d", rows, cols), func(t *testing.T) {
+			const d = 97
+			tor := topology.NewTorus(rows, cols)
+			run := func() []*bitvec.Vec {
+				bits := randBits(11, n, d)
+				c := netsim.NewCluster(n, netsim.DefaultCostModel())
+				eng := runtime.New(n)
+				defer eng.Close()
+				eng.OneBitTorusAllReduce(c, tor, bits, mergeWithStreams(5, n))
+				return bits
+			}
+			got := run()
+			want := randBits(11, n, d)
+			streams := rng.Streams(5, n)
+			rowGroups, colGroups := torusGroups(tor)
+			seqOneBitGroups(want, d, rowGroups, 1, streams)
+			seqOneBitGroups(want, d, colGroups, tor.Cols(), streams)
+			requireSameBits(t, want, got)
+			for c := 0; c < cols; c++ {
+				for r := 1; r < rows; r++ {
+					if !got[tor.Rank(0, c)].Equal(got[tor.Rank(r, c)]) {
+						t.Fatalf("column %d: rank (%d,%d) disagrees", c, r, c)
+					}
+				}
+			}
+			requireSameBits(t, got, run())
+		})
+	}
+}
+
+// TestParallelFor checks rank-local bodies run once per rank.
+func TestParallelFor(t *testing.T) {
+	const n = 6
+	eng := runtime.New(n)
+	defer eng.Close()
+	got := make([]int, n)
+	eng.ParallelFor(func(rank int) { got[rank]++ })
+	eng.ParallelFor(func(rank int) { got[rank] += 10 })
+	for w, v := range got {
+		if v != 11 {
+			t.Fatalf("rank %d ran %d times", w, v)
+		}
+	}
+}
+
+// TestWorkerPanicPropagates checks a panic on a worker goroutine is
+// re-raised on the coordinator instead of hanging the join.
+func TestWorkerPanicPropagates(t *testing.T) {
+	eng := runtime.New(3)
+	defer eng.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic payload %q", s)
+		}
+	}()
+	eng.ParallelFor(func(rank int) {
+		if rank == 1 {
+			panic("boom")
+		}
+	})
+}
+
+// TestWorkerPanicMidCollectiveUnmasked checks that when a rank panics
+// mid-collective — poisoning the transport and making peers blocked in
+// Recv panic with "transport: closed" — the coordinator re-raises the
+// root-cause panic, not a secondary symptom.
+func TestWorkerPanicMidCollectiveUnmasked(t *testing.T) {
+	const n, d = 3, 64
+	eng := runtime.New(n)
+	defer eng.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		s := fmt.Sprint(r)
+		if !strings.Contains(s, "merge exploded") {
+			t.Fatalf("root cause masked, got %q", s)
+		}
+	}()
+	bits := randBits(3, n, d)
+	c := netsim.NewCluster(n, netsim.DefaultCostModel())
+	eng.OneBitRingAllReduce(c, bits, func(rank int, agg, local *bitvec.Vec, aw, bw int) {
+		if rank == 2 {
+			panic("merge exploded")
+		}
+		agg.Or(local)
+	})
+}

@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"fmt"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/netsim"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+	"marsit/internal/transport"
+)
+
+// MergeFunc merges two one-bit sign aggregates for the given rank: agg
+// (covering aggWeight workers, received from upstream) is combined in
+// place with local (covering localWeight workers). The engine guarantees
+// the callback for a rank runs only on that rank's goroutine and in the
+// sequential schedule's merge order, so an implementation drawing from a
+// per-rank RNG stream (core.MergeSigns) consumes it exactly as the
+// single-threaded engine would.
+type MergeFunc func(rank int, agg, local *bitvec.Vec, aggWeight, localWeight int)
+
+// OneBitRingAllReduce runs the Marsit one-bit ring schedule concurrently:
+// reduce-scatter with merge at every hop, then all-gather of the final
+// segments. bits[rank] enters holding rank's packed signs and leaves
+// holding the group-wide consensus, identical on every rank and
+// bit-identical to the sequential core schedule.
+func (e *Engine) OneBitRingAllReduce(c *netsim.Cluster, bits []*bitvec.Vec, merge MergeFunc) {
+	d := e.checkBits(c, bits)
+	n := e.n
+	if n < 2 {
+		return
+	}
+	segs := tensor.Partition(d, n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		rk := newRankCtx(c, ep, rank)
+		next, prev := mod(rank+1, n), mod(rank-1, n)
+		oneBitRingRank(rk, next, prev, rank, n, bits[rank], segs, 1, merge)
+		rk.finish()
+	})
+}
+
+// OneBitTorusAllReduce runs the hierarchical one-bit schedule: row rings
+// first (each aggregate then covers a full row), then column rings with
+// the row width as the base merge weight.
+func (e *Engine) OneBitTorusAllReduce(c *netsim.Cluster, tor *topology.Torus, bits []*bitvec.Vec, merge MergeFunc) {
+	d := e.checkBits(c, bits)
+	if tor.Size() != e.n {
+		panic("runtime: torus size mismatch")
+	}
+	if e.n < 2 {
+		return
+	}
+	rows, cols := tor.Rows(), tor.Cols()
+	rowSegs := tensor.Partition(d, cols)
+	colSegs := tensor.Partition(d, rows)
+	e.run(func(rank int, ep transport.Endpoint) {
+		rk := newRankCtx(c, ep, rank)
+		r, p := tor.Coord(rank)
+		if cols >= 2 {
+			next, prev := tor.Rank(r, p+1), tor.Rank(r, p-1)
+			oneBitRingRank(rk, next, prev, p, cols, bits[rank], rowSegs, 1, merge)
+		}
+		if rows >= 2 {
+			next, prev := tor.Rank(r+1, p), tor.Rank(r-1, p)
+			oneBitRingRank(rk, next, prev, r, rows, bits[rank], colSegs, cols, merge)
+		}
+		rk.finish()
+	})
+}
+
+// oneBitRingRank executes the one-bit schedule for one rank at position p
+// of an m-ring over its full bit vector partitioned into segs. The
+// rank's aggregate enters covering baseWeight workers per member and
+// leaves covering baseWeight·m.
+func oneBitRingRank(rk *rankCtx, next, prev, p, m int, bits *bitvec.Vec, segs []tensor.Segment, baseWeight int, merge MergeFunc) {
+	if m < 2 {
+		return
+	}
+	// Reduce-scatter: merge the received aggregate with the local segment
+	// at every hop. bits itself is read-only during this phase, so
+	// Extract sees the pre-collective signs exactly like the sequential
+	// schedule's snapshots.
+	var agg *bitvec.Vec
+	for s := 0; s < m-1; s++ {
+		out := agg
+		if s == 0 {
+			seg := segs[mod(p, m)]
+			out = bits.Extract(seg.Lo, seg.Hi)
+		}
+		in := rk.exchangeBits(next, out, prev)
+		recvSeg := segs[mod(p-s-1, m)]
+		local := bits.Extract(recvSeg.Lo, recvSeg.Hi)
+		// The received aggregate covers (s+1)·baseWeight workers, the
+		// local side baseWeight.
+		merge(rk.rank, in, local, (s+1)*baseWeight, baseWeight)
+		agg = in
+	}
+
+	// All-gather: position p holds the final aggregate of segment
+	// (p+1) mod m; circulate the final segments unchanged.
+	cur := agg
+	bits.Insert(segs[mod(p+1, m)].Lo, cur)
+	for s := 0; s < m-1; s++ {
+		cur = rk.exchangeBits(next, cur, prev)
+		bits.Insert(segs[mod(p-s, m)].Lo, cur)
+	}
+}
+
+// exchangeBits sends out downstream and receives the upstream segment,
+// charging one simulated bit per element (the packet's framing header is
+// not charged).
+func (r *rankCtx) exchangeBits(next int, out *bitvec.Vec, prev int) *bitvec.Vec {
+	data := r.exchange(next, out.Marshal(), out.WireBytes(), prev)
+	in, err := bitvec.Unmarshal(data)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: rank %d: %v", r.rank, err))
+	}
+	return in
+}
+
+// checkBits validates one bit vector per rank, all of equal length, and
+// returns the length.
+func (e *Engine) checkBits(c *netsim.Cluster, bits []*bitvec.Vec) int {
+	if c.Size() != e.n {
+		panic(fmt.Sprintf("runtime: cluster size %d != engine workers %d", c.Size(), e.n))
+	}
+	if len(bits) != e.n {
+		panic(fmt.Sprintf("runtime: %d bit vectors for %d workers", len(bits), e.n))
+	}
+	d := bits[0].Len()
+	for w, b := range bits {
+		if b.Len() != d {
+			panic(fmt.Sprintf("runtime: worker %d has %d bits, want %d", w, b.Len(), d))
+		}
+	}
+	return d
+}

@@ -1,0 +1,88 @@
+package train
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEngineEquivalence trains the ported methods on both execution
+// engines and asserts the recorded metric series is identical point for
+// point — loss, simulated time, wire megabytes and matching rate — so
+// the parallel engine changes wall-clock behaviour only.
+func TestEngineEquivalence(t *testing.T) {
+	cases := []struct {
+		method Method
+		topo   Topo
+	}{
+		{MethodPSGD, TopoRing},
+		{MethodPSGD, TopoTorus},
+		{MethodMarsit, TopoRing},
+		{MethodMarsit, TopoTorus},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s_%s", tc.method, tc.topo), func(t *testing.T) {
+			cfg := quickCfg(tc.method, tc.topo)
+			cfg.Rounds = 12
+			cfg.K = 5 // Marsit: mix full-precision and one-bit rounds
+
+			seqCfg, parCfg := cfg, cfg
+			seqCfg.Engine = EngineSeq
+			parCfg.Engine = EnginePar
+			seqRes, err := Run(seqCfg)
+			if err != nil {
+				t.Fatalf("seq: %v", err)
+			}
+			parRes, err := Run(parCfg)
+			if err != nil {
+				t.Fatalf("par: %v", err)
+			}
+			if len(seqRes.Points) != len(parRes.Points) {
+				t.Fatalf("point counts: seq %d, par %d", len(seqRes.Points), len(parRes.Points))
+			}
+			for i := range seqRes.Points {
+				s, p := seqRes.Points[i], parRes.Points[i]
+				if s.Loss != p.Loss || s.MatchRate != p.MatchRate || s.MB != p.MB {
+					t.Fatalf("round %d: seq %+v, par %+v", i, s, p)
+				}
+				if diff := s.SimTime - p.SimTime; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("round %d sim time: seq %v, par %v", i, s.SimTime, p.SimTime)
+				}
+			}
+			if seqRes.FinalAcc != parRes.FinalAcc {
+				t.Fatalf("final acc: seq %v, par %v", seqRes.FinalAcc, parRes.FinalAcc)
+			}
+		})
+	}
+}
+
+// TestEngineFallback checks non-ported methods accept EnginePar and run
+// sequentially, and that bogus engine names are rejected.
+func TestEngineFallback(t *testing.T) {
+	cfg := quickCfg(MethodSSDM, TopoRing)
+	cfg.Rounds = 4
+	cfg.Engine = EnginePar
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("ssdm under par engine: %v", err)
+	}
+	cfg.Engine = "warp"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+// TestDefaultEngineApplies checks the package default is honored when
+// Config.Engine is empty.
+func TestDefaultEngineApplies(t *testing.T) {
+	old := DefaultEngine
+	defer func() { DefaultEngine = old }()
+	DefaultEngine = EnginePar
+	cfg := quickCfg(MethodMarsit, TopoRing)
+	cfg.Rounds = 3
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("run under default par engine: %v", err)
+	}
+	DefaultEngine = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus DefaultEngine accepted")
+	}
+}

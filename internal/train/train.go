@@ -16,6 +16,12 @@
 // series the paper's figures plot: loss, test accuracy, simulated
 // seconds, megabytes on the wire, matching rate, and the per-phase time
 // breakdown.
+//
+// Collectives execute on one of two engines (Config.Engine): the
+// single-threaded lock-step loop, or the concurrent engine of
+// internal/runtime with one goroutine per worker. Both produce
+// bit-identical metric series for the ported methods; see EngineSeq and
+// EnginePar.
 package train
 
 import (
@@ -29,6 +35,7 @@ import (
 	"marsit/internal/nn"
 	"marsit/internal/optim"
 	"marsit/internal/rng"
+	"marsit/internal/runtime"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
 )
@@ -46,6 +53,29 @@ const (
 	MethodMarsit    Method = "marsit"
 )
 
+// Engine selects the execution engine the collectives run on.
+type Engine string
+
+// The execution engines.
+const (
+	// EngineSeq is the single-threaded lock-step engine: collectives
+	// mutate all workers' vectors in one loop over the netsim substrate.
+	// Deterministic virtual time; the mode the paper figures use.
+	EngineSeq Engine = "seq"
+	// EnginePar is the concurrent engine (internal/runtime): one
+	// goroutine per worker exchanging messages over an in-process
+	// loopback transport. Bit-identical results and α–β accounting for
+	// the ported collectives — full-precision RAR/TAR (psgd) and the
+	// Marsit one-bit path; methods whose collectives are not ported
+	// (signsgd, ef-signsgd, ssdm, cascading, and any PS topology) fall
+	// back to the sequential engine.
+	EnginePar Engine = "par"
+)
+
+// DefaultEngine is used when Config.Engine is empty; cmd/marsit-bench's
+// -engine flag sets it process-wide.
+var DefaultEngine = EngineSeq
+
 // Topo selects the interconnect.
 type Topo string
 
@@ -60,6 +90,9 @@ const (
 type Config struct {
 	Method Method
 	Topo   Topo
+	// Engine selects the execution engine ("" ⇒ DefaultEngine). See
+	// EngineSeq and EnginePar for semantics and fallback rules.
+	Engine Engine
 	// Workers is the cluster size M.
 	Workers int
 	// Rounds is the number of synchronizations T.
@@ -182,6 +215,16 @@ func (cfg *Config) validate() error {
 	if cfg.Method == MethodMarsit && cfg.GlobalLR <= 0 {
 		return fmt.Errorf("train: marsit needs GlobalLR > 0")
 	}
+	switch cfg.Engine {
+	case EngineSeq, EnginePar:
+	case "":
+		cfg.Engine = DefaultEngine
+		if cfg.Engine != EngineSeq && cfg.Engine != EnginePar {
+			return fmt.Errorf("train: unknown DefaultEngine %q", DefaultEngine)
+		}
+	default:
+		return fmt.Errorf("train: unknown engine %q", cfg.Engine)
+	}
 	if cfg.Optimizer == "" {
 		cfg.Optimizer = "sgd"
 	}
@@ -228,6 +271,17 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	parallel := cfg.Engine == EnginePar
+
+	// The concurrent engine backs the ported collectives: full-precision
+	// RAR/TAR for psgd and the Marsit paths; everything else runs
+	// sequentially (see EnginePar).
+	var rtEngine *runtime.Engine
+	if parallel && cfg.Method == MethodPSGD && cfg.Topo != TopoPS {
+		rtEngine = runtime.New(cfg.Workers)
+		defer rtEngine.Close()
+	}
+
 	var marsit *core.Marsit
 	if cfg.Method == MethodMarsit {
 		marsit, err = core.New(core.Config{
@@ -238,10 +292,12 @@ func Run(cfg Config) (*Result, error) {
 			Torus:               tor,
 			Seed:                cfg.Seed ^ 0x3a55,
 			DisableCompensation: cfg.MarsitNoCompensation,
+			Parallel:            parallel,
 		})
 		if err != nil {
 			return nil, err
 		}
+		defer marsit.Close()
 	}
 	var efState []*compressEF
 	if cfg.Method == MethodEFSignSGD {
@@ -296,12 +352,16 @@ func Run(cfg Config) (*Result, error) {
 		switch cfg.Method {
 		case MethodPSGD:
 			work := cloneAll(grads)
-			switch cfg.Topo {
-			case TopoRing:
+			switch {
+			case cfg.Topo == TopoRing && rtEngine != nil:
+				rtEngine.RingAllReduce(cluster, work)
+			case cfg.Topo == TopoRing:
 				collective.RingAllReduce(cluster, work)
-			case TopoTorus:
+			case cfg.Topo == TopoTorus && rtEngine != nil:
+				rtEngine.TorusAllReduce(cluster, tor, work)
+			case cfg.Topo == TopoTorus:
 				collective.TorusAllReduce(cluster, tor, work)
-			case TopoPS:
+			case cfg.Topo == TopoPS:
 				collective.PSAllReduce(cluster, work)
 			}
 			update = work[0]

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultDepth is the per-link buffer depth of a Loopback fabric. Ring
+// collectives need depth ≥ 1 to avoid the classic all-send deadlock (every
+// rank posts its step-s message before draining step s from its
+// predecessor); a deeper buffer additionally lets fast ranks run several
+// steps — or a whole collective phase — ahead of slow peers without
+// blocking.
+const DefaultDepth = 32
+
+// Loopback is an in-process Transport: n² buffered Go channels, one per
+// directed (sender, receiver) pair, so per-pair FIFO holds by
+// construction and distinct pairs never contend. Payload slices are
+// passed by reference (zero-copy).
+type Loopback struct {
+	n     int
+	links []chan Packet // links[from*n+to]
+	eps   []loopbackEndpoint
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewLoopback builds an in-process fabric over n ≥ 1 ranks with
+// DefaultDepth link buffers.
+func NewLoopback(n int) *Loopback { return NewLoopbackDepth(n, DefaultDepth) }
+
+// NewLoopbackDepth builds an in-process fabric with the given per-link
+// buffer depth ≥ 1.
+func NewLoopbackDepth(n, depth int) *Loopback {
+	if n < 1 {
+		panic("transport: loopback needs n >= 1")
+	}
+	if depth < 1 {
+		panic("transport: loopback needs depth >= 1")
+	}
+	l := &Loopback{
+		n:     n,
+		links: make([]chan Packet, n*n),
+		done:  make(chan struct{}),
+	}
+	for i := range l.links {
+		l.links[i] = make(chan Packet, depth)
+	}
+	l.eps = make([]loopbackEndpoint, n)
+	for r := 0; r < n; r++ {
+		l.eps[r] = loopbackEndpoint{fabric: l, rank: r}
+	}
+	return l
+}
+
+// Size implements Transport.
+func (l *Loopback) Size() int { return l.n }
+
+// Endpoint implements Transport.
+func (l *Loopback) Endpoint(rank int) Endpoint {
+	l.check(rank)
+	return &l.eps[rank]
+}
+
+// Close implements Transport. Buffered but undelivered packets are
+// dropped; blocked Sends and Recvs return ErrClosed.
+func (l *Loopback) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *Loopback) check(rank int) {
+	if rank < 0 || rank >= l.n {
+		panic(fmt.Sprintf("transport: rank %d out of range [0,%d)", rank, l.n))
+	}
+}
+
+type loopbackEndpoint struct {
+	fabric *Loopback
+	rank   int
+}
+
+// Rank implements Endpoint.
+func (e *loopbackEndpoint) Rank() int { return e.rank }
+
+// Size implements Endpoint.
+func (e *loopbackEndpoint) Size() int { return e.fabric.n }
+
+// Send implements Endpoint.
+func (e *loopbackEndpoint) Send(to int, p Packet) error {
+	l := e.fabric
+	l.check(to)
+	select {
+	case <-l.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case l.links[e.rank*l.n+to] <- p:
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+// Recv implements Endpoint.
+func (e *loopbackEndpoint) Recv(from int) (Packet, error) {
+	l := e.fabric
+	l.check(from)
+	// Drain buffered packets even while closing: a peer's completed Send
+	// must stay observable, so the link channel is preferred over done.
+	select {
+	case p := <-l.links[from*l.n+e.rank]:
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-l.links[from*l.n+e.rank]:
+		return p, nil
+	case <-l.done:
+		return Packet{}, ErrClosed
+	}
+}

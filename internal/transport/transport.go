@@ -1,0 +1,63 @@
+// Package transport abstracts point-to-point message passing between the
+// ranks of the concurrent execution engine (internal/runtime). A Transport
+// is a fabric connecting n ranks; each rank obtains its Endpoint once and
+// then exchanges Packets with peers from its own goroutine.
+//
+// The contract is deliberately minimal — FIFO per (sender, receiver) pair,
+// blocking receives, byte-slice payloads — so that implementations can
+// range from the in-process Loopback used today to a TCP (or RDMA) backend
+// later: a socket per peer pair with a small frame header carrying Wire
+// and Clock satisfies the same interface. Collectives are written against
+// Endpoint only and never assume shared memory.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by Send and Recv after the transport is closed.
+var ErrClosed = errors.New("transport: closed")
+
+// Packet is one point-to-point message between ranks.
+type Packet struct {
+	// Data is the serialized payload. The loopback transport passes the
+	// slice by reference, so a sender must not mutate or reuse it after
+	// Send; wire backends would copy it onto the socket instead.
+	Data []byte
+	// Wire is the simulated size of this message in bytes. It may differ
+	// from len(Data): the simulation charges float32 wire widths and
+	// headerless bit payloads while the in-memory encoding is float64
+	// with framing.
+	Wire int
+	// Clock is the sender's virtual clock (simulated seconds) when the
+	// packet was posted. Receivers use it to reproduce the α–β arrival
+	// arithmetic of the netsim cost model, keeping virtual time identical
+	// between the sequential and concurrent engines.
+	Clock float64
+}
+
+// Endpoint is one rank's view of the fabric. An Endpoint must only be
+// used from a single goroutine at a time.
+type Endpoint interface {
+	// Rank returns the rank this endpoint belongs to.
+	Rank() int
+	// Size returns the number of ranks in the fabric.
+	Size() int
+	// Send posts p to rank to. Packets between a fixed (sender, receiver)
+	// pair are delivered in FIFO order. Send may block while the link
+	// buffer is full; it returns ErrClosed after Close.
+	Send(to int, p Packet) error
+	// Recv blocks until a packet from rank from arrives; it returns
+	// ErrClosed after Close.
+	Recv(from int) (Packet, error)
+}
+
+// Transport is a fabric connecting Size ranks, one Endpoint each.
+type Transport interface {
+	// Size returns the number of ranks.
+	Size() int
+	// Endpoint returns rank's endpoint. The same Endpoint is returned on
+	// every call for a given rank.
+	Endpoint(rank int) Endpoint
+	// Close tears the fabric down, unblocking pending Sends and Recvs
+	// with ErrClosed. Close is idempotent.
+	Close() error
+}

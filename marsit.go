@@ -15,11 +15,40 @@
 // internal/train and internal/experiments; the runnable entry points
 // are cmd/marsit-bench and cmd/marsit-train, and the examples/ tree
 // shows end-to-end usage.
+//
+// # Execution engines
+//
+// Two engines execute the collectives:
+//
+//   - Sequential (the default): a single-threaded lock-step loop mutates
+//     all workers' vectors over the netsim substrate. Deterministic
+//     virtual time; the mode the paper figures use.
+//   - Parallel (Config.Parallel, or marsit.NewEngine for direct
+//     collective access): the concurrent execution engine of
+//     internal/runtime runs one goroutine per worker, each owning its
+//     shard and exchanging messages through a pluggable Transport
+//     (internal/transport). The in-process loopback backend is used
+//     today; the interface — FIFO per rank pair, byte payloads, a frame
+//     header of wire size and virtual clock — is shaped so a TCP backend
+//     can slot in without touching the collectives.
+//
+// The parallel engine charges the same α–β costs as the sequential one
+// (each packet carries the sender's virtual clock, reproducing netsim's
+// cut-through arithmetic), so synchronization results, wire bytes and
+// simulated clocks are bit-identical between engines for a fixed Seed —
+// only wall-clock behaviour changes. A Parallel Marsit owns M worker
+// goroutines; call Close when done:
+//
+//	sync := marsit.MustNew(marsit.Config{
+//	    Workers: 8, Dim: d, K: 100, GlobalLR: 0.005, Parallel: true,
+//	})
+//	defer sync.Close()
 package marsit
 
 import (
 	"marsit/internal/core"
 	"marsit/internal/netsim"
+	"marsit/internal/runtime"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
 )
@@ -43,6 +72,16 @@ type CostModel = netsim.CostModel
 
 // Vec is a flat float64 gradient/parameter vector.
 type Vec = tensor.Vec
+
+// Engine is the concurrent execution engine: one goroutine per worker,
+// exchanging messages over a pluggable transport, exposing the ported
+// collectives (RingAllReduce, TorusAllReduce, the one-bit paths) and
+// ParallelFor for shard-local work.
+type Engine = runtime.Engine
+
+// NewEngine starts a concurrent engine of workers goroutines connected
+// by an in-process loopback transport. Close it when done.
+func NewEngine(workers int) *Engine { return runtime.New(workers) }
 
 // New validates cfg and returns a fresh Marsit with zero compensation.
 func New(cfg Config) (*Marsit, error) { return core.New(cfg) }
