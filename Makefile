@@ -1,12 +1,14 @@
 # Development targets for the Marsit reproduction.
 #
-#   make check   fmt + vet + build + test (what CI should run)
-#   make race    race-detector pass over the concurrency-bearing packages
-#   make bench   engine benchmarks (sequential vs parallel speedup)
+#   make check     fmt + vet + build + test (what CI runs)
+#   make race      race-detector pass over the concurrency-bearing packages
+#   make bench     engine benchmarks (sequential vs parallel speedup)
+#   make tcp-demo  4-rank multi-process Marsit run over local TCP, verified
+#                  bit-for-bit against the sequential engine
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench tcp-demo
 
 check: fmt vet build test
 
@@ -27,7 +29,29 @@ test:
 
 race:
 	$(GO) test -race . ./internal/runtime/... ./internal/transport/... \
-		./internal/core/... ./internal/rng/... ./internal/train/...
+		./internal/core/... ./internal/rng/... ./internal/train/... \
+		./internal/node/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
+
+# tcp-demo launches one marsit-node process per rank on fixed local
+# ports; rank 0 gathers every rank's result, wire bytes and virtual
+# clock, replays the run on the sequential engine, and exits non-zero
+# unless everything is bit-identical.
+TCP_DEMO_PEERS := 127.0.0.1:7741,127.0.0.1:7742,127.0.0.1:7743,127.0.0.1:7744
+
+tcp-demo:
+	$(GO) build -o bin/marsit-node ./cmd/marsit-node
+	@pids=""; \
+	for r in 1 2 3; do \
+		./bin/marsit-node -rank $$r -peers $(TCP_DEMO_PEERS) \
+			-collective marsit -dim 4096 -rounds 8 -k 4 -check -quiet & \
+		pids="$$pids $$!"; \
+	done; \
+	status=0; \
+	./bin/marsit-node -rank 0 -peers $(TCP_DEMO_PEERS) \
+		-collective marsit -dim 4096 -rounds 8 -k 4 -check || status=$$?; \
+	for p in $$pids; do wait $$p || status=$$?; done; \
+	if [ $$status -ne 0 ]; then echo "tcp-demo: FAILED"; exit $$status; fi; \
+	echo "tcp-demo: 4-rank TCP fabric matches the sequential engine"

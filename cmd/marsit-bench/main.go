@@ -8,11 +8,17 @@
 //	marsit-bench -list                  # enumerate experiment ids
 //	marsit-bench -exp fig3 -csv out.csv # also dump tables as CSV
 //	marsit-bench -exp fig5 -engine par  # concurrent execution engine
+//	marsit-bench -exp fig5 -engine par -transport tcp
 //
 // -engine selects the execution engine: seq is the single-threaded
 // virtual-time loop; par runs one goroutine per simulated worker
 // (bit-identical results and α–β accounting for the ported collectives,
 // so figures are unchanged — only wall-clock speed differs).
+//
+// -transport selects the parallel engine's fabric: loopback exchanges
+// messages through in-process channels, tcp through real sockets on the
+// loopback interface (the wire backend that cmd/marsit-node stretches
+// across machines). Results are bit-identical either way.
 package main
 
 import (
@@ -27,11 +33,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (or 'all')")
-		scale   = flag.String("scale", "quick", "quick | full")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		csvPath = flag.String("csv", "", "write result tables as CSV to this file")
-		engine  = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
+		exp       = flag.String("exp", "", "experiment id (or 'all')")
+		scale     = flag.String("scale", "quick", "quick | full")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		csvPath   = flag.String("csv", "", "write result tables as CSV to this file")
+		engine    = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
+		transport = flag.String("transport", "loopback", "parallel engine fabric: loopback (in-process channels) | tcp (real sockets)")
 	)
 	flag.Parse()
 
@@ -42,6 +49,15 @@ func main() {
 		train.DefaultEngine = train.EnginePar
 	default:
 		fmt.Fprintf(os.Stderr, "marsit-bench: unknown engine %q (want seq or par)\n", *engine)
+		os.Exit(2)
+	}
+	switch *transport {
+	case "loopback":
+		train.DefaultTransport = train.TransportLoopback
+	case "tcp":
+		train.DefaultTransport = train.TransportTCP
+	default:
+		fmt.Fprintf(os.Stderr, "marsit-bench: unknown transport %q (want loopback or tcp)\n", *transport)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,84 @@
+// Command marsit-node runs one rank of a distributed Marsit fabric over
+// the TCP transport: every process hosts one rank, the processes
+// rendezvous over the -peers address list, and the collectives of the
+// concurrent execution engine run across them with the exact α–β
+// virtual-time accounting of the simulation.
+//
+// Usage (a 4-rank one-bit Marsit run on one machine — any mix of
+// machines works as long as every rank lists the same peers):
+//
+//	marsit-node -rank 1 -peers 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703,127.0.0.1:7704 -check &
+//	marsit-node -rank 2 -peers ... -check &
+//	marsit-node -rank 3 -peers ... -check &
+//	marsit-node -rank 0 -peers ... -check
+//
+// The rank index selects this process's entry in the -peers list. The
+// -check flag must be given to every rank or none: with it, rank 0
+// gathers every rank's result, wire-byte count and virtual clock after
+// the last round, replays the run on the sequential engine, and exits
+// non-zero unless everything is bit-identical — `make tcp-demo` scripts
+// exactly that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"marsit/internal/node"
+)
+
+func main() {
+	var (
+		rank     = flag.Int("rank", 0, "this process's rank (index into -peers)")
+		peers    = flag.String("peers", "", "comma-separated host:port list, one per rank")
+		coll     = flag.String("collective", "marsit", "rar | marsit")
+		dim      = flag.Int("dim", 4096, "gradient dimension D")
+		rounds   = flag.Int("rounds", 10, "synchronization rounds")
+		k        = flag.Int("k", 0, "Marsit full-precision period (0 = never)")
+		globalLR = flag.Float64("global-lr", 0.004, "Marsit global step η_s")
+		seed     = flag.Uint64("seed", 1, "shared root seed (must match on every rank)")
+		check    = flag.Bool("check", false, "rank 0 verifies the fabric against the sequential engine")
+		timeout  = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || len(addrs) < 1 {
+		fmt.Fprintln(os.Stderr, "marsit-node: -peers is required (comma-separated host:port, one per rank)")
+		os.Exit(2)
+	}
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	cfg := node.Config{
+		Rank:        *rank,
+		Addrs:       addrs,
+		Collective:  *coll,
+		Dim:         *dim,
+		Rounds:      *rounds,
+		K:           *k,
+		GlobalLR:    *globalLR,
+		Seed:        *seed,
+		Check:       *check,
+		DialTimeout: *timeout,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	s, err := node.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marsit-node: rank %d: %v\n", *rank, err)
+		os.Exit(1)
+	}
+	status := ""
+	if s.Checked {
+		status = " [verified vs sequential engine]"
+	}
+	fmt.Printf("rank %d/%d: %s D=%d rounds=%d t=%.6fs wire=%dB%s\n",
+		s.Rank, s.Workers, cfg.Collective, *dim, *rounds, s.Clock, s.Bytes, status)
+}

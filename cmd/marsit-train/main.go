@@ -6,6 +6,12 @@
 //	marsit-train -method marsit -topo ring -workers 8 -rounds 200
 //	marsit-train -method psgd -dataset cifar -model resnet
 //	marsit-train -method marsit -k 100 -global-lr 0.004
+//	marsit-train -method psgd -engine par -transport tcp
+//
+// -engine selects the execution engine (seq: single-threaded virtual
+// time; par: one goroutine per worker) and -transport the parallel
+// engine's fabric (loopback | tcp); metric series are bit-identical
+// across all combinations for the ported methods.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "root seed")
 		evalEvery = flag.Int("eval-every", 10, "evaluation interval in rounds")
 		elias     = flag.Bool("elias", false, "Elias-code sign-sum transports")
+		engine    = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
+		transport = flag.String("transport", "loopback", "parallel engine fabric: loopback (in-process channels) | tcp (real sockets)")
 	)
 	flag.Parse()
 
@@ -49,8 +57,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Engine and transport strings are validated by train.Run, the single
+	// home of the accepted value sets.
 	cfg := train.Config{
 		Method: train.Method(*method), Topo: train.Topo(*topo),
+		Engine: train.Engine(*engine), Transport: train.Transport(*transport),
 		Workers: *workers, Rounds: *rounds, Batch: *batch,
 		LocalLR: *localLR, GlobalLR: *globalLR, K: *k,
 		Optimizer: *optimizer, UseElias: *elias,

@@ -211,16 +211,29 @@ func (v *Vec) AddSignsInto(dst []float64) {
 // simulated wire: one bit per element, rounded up to whole bytes.
 func (v *Vec) WireBytes() int { return (v.n + 7) / 8 }
 
+// MarshalBytes returns the serialized size: the 4-byte header plus the
+// packed payload.
+func (v *Vec) MarshalBytes() int { return 4 + v.WireBytes() }
+
 // Marshal serializes the vector: 4-byte little-endian bit length followed
 // by ceil(n/8) payload bytes.
 func (v *Vec) Marshal() []byte {
-	out := make([]byte, 4+v.WireBytes())
+	out := make([]byte, v.MarshalBytes())
+	v.MarshalInto(out)
+	return out
+}
+
+// MarshalInto is Marshal into a caller-provided buffer of exactly
+// MarshalBytes() length (e.g. one drawn from a payload pool).
+func (v *Vec) MarshalInto(out []byte) {
+	if len(out) != v.MarshalBytes() {
+		panic(fmt.Sprintf("bitvec: MarshalInto buffer of %d bytes, want %d", len(out), v.MarshalBytes()))
+	}
 	binary.LittleEndian.PutUint32(out, uint32(v.n))
 	for i := 0; i < v.WireBytes(); i++ {
 		word := v.words[i>>3]
 		out[4+i] = byte(word >> uint((i&7)*8))
 	}
-	return out
 }
 
 // Unmarshal parses data produced by Marshal.

@@ -37,7 +37,41 @@ import (
 	"marsit/internal/runtime"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
+	"marsit/internal/transport/tcp"
 )
+
+// Transport selects the message fabric of the parallel engine.
+type Transport string
+
+// The parallel engine's fabric backends.
+const (
+	// TransportLoopback is the in-process fabric: n² buffered channels,
+	// zero-copy payloads. The default.
+	TransportLoopback Transport = "loopback"
+	// TransportTCP runs every rank pair over a real TCP socket on the
+	// loopback interface — the wire backend of internal/transport/tcp,
+	// exercised in-process. Results and α–β accounting are identical to
+	// loopback; only wall-clock behaviour (syscalls, copies) changes.
+	TransportTCP Transport = "tcp"
+)
+
+// NewParallelEngine starts a concurrent execution engine of workers
+// ranks over the selected fabric backend ("" means loopback). The engine
+// owns the fabric; Close releases both.
+func NewParallelEngine(workers int, kind Transport) (*runtime.Engine, error) {
+	switch kind {
+	case "", TransportLoopback:
+		return runtime.New(workers), nil
+	case TransportTCP:
+		f, err := tcp.NewLocal(workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: tcp fabric: %w", err)
+		}
+		return runtime.NewWithOwnedTransport(f), nil
+	default:
+		return nil, fmt.Errorf("core: unknown transport %q", kind)
+	}
+}
 
 // MergeSigns merges two one-bit sign aggregates in place: agg covers
 // aWeight workers, local covers bWeight workers. Bits that agree pass
@@ -91,12 +125,16 @@ type Config struct {
 	DisableCompensation bool
 	// Parallel selects the concurrent execution engine
 	// (internal/runtime): every Sync runs one goroutine per worker,
-	// exchanging messages over an in-process loopback transport, instead
-	// of the single-threaded lock-step loop. Results, wire bytes and
-	// simulated clocks are bit-identical to the sequential path for a
-	// fixed Seed. Call Close when the instance is no longer needed to
-	// release the worker goroutines.
+	// exchanging messages over a pluggable transport, instead of the
+	// single-threaded lock-step loop. Results, wire bytes and simulated
+	// clocks are bit-identical to the sequential path for a fixed Seed.
+	// Call Close when the instance is no longer needed to release the
+	// worker goroutines.
 	Parallel bool
+	// Transport selects the parallel engine's fabric backend
+	// (TransportLoopback or TransportTCP; "" means loopback). Ignored
+	// unless Parallel is set.
+	Transport Transport
 }
 
 // Marsit holds the per-worker compensation state of Algorithm 1 and
@@ -138,7 +176,11 @@ func New(cfg Config) (*Marsit, error) {
 		m.rngs[w] = rng.NewStream(cfg.Seed, uint64(w)+1)
 	}
 	if cfg.Parallel {
-		m.engine = runtime.New(cfg.Workers)
+		eng, err := NewParallelEngine(cfg.Workers, cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
+		m.engine = eng
 	}
 	return m, nil
 }

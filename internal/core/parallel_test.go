@@ -72,6 +72,29 @@ func TestParallelSyncEquivalenceRing(t *testing.T) {
 	}
 }
 
+// TestParallelSyncEquivalenceTCP re-runs the ring equivalence with the
+// parallel engine on the TCP fabric (real sockets, loopback interface):
+// a 4-rank Marsit all-reduce must stay bit-identical to the sequential
+// engine in results, compensation, wire bytes and virtual clocks.
+func TestParallelSyncEquivalenceTCP(t *testing.T) {
+	for _, k := range []int{0, 3} {
+		t.Run(fmt.Sprintf("M=4_K=%d", k), func(t *testing.T) {
+			runEngines(t, Config{
+				Workers: 4, Dim: 203, K: k, GlobalLR: 0.05, Seed: uint64(131 + k),
+				Transport: TransportTCP,
+			}, 7)
+		})
+	}
+}
+
+// TestParallelUnknownTransportRejected checks fabric-kind validation.
+func TestParallelUnknownTransportRejected(t *testing.T) {
+	_, err := New(Config{Workers: 2, Dim: 8, GlobalLR: 0.1, Parallel: true, Transport: "rdma"})
+	if err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
 // TestParallelSyncEquivalenceTorus covers the TAR path, including
 // rectangular and degenerate tori.
 func TestParallelSyncEquivalenceTorus(t *testing.T) {

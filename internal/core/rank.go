@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/runtime"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+)
+
+// RankSync executes Algorithm 1 for a single rank of a distributed
+// fabric — the per-rank counterpart of Marsit.Sync, used by processes
+// that host one rank each (cmd/marsit-node). It keeps the rank's
+// compensation vector and transient stream, and runs each round's
+// collective through the per-rank entry points of internal/runtime, so
+// a fleet of RankSyncs over one transport is bit-identical — updates,
+// compensation, wire bytes and virtual clocks — to a Marsit driving the
+// whole cluster (the fleet equivalence tests pin this).
+//
+// It lives next to Marsit.Sync on purpose: the two must mirror each
+// other mechanism for mechanism (charge order, merge-stream derivation,
+// K-period condition, barrier placement). Change them together.
+type RankSync struct {
+	cfg   Config
+	rank  int
+	comp  tensor.Vec
+	rng   *rng.PCG
+	round int
+}
+
+// NewRankSync validates cfg (the same configuration every rank of the
+// fabric must share) and returns rank's synchronizer with zero
+// compensation. Only the ring topology is supported so far.
+func NewRankSync(cfg Config, rank int) (*RankSync, error) {
+	if cfg.Torus != nil {
+		return nil, fmt.Errorf("core: RankSync supports the ring topology only")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("core: Workers = %d, need >= 1", cfg.Workers)
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("core: Dim = %d, need >= 1", cfg.Dim)
+	}
+	if cfg.GlobalLR <= 0 {
+		return nil, fmt.Errorf("core: GlobalLR = %v, need > 0", cfg.GlobalLR)
+	}
+	if rank < 0 || rank >= cfg.Workers {
+		return nil, fmt.Errorf("core: rank %d out of range [0,%d)", rank, cfg.Workers)
+	}
+	return &RankSync{
+		cfg:  cfg,
+		rank: rank,
+		comp: tensor.New(cfg.Dim),
+		// The same per-worker stream derivation as New: stream w+1 of
+		// the shared seed.
+		rng: rng.NewStream(cfg.Seed, uint64(rank)+1),
+	}, nil
+}
+
+// Round returns the number of completed synchronizations t.
+func (r *RankSync) Round() int { return r.round }
+
+// Compensation returns a copy of the rank's compensation vector.
+func (r *RankSync) Compensation() tensor.Vec { return tensor.Clone(r.comp) }
+
+// FullPrecisionNext mirrors Marsit.FullPrecisionNext for this rank.
+func (r *RankSync) FullPrecisionNext() bool {
+	return r.cfg.K > 0 && r.round%r.cfg.K == 0
+}
+
+// Sync executes one round of Algorithm 1 for this rank: grad is the
+// rank's locally scaled gradient η_l·g (not modified); the returned
+// vector is the consensus global update g_t. The endpoint must belong
+// to this rank on a fabric of cfg.Workers ranks; c is charged exactly
+// like the sequential engine, and the round ends in a ClockBarrier
+// (netsim's implicit lock step, over the wire).
+func (r *RankSync) Sync(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+	if ep.Rank() != r.rank || ep.Size() != r.cfg.Workers {
+		panic(fmt.Sprintf("core: endpoint %d/%d for RankSync %d/%d",
+			ep.Rank(), ep.Size(), r.rank, r.cfg.Workers))
+	}
+	d := r.cfg.Dim
+	if len(grad) != d {
+		panic(fmt.Sprintf("core: rank %d gradient dim %d, want %d", r.rank, len(grad), d))
+	}
+	// Line 1: u = η_l·g + c.
+	u := tensor.Clone(grad)
+	tensor.Add(u, r.comp)
+
+	full := r.FullPrecisionNext()
+	r.round++
+
+	if full {
+		// Lines 11–13: full-precision ring all-reduce; c ← 0.
+		runtime.RingAllReduceRank(c, ep, u)
+		tensor.Zero(r.comp)
+		runtime.ClockBarrier(c, ep)
+		return u
+	}
+
+	// Lines 4–8: one-bit synchronization with the ⊙ merge drawing from
+	// this rank's stream in schedule order.
+	bits := bitvec.FromSigns(u)
+	c.AddCompress(r.rank, d)
+	runtime.OneBitRingAllReduceRank(c, ep, bits, func(_ int, agg, local *bitvec.Vec, aw, bw int) {
+		MergeSigns(agg, local, aw, bw, r.rng)
+	})
+
+	// Line 9: g_t = η_s · signs.
+	gt := tensor.New(d)
+	bits.UnpackSigns(gt)
+	tensor.Scale(gt, r.cfg.GlobalLR)
+	c.AddDecompress(r.rank, d)
+
+	// Line 10: c_{t+1} = u − g_t.
+	if !r.cfg.DisableCompensation {
+		copy(r.comp, u)
+		tensor.Sub(r.comp, gt)
+	}
+	runtime.ClockBarrier(c, ep)
+	return gt
+}

@@ -1,0 +1,484 @@
+// Package node drives one rank of a distributed Marsit fabric: it joins
+// a TCP transport (internal/transport/tcp), runs the configured
+// collective for a number of rounds using the per-rank entry points of
+// internal/runtime, and — in check mode — lets rank 0 verify the whole
+// fabric against the sequential engine.
+//
+// This is the engine room of cmd/marsit-node. Every process hosts
+// exactly one rank; gradients are generated from deterministic per-rank
+// RNG streams derived from the shared seed, so rank 0 can replay the
+// entire run on the single-threaded engine and demand bit-identical
+// results, wire-byte counts and α–β virtual clocks from the fabric. The
+// same schedule running in-process (tests) or across machines (real
+// deployments) produces the same report.
+//
+// Check protocol, carried over the fabric itself after the last round
+// (control-plane packets with Wire = 0, so nothing is charged to the
+// simulation): every rank r > 0 sends rank 0 a report frame
+//
+//	float64 clock | uint64 wire bytes | D × float64 result
+//
+// and blocks on a one-byte verdict frame (1 = fabric matches the
+// sequential engine). Per-pair FIFO guarantees the report trails all of
+// the rank's collective traffic. Shutdown is ordered so no verdict can
+// race a teardown: each peer acks its verdict and then lingers until
+// rank 0 — which closes only after collecting every ack — tears the
+// fabric down.
+package node
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"marsit/internal/collective"
+	"marsit/internal/core"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/runtime"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+	"marsit/internal/transport/tcp"
+)
+
+// The collectives a node can run.
+const (
+	// CollectiveRAR is the full-precision ring all-reduce (PSGD-style).
+	CollectiveRAR = "rar"
+	// CollectiveMarsit is the paper's one-bit ring schedule with global
+	// compensation and periodic full-precision synchronization.
+	CollectiveMarsit = "marsit"
+)
+
+// Config parameterizes one rank's run.
+type Config struct {
+	// Rank is this process's rank; Addrs[Rank] is its listen address.
+	Rank int
+	// Addrs lists every rank's address, defining the fabric size.
+	Addrs []string
+	// Collective selects the schedule (CollectiveRAR or CollectiveMarsit;
+	// "" means marsit).
+	Collective string
+	// Dim is the gradient dimension D.
+	Dim int
+	// Rounds is the number of synchronizations.
+	Rounds int
+	// K is Marsit's full-precision period (0 = one-bit forever).
+	K int
+	// GlobalLR is Marsit's global step η_s.
+	GlobalLR float64
+	// Seed drives the per-rank gradient and transient streams; all ranks
+	// must agree on it.
+	Seed uint64
+	// Check makes rank 0 verify every rank's result, clock and byte
+	// count against the sequential engine and broadcast the verdict.
+	// Every rank of a fabric must agree on it: the check protocol is a
+	// collective exchange.
+	Check bool
+	// DialTimeout bounds the fabric rendezvous (0 = tcp default).
+	DialTimeout time.Duration
+	// Cost overrides the default netsim cost model when non-nil.
+	Cost *netsim.CostModel
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+// Summary is one rank's view of a completed run.
+type Summary struct {
+	// Rank and Workers echo the fabric shape.
+	Rank, Workers int
+	// Clock is the rank's final simulated time, Bytes its wire bytes.
+	Clock float64
+	Bytes int64
+	// Result is the rank's final-round synchronized update.
+	Result tensor.Vec
+	// Checked reports that rank 0 verified the fabric against the
+	// sequential engine (set on every rank in check mode).
+	Checked bool
+}
+
+func (cfg *Config) validate() error {
+	n := len(cfg.Addrs)
+	if n < 1 {
+		return errors.New("node: no addresses")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= n {
+		return fmt.Errorf("node: rank %d out of range [0,%d)", cfg.Rank, n)
+	}
+	if cfg.Dim < 1 {
+		return fmt.Errorf("node: Dim = %d", cfg.Dim)
+	}
+	if cfg.Rounds < 1 {
+		return fmt.Errorf("node: Rounds = %d", cfg.Rounds)
+	}
+	switch cfg.Collective {
+	case "":
+		cfg.Collective = CollectiveMarsit
+	case CollectiveRAR, CollectiveMarsit:
+	default:
+		return fmt.Errorf("node: unknown collective %q", cfg.Collective)
+	}
+	if cfg.Collective == CollectiveMarsit && cfg.GlobalLR <= 0 {
+		return fmt.Errorf("node: marsit needs GlobalLR > 0, got %v", cfg.GlobalLR)
+	}
+	return nil
+}
+
+func (cfg *Config) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "rank %d: "+format+"\n", append([]any{cfg.Rank}, args...)...)
+	}
+}
+
+func (cfg *Config) costModel() netsim.CostModel {
+	if cfg.Cost != nil {
+		return *cfg.Cost
+	}
+	return netsim.DefaultCostModel()
+}
+
+// gradStream returns rank w's gradient stream; every rank derives all
+// ranks' streams identically, so rank 0 can replay the fabric.
+func gradStream(seed uint64, w int) *rng.PCG {
+	return rng.NewStream(seed, 0xd000+uint64(w))
+}
+
+// Run executes this rank's share of the configured run: join the fabric,
+// synchronize Rounds times, then (in check mode) take part in the
+// verification exchange. It blocks until the rank is done and returns
+// its summary.
+func Run(cfg Config) (*Summary, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Addrs)
+	rank := cfg.Rank
+
+	cfg.logf("joining %d-rank fabric at %v", n, cfg.Addrs[rank])
+	fabric, err := tcp.New(tcp.Config{
+		Addrs:       cfg.Addrs,
+		LocalRanks:  []int{rank},
+		DialTimeout: cfg.DialTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fabric.Close()
+	ep := fabric.Endpoint(rank)
+	cfg.logf("fabric up (%d ranks)", n)
+
+	cluster := netsim.NewCluster(n, cfg.costModel())
+	result, err := runRounds(&cfg, cluster, ep)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Summary{
+		Rank:    rank,
+		Workers: n,
+		Clock:   cluster.Clock(rank),
+		Bytes:   cluster.BytesSent(rank),
+		Result:  result,
+	}
+	if !cfg.Check {
+		// Even without verification the teardown must be ordered: a rank
+		// closing right after its last barrier response can race a slower
+		// peer still waiting for its own.
+		if err := orderlyShutdown(&cfg, ep); err != nil {
+			return nil, err
+		}
+		cfg.logf("done: t=%.6fs wire=%dB", s.Clock, s.Bytes)
+		return s, nil
+	}
+	if rank == 0 {
+		if err := verifyFabric(&cfg, ep, s); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := reportAndAwaitVerdict(&cfg, ep, s); err != nil {
+			return nil, err
+		}
+	}
+	s.Checked = true
+	return s, nil
+}
+
+// runRounds executes the configured collective for every round and
+// returns the final synchronized update.
+func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (tensor.Vec, error) {
+	rank, d := ep.Rank(), cfg.Dim
+	grads := gradStream(cfg.Seed, rank)
+
+	switch cfg.Collective {
+	case CollectiveRAR:
+		var result tensor.Vec
+		for round := 0; round < cfg.Rounds; round++ {
+			work := grads.NormVec(make(tensor.Vec, d), 0, 1)
+			runtime.RingAllReduceRank(c, ep, work)
+			runtime.ClockBarrier(c, ep)
+			result = work
+		}
+		return result, nil
+
+	case CollectiveMarsit:
+		// core.RankSync is the per-rank Algorithm 1, maintained next to
+		// Marsit.Sync so the distributed schedule cannot drift from the
+		// sequential one.
+		rs, err := core.NewRankSync(core.Config{
+			Workers: ep.Size(), Dim: d, K: cfg.K, GlobalLR: cfg.GlobalLR, Seed: cfg.Seed,
+		}, rank)
+		if err != nil {
+			return nil, err
+		}
+		var result tensor.Vec
+		for round := 0; round < cfg.Rounds; round++ {
+			result = rs.Sync(c, ep, grads.NormVec(make(tensor.Vec, d), 0, 1))
+		}
+		return result, nil
+	}
+	return nil, fmt.Errorf("node: unknown collective %q", cfg.Collective)
+}
+
+// sequentialReference replays the whole run on the single-threaded
+// engine and returns the per-rank results and the reference cluster.
+func sequentialReference(cfg *Config, n int) ([]tensor.Vec, *netsim.Cluster, error) {
+	d := cfg.Dim
+	c := netsim.NewCluster(n, cfg.costModel())
+	streams := make([]*rng.PCG, n)
+	for w := range streams {
+		streams[w] = gradStream(cfg.Seed, w)
+	}
+	results := make([]tensor.Vec, n)
+
+	switch cfg.Collective {
+	case CollectiveRAR:
+		for round := 0; round < cfg.Rounds; round++ {
+			work := make([]tensor.Vec, n)
+			for w := range work {
+				work[w] = streams[w].NormVec(make(tensor.Vec, d), 0, 1)
+			}
+			collective.RingAllReduce(c, work)
+			copy(results, work)
+		}
+		return results, c, nil
+
+	case CollectiveMarsit:
+		m, err := core.New(core.Config{
+			Workers: n, Dim: d, K: cfg.K, GlobalLR: cfg.GlobalLR, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		var gt tensor.Vec
+		for round := 0; round < cfg.Rounds; round++ {
+			grads := make([]tensor.Vec, n)
+			for w := range grads {
+				grads[w] = streams[w].NormVec(make(tensor.Vec, d), 0, 1)
+			}
+			gt = m.Sync(c, grads)
+		}
+		for w := range results {
+			results[w] = gt // consensus: identical on every rank
+		}
+		return results, c, nil
+	}
+	return nil, nil, fmt.Errorf("node: unknown collective %q", cfg.Collective)
+}
+
+// reportBytes is the report frame size for dimension d.
+func reportBytes(d int) int { return 8 + 8 + 8*d }
+
+// encodeReport serializes a rank's clock, byte count and result into a
+// pooled control-plane payload.
+func encodeReport(s *Summary) []byte {
+	out := transport.GetBuffer(reportBytes(len(s.Result)))
+	binary.LittleEndian.PutUint64(out[0:], math.Float64bits(s.Clock))
+	binary.LittleEndian.PutUint64(out[8:], uint64(s.Bytes))
+	for i, x := range s.Result {
+		binary.LittleEndian.PutUint64(out[16+8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// decodeReport parses a report frame (and recycles it).
+func decodeReport(data []byte, d int) (clock float64, bytes int64, result tensor.Vec, err error) {
+	if len(data) != reportBytes(d) {
+		return 0, 0, nil, fmt.Errorf("node: report of %d bytes, want %d", len(data), reportBytes(d))
+	}
+	clock = math.Float64frombits(binary.LittleEndian.Uint64(data[0:]))
+	bytes = int64(binary.LittleEndian.Uint64(data[8:]))
+	result = tensor.New(d)
+	for i := range result {
+		result[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[16+8*i:]))
+	}
+	transport.PutBuffer(data)
+	return clock, bytes, result, nil
+}
+
+// clockTolerance absorbs the float summation-order differences the
+// engine equivalence tests allow (they demand 1e-12; wire transfers of
+// the same doubles cannot add more).
+const clockTolerance = 1e-9
+
+// verifyFabric is rank 0's check: gather every rank's report, replay the
+// run sequentially, compare bit for bit, and broadcast the verdict.
+func verifyFabric(cfg *Config, ep transport.Endpoint, own *Summary) error {
+	n, d := ep.Size(), cfg.Dim
+	clocks := make([]float64, n)
+	bytes := make([]int64, n)
+	results := make([]tensor.Vec, n)
+	clocks[0], bytes[0], results[0] = own.Clock, own.Bytes, own.Result
+	for from := 1; from < n; from++ {
+		p, err := ep.Recv(from)
+		if err != nil {
+			return fmt.Errorf("node: gather report from rank %d: %w", from, err)
+		}
+		clocks[from], bytes[from], results[from], err = decodeReport(p.Data, d)
+		if err != nil {
+			return err
+		}
+	}
+	cfg.logf("gathered %d reports, replaying sequentially", n-1)
+
+	refResults, refC, err := sequentialReference(cfg, n)
+	verdict := err == nil
+	var failure error
+	if err != nil {
+		failure = err
+	}
+	for w := 0; verdict && w < n; w++ {
+		if !sameVec(results[w], refResults[w]) {
+			verdict = false
+			failure = fmt.Errorf("node: rank %d result differs from the sequential engine", w)
+			break
+		}
+		if bytes[w] != refC.BytesSent(w) {
+			verdict = false
+			failure = fmt.Errorf("node: rank %d wire bytes %d, sequential engine %d", w, bytes[w], refC.BytesSent(w))
+			break
+		}
+		if diff := math.Abs(clocks[w] - refC.Clock(w)); diff > clockTolerance {
+			verdict = false
+			failure = fmt.Errorf("node: rank %d clock %v, sequential engine %v", w, clocks[w], refC.Clock(w))
+			break
+		}
+	}
+
+	code := byte(0)
+	if verdict {
+		code = 1
+	}
+	for to := 1; to < n; to++ {
+		buf := transport.GetBuffer(1)
+		buf[0] = code
+		if err := ep.Send(to, transport.Packet{Data: buf}); err != nil {
+			return fmt.Errorf("node: verdict to rank %d: %w", to, err)
+		}
+	}
+	// Collect every peer's ack before returning (and so before the fabric
+	// closes): an ack proves the verdict was consumed, making the
+	// shutdown order-safe regardless of scheduling.
+	for from := 1; from < n; from++ {
+		if _, err := ep.Recv(from); err != nil {
+			return fmt.Errorf("node: verdict ack from rank %d: %w", from, err)
+		}
+	}
+	if !verdict {
+		return failure
+	}
+	cfg.logf("fabric matches the sequential engine: M=%d D=%d rounds=%d t=%.6fs wire=%dB",
+		n, d, cfg.Rounds, refC.Time(), refC.TotalBytes())
+	return nil
+}
+
+// orderlyShutdown is the non-check farewell, the check protocol's
+// done → bye → ack → linger skeleton without payloads: rank 0 returns
+// (and so closes) only after every peer has confirmed it is past its
+// last barrier, and peers linger until rank 0's teardown reaches them,
+// so no in-flight frame can be poisoned away by an early exit.
+func orderlyShutdown(cfg *Config, ep transport.Endpoint) error {
+	n, rank := ep.Size(), ep.Rank()
+	if n < 2 {
+		return nil
+	}
+	if rank == 0 {
+		for from := 1; from < n; from++ {
+			if _, err := ep.Recv(from); err != nil {
+				return fmt.Errorf("node: shutdown done from rank %d: %w", from, err)
+			}
+		}
+		for to := 1; to < n; to++ {
+			if err := ep.Send(to, transport.Packet{}); err != nil {
+				return fmt.Errorf("node: shutdown bye to rank %d: %w", to, err)
+			}
+		}
+		for from := 1; from < n; from++ {
+			if _, err := ep.Recv(from); err != nil {
+				return fmt.Errorf("node: shutdown ack from rank %d: %w", from, err)
+			}
+		}
+		return nil
+	}
+	if err := ep.Send(0, transport.Packet{}); err != nil {
+		return fmt.Errorf("node: shutdown done: %w", err)
+	}
+	if _, err := ep.Recv(0); err != nil {
+		return fmt.Errorf("node: shutdown bye: %w", err)
+	}
+	if err := ep.Send(0, transport.Packet{}); err != nil {
+		return fmt.Errorf("node: shutdown ack: %w", err)
+	}
+	if _, err := ep.Recv(0); err == nil {
+		return errors.New("node: unexpected frame during shutdown")
+	}
+	return nil
+}
+
+// sameVec reports bit-exact equality (the acceptance bar: no tolerance
+// on the synchronized updates).
+func sameVec(a, b tensor.Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// reportAndAwaitVerdict is every other rank's check half.
+func reportAndAwaitVerdict(cfg *Config, ep transport.Endpoint, own *Summary) error {
+	if err := ep.Send(0, transport.Packet{Data: encodeReport(own)}); err != nil {
+		return fmt.Errorf("node: report to rank 0: %w", err)
+	}
+	p, err := ep.Recv(0)
+	if err != nil {
+		return fmt.Errorf("node: await verdict: %w", err)
+	}
+	if len(p.Data) != 1 {
+		return fmt.Errorf("node: malformed verdict (%d bytes)", len(p.Data))
+	}
+	ok := p.Data[0] == 1
+	transport.PutBuffer(p.Data)
+	// Ack the verdict, then linger until rank 0 — who closes only after
+	// every ack — tears the fabric down; this keeps our own teardown from
+	// racing a slower peer's verdict delivery.
+	ack := transport.GetBuffer(1)
+	ack[0] = 0x2a
+	if err := ep.Send(0, transport.Packet{Data: ack}); err != nil {
+		return fmt.Errorf("node: verdict ack: %w", err)
+	}
+	if _, lingErr := ep.Recv(0); lingErr == nil {
+		return errors.New("node: unexpected frame after verdict")
+	}
+	if !ok {
+		return errors.New("node: rank 0 reports a mismatch with the sequential engine")
+	}
+	cfg.logf("verified against the sequential engine")
+	return nil
+}

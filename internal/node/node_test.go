@@ -1,0 +1,241 @@
+package node_test
+
+import (
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"marsit/internal/node"
+)
+
+// launch runs one node.Run per rank concurrently — each rank builds its
+// own single-rank TCP fabric, exactly the multi-process shape — and
+// returns the per-rank summaries and errors. Fabric addresses come from
+// reserve-then-rebind, which can collide with other test binaries'
+// ephemeral listeners, so rendezvous-stage failures ("tcp:" errors)
+// retry the whole fleet on fresh ports.
+func launch(t *testing.T, n int, mutate func(rank int, cfg *node.Config)) ([]*node.Summary, []error) {
+	t.Helper()
+	const attempts = 3
+	var sums []*node.Summary
+	var errs []error
+	for try := 0; try < attempts; try++ {
+		cfgs := fleetConfigs(t, n, mutate)
+		sums = make([]*node.Summary, n)
+		errs = make([]error, n)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for r := 0; r < n; r++ {
+			go func(rank int) {
+				defer wg.Done()
+				sums[rank], errs[rank] = node.Run(cfgs[rank])
+			}(r)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("node fleet did not finish")
+		}
+		rendezvousFlake := false
+		for _, err := range errs {
+			if err != nil && strings.Contains(err.Error(), "tcp:") {
+				rendezvousFlake = true
+			}
+		}
+		if !rendezvousFlake {
+			return sums, errs
+		}
+		t.Logf("attempt %d hit a rendezvous port collision, retrying: %v", try, errs)
+	}
+	t.Fatalf("fleet rendezvous kept failing after %d attempts: %v", attempts, errs)
+	return nil, nil
+}
+
+func fleetConfigs(t *testing.T, n int, mutate func(rank int, cfg *node.Config)) []node.Config {
+	t.Helper()
+	addrs := reserveAddrs(t, n)
+	cfgs := make([]node.Config, n)
+	for r := 0; r < n; r++ {
+		cfgs[r] = node.Config{
+			Rank:        r,
+			Addrs:       addrs,
+			Collective:  node.CollectiveMarsit,
+			Dim:         257,
+			Rounds:      6,
+			K:           3,
+			GlobalLR:    0.05,
+			Seed:        11,
+			Check:       true,
+			DialTimeout: 10 * time.Second,
+		}
+		if mutate != nil {
+			mutate(r, &cfgs[r])
+		}
+	}
+	return cfgs
+}
+
+// TestFourRankMarsitMatchesSequential is the acceptance check at the
+// process level: a 4-rank one-bit Marsit run (mixed with full-precision
+// rounds) across four separate TCP fabrics on the loopback interface
+// must be bit-identical to the sequential engine — results, wire bytes
+// and virtual clocks — as verified by rank 0's check protocol.
+func TestFourRankMarsitMatchesSequential(t *testing.T) {
+	sums, errs := launch(t, 4, nil)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, s := range sums {
+		if !s.Checked {
+			t.Fatalf("rank %d not verified", r)
+		}
+		if s.Workers != 4 || s.Rank != r {
+			t.Fatalf("rank %d summary %+v", r, s)
+		}
+		if s.Bytes <= 0 || s.Clock <= 0 {
+			t.Fatalf("rank %d accounted nothing: %+v", r, s)
+		}
+	}
+	// Marsit's one-bit consensus: the final update is identical everywhere.
+	for r := 1; r < 4; r++ {
+		for i := range sums[0].Result {
+			if sums[0].Result[i] != sums[r].Result[i] {
+				t.Fatalf("rank %d result diverges at %d", r, i)
+			}
+		}
+	}
+}
+
+// TestFourRankRARMatchesSequential covers the full-precision path, pure
+// one-bit Marsit (K=0), and an odd fabric size.
+func TestFourRankRARMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		mut  func(rank int, cfg *node.Config)
+	}{
+		{"rar_4", 4, func(_ int, cfg *node.Config) { cfg.Collective = node.CollectiveRAR }},
+		{"marsit_k0_3", 3, func(_ int, cfg *node.Config) { cfg.K = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sums, errs := launch(t, tc.n, tc.mut)
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			for r, s := range sums {
+				if !s.Checked {
+					t.Fatalf("rank %d not verified", r)
+				}
+			}
+		})
+	}
+}
+
+// TestNoCheckFleetShutsDownCleanly runs a fleet without verification:
+// the orderly-shutdown farewell must keep early-exiting ranks from
+// poisoning peers still in their last barrier, every time.
+func TestNoCheckFleetShutsDownCleanly(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		sums, errs := launch(t, 4, func(_ int, cfg *node.Config) {
+			cfg.Check = false
+			cfg.Rounds = 3
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("iteration %d rank %d: %v", i, r, err)
+			}
+		}
+		for r, s := range sums {
+			if s.Checked {
+				t.Fatalf("iteration %d rank %d claims verification", i, r)
+			}
+			if s.Bytes <= 0 {
+				t.Fatalf("iteration %d rank %d accounted nothing", i, r)
+			}
+		}
+	}
+}
+
+// TestCheckDetectsDivergence tampers with one rank's seed: the fabric
+// assembles and runs, but rank 0's sequential replay must flag the
+// mismatch and every rank must observe the failure.
+func TestCheckDetectsDivergence(t *testing.T) {
+	_, errs := launch(t, 3, func(rank int, cfg *node.Config) {
+		cfg.Collective = node.CollectiveRAR
+		if rank == 2 {
+			cfg.Seed = 999 // diverges from the fabric's agreed seed
+		}
+	})
+	if errs[0] == nil {
+		t.Fatal("rank 0 did not detect the divergence")
+	}
+	for r := 1; r < 3; r++ {
+		if errs[r] == nil {
+			t.Fatalf("rank %d did not observe the failed verdict", r)
+		}
+	}
+}
+
+// TestValidation covers the config rejection paths.
+func TestValidation(t *testing.T) {
+	bad := []node.Config{
+		{},
+		{Addrs: []string{"127.0.0.1:0"}, Rank: 1, Dim: 4, Rounds: 1},
+		{Addrs: []string{"127.0.0.1:0"}, Dim: 0, Rounds: 1},
+		{Addrs: []string{"127.0.0.1:0"}, Dim: 4, Rounds: 0},
+		{Addrs: []string{"127.0.0.1:0"}, Dim: 4, Rounds: 1, Collective: "gossip"},
+		{Addrs: []string{"127.0.0.1:0"}, Dim: 4, Rounds: 1, Collective: node.CollectiveMarsit, GlobalLR: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := node.Run(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestSingleRankFabric: the degenerate one-process fabric still runs and
+// self-verifies (everything is a local no-op collective).
+func TestSingleRankFabric(t *testing.T) {
+	addrs := reserveAddrs(t, 1)
+	s, err := node.Run(node.Config{
+		Rank: 0, Addrs: addrs, Collective: node.CollectiveMarsit,
+		Dim: 33, Rounds: 2, GlobalLR: 0.1, Seed: 3, Check: true,
+		DialTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("single rank: %v", err)
+	}
+	if !s.Checked || len(s.Result) != 33 {
+		t.Fatalf("summary %+v", s)
+	}
+	for _, x := range s.Result {
+		if math.Abs(x) != 0.1 {
+			t.Fatalf("one-bit update magnitude %v", x)
+		}
+	}
+}
+
+// reserveAddrs picks n loopback addresses free at call time.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}

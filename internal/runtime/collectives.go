@@ -16,18 +16,9 @@ func mod(i, m int) int { return ((i % m) + m) % m }
 // return every vector holds the element-wise mean; results, wire bytes
 // and virtual clocks are bit-identical to the sequential path.
 func (e *Engine) RingAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
-	d := e.checkShape(c, vecs)
-	n := e.n
-	segs := tensor.Partition(d, n)
+	e.checkShape(c, vecs)
 	e.run(func(rank int, ep transport.Endpoint) {
-		rk := newRankCtx(c, ep, rank)
-		if n >= 2 {
-			next, prev := mod(rank+1, n), mod(rank-1, n)
-			ringReduceScatter(rk, next, prev, rank, n, vecs[rank], segs)
-			ringAllGather(rk, next, prev, rank, n, vecs[rank], segs)
-		}
-		tensor.Scale(vecs[rank], 1/float64(n))
-		rk.finish()
+		RingAllReduceRank(c, ep, vecs[rank])
 	})
 	c.Barrier()
 }

@@ -67,6 +67,16 @@ func New(workers int) *Engine {
 	return e
 }
 
+// NewWithOwnedTransport starts an engine over an existing fabric and
+// takes ownership of it: Close tears the fabric down too. Used when the
+// fabric exists solely to back this engine (e.g. a TCP fabric built for
+// the `-transport tcp` configuration).
+func NewWithOwnedTransport(tr transport.Transport) *Engine {
+	e := NewWithTransport(tr)
+	e.ownsTransport = true
+	return e
+}
+
 // NewWithTransport starts an engine over an existing fabric (one rank per
 // transport endpoint). The caller retains ownership of tr: Close does not
 // close it. Exception: a panic on a worker goroutine poisons the engine
@@ -255,9 +265,11 @@ const floatWireBytes = 4
 // encodeFloats serializes v as raw little-endian float64 bits — an exact
 // round-trip, so parallel arithmetic matches the sequential engine bit
 // for bit. The returned slice doubles as the sequential schedule's
-// pre-mutation snapshot.
+// pre-mutation snapshot. The buffer comes from the shared payload pool;
+// ownership passes to the transport at Send, and the consuming side
+// (addFloats/copyFloats) recycles it.
 func encodeFloats(v []float64) []byte {
-	out := make([]byte, 8*len(v))
+	out := transport.GetBuffer(8 * len(v))
 	for i, x := range v {
 		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
 	}
@@ -266,20 +278,23 @@ func encodeFloats(v []float64) []byte {
 
 // addFloats accumulates an encodeFloats payload into dst (dst[i] += x_i),
 // the reduce-scatter combine, without materializing the decoded vector.
+// The payload is dead afterwards and is recycled into the buffer pool.
 func addFloats(dst []float64, data []byte) {
 	checkFloatPayload(len(dst), data)
 	for i := range dst {
 		dst[i] += math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 	}
+	transport.PutBuffer(data)
 }
 
 // copyFloats overwrites dst with an encodeFloats payload, the all-gather
-// combine.
+// combine, then recycles the payload into the buffer pool.
 func copyFloats(dst []float64, data []byte) {
 	checkFloatPayload(len(dst), data)
 	for i := range dst {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 	}
+	transport.PutBuffer(data)
 }
 
 func checkFloatPayload(n int, data []byte) {

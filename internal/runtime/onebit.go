@@ -25,17 +25,12 @@ type MergeFunc func(rank int, agg, local *bitvec.Vec, aggWeight, localWeight int
 // holding the group-wide consensus, identical on every rank and
 // bit-identical to the sequential core schedule.
 func (e *Engine) OneBitRingAllReduce(c *netsim.Cluster, bits []*bitvec.Vec, merge MergeFunc) {
-	d := e.checkBits(c, bits)
-	n := e.n
-	if n < 2 {
+	e.checkBits(c, bits)
+	if e.n < 2 {
 		return
 	}
-	segs := tensor.Partition(d, n)
 	e.run(func(rank int, ep transport.Endpoint) {
-		rk := newRankCtx(c, ep, rank)
-		next, prev := mod(rank+1, n), mod(rank-1, n)
-		oneBitRingRank(rk, next, prev, rank, n, bits[rank], segs, 1, merge)
-		rk.finish()
+		OneBitRingAllReduceRank(c, ep, bits[rank], merge)
 	})
 }
 
@@ -108,13 +103,17 @@ func oneBitRingRank(rk *rankCtx, next, prev, p, m int, bits *bitvec.Vec, segs []
 
 // exchangeBits sends out downstream and receives the upstream segment,
 // charging one simulated bit per element (the packet's framing header is
-// not charged).
+// not charged). Payload buffers cycle through the shared pool: the
+// outgoing marshal draws one and the consumed incoming one is returned.
 func (r *rankCtx) exchangeBits(next int, out *bitvec.Vec, prev int) *bitvec.Vec {
-	data := r.exchange(next, out.Marshal(), out.WireBytes(), prev)
+	buf := transport.GetBuffer(out.MarshalBytes())
+	out.MarshalInto(buf)
+	data := r.exchange(next, buf, out.WireBytes(), prev)
 	in, err := bitvec.Unmarshal(data)
 	if err != nil {
 		panic(fmt.Sprintf("runtime: rank %d: %v", r.rank, err))
 	}
+	transport.PutBuffer(data)
 	return in
 }
 

@@ -1,0 +1,104 @@
+package runtime
+
+import (
+	"fmt"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/netsim"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+)
+
+// The per-rank entry points below execute exactly one rank's share of a
+// collective over its transport endpoint. The in-process Engine drives
+// them from its worker goroutines; a distributed process (cmd/marsit-node)
+// hosting a single rank of a TCP fabric calls them directly, so the same
+// schedule — and therefore the same results, wire bytes and α–β virtual
+// clocks — runs across processes and machines. The caller's cluster must
+// span the full fabric; only the rank's own entries are touched.
+
+// checkRankCluster validates the cluster spans the endpoint's fabric.
+func checkRankCluster(c *netsim.Cluster, ep transport.Endpoint) {
+	if c.Size() != ep.Size() {
+		panic(fmt.Sprintf("runtime: cluster size %d != fabric size %d", c.Size(), ep.Size()))
+	}
+}
+
+// RingAllReduceRank executes one rank's share of the full-precision ring
+// all-reduce: reduce-scatter, all-gather, 1/M scaling and the virtual-
+// time write-back. vec is the rank's local vector and holds the
+// element-wise mean on return. The caller owns the closing barrier (the
+// Engine uses the coordinator's c.Barrier(); distributed ranks use
+// ClockBarrier).
+func RingAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	rk := newRankCtx(c, ep, rank)
+	if n >= 2 {
+		segs := tensor.Partition(len(vec), n)
+		next, prev := mod(rank+1, n), mod(rank-1, n)
+		ringReduceScatter(rk, next, prev, rank, n, vec, segs)
+		ringAllGather(rk, next, prev, rank, n, vec, segs)
+	}
+	tensor.Scale(vec, 1/float64(n))
+	rk.finish()
+}
+
+// OneBitRingAllReduceRank executes one rank's share of the Marsit
+// one-bit ring schedule: reduce-scatter with a merge at every hop, then
+// the all-gather of the final segments. bits enters holding the rank's
+// packed signs and leaves holding the group-wide consensus. merge is
+// invoked in the sequential schedule's order for this rank.
+func OneBitRingAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, bits *bitvec.Vec, merge MergeFunc) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if n < 2 {
+		return
+	}
+	segs := tensor.Partition(bits.Len(), n)
+	rk := newRankCtx(c, ep, rank)
+	oneBitRingRank(rk, mod(rank+1, n), mod(rank-1, n), rank, n, bits, segs, 1, merge)
+	rk.finish()
+}
+
+// ClockBarrier reproduces netsim.Cluster.Barrier for a distributed rank:
+// every rank reports its virtual clock to rank 0, which answers with the
+// fabric-wide maximum; each rank then advances to it, attributing the
+// wait to transmission exactly like the coordinator barrier. The
+// messages carry Wire = 0, so no simulated bytes or time are charged —
+// the barrier is control plane, like the sequential engine's implicit
+// lock step.
+func ClockBarrier(c *netsim.Cluster, ep transport.Endpoint) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if n < 2 {
+		return
+	}
+	if rank == 0 {
+		t := c.Clock(0)
+		for from := 1; from < n; from++ {
+			p, err := ep.Recv(from)
+			if err != nil {
+				panic(fmt.Sprintf("runtime: barrier recv from %d: %v", from, err))
+			}
+			if p.Clock > t {
+				t = p.Clock
+			}
+		}
+		for to := 1; to < n; to++ {
+			if err := ep.Send(to, transport.Packet{Clock: t}); err != nil {
+				panic(fmt.Sprintf("runtime: barrier send to %d: %v", to, err))
+			}
+		}
+		c.AdvanceTransmit(0, t)
+		return
+	}
+	if err := ep.Send(0, transport.Packet{Clock: c.Clock(rank)}); err != nil {
+		panic(fmt.Sprintf("runtime: rank %d barrier send: %v", rank, err))
+	}
+	p, err := ep.Recv(0)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: rank %d barrier recv: %v", rank, err))
+	}
+	c.AdvanceTransmit(rank, p.Clock)
+}

@@ -1,0 +1,149 @@
+package runtime_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/runtime"
+	"marsit/internal/transport"
+	"marsit/internal/transport/tcp"
+)
+
+// newTCPEngine starts an engine whose ranks exchange messages over real
+// TCP sockets on the loopback interface.
+func newTCPEngine(t *testing.T, n int) *runtime.Engine {
+	t.Helper()
+	f, err := tcp.NewLocal(n)
+	if err != nil {
+		t.Fatalf("tcp fabric: %v", err)
+	}
+	return runtime.NewWithOwnedTransport(f)
+}
+
+// TestTCPRingAllReduceEquivalence is the acceptance check for the wire
+// backend's full-precision path: ring all-reduce over real sockets is
+// bit-identical — values, wire bytes, virtual clocks, phase breakdowns —
+// to the loopback engine (itself proven identical to the sequential
+// collective) across worker counts and unbalanced dimensions.
+func TestTCPRingAllReduceEquivalence(t *testing.T) {
+	for _, n := range []int{2, 4, 5} {
+		for _, d := range []int{5, 1001} {
+			t.Run(fmt.Sprintf("M=%d_D=%d", n, d), func(t *testing.T) {
+				base := randVecs(uint64(n*1000+d), n, d)
+				loopV, tcpV := cloneAll(base), cloneAll(base)
+				loopC := netsim.NewCluster(n, netsim.DefaultCostModel())
+				tcpC := netsim.NewCluster(n, netsim.DefaultCostModel())
+
+				loop := runtime.New(n)
+				defer loop.Close()
+				loop.RingAllReduce(loopC, loopV)
+
+				eng := newTCPEngine(t, n)
+				defer eng.Close()
+				eng.RingAllReduce(tcpC, tcpV)
+
+				requireSameVecs(t, loopV, tcpV)
+				requireSameAccounting(t, loopC, tcpC)
+			})
+		}
+	}
+}
+
+// TestTCPOneBitRingEquivalence is the acceptance check for the one-bit
+// Marsit ring over TCP: per-rank bits equal the lockstep sequential
+// reference, all ranks reach consensus, the accounting matches the
+// loopback engine exactly, and repeated runs are deterministic.
+func TestTCPOneBitRingEquivalence(t *testing.T) {
+	const n, d = 4, 101
+	run := func(eng *runtime.Engine) ([]*bitvec.Vec, *netsim.Cluster) {
+		defer eng.Close()
+		bits := randBits(7, n, d)
+		c := netsim.NewCluster(n, netsim.DefaultCostModel())
+		eng.OneBitRingAllReduce(c, bits, mergeWithStreams(99, n))
+		return bits, c
+	}
+	tcpBits, tcpC := run(newTCPEngine(t, n))
+	loopBits, loopC := run(runtime.New(n))
+
+	want := randBits(7, n, d)
+	seqOneBitGroups(want, d, [][]int{allRanks(n)}, 1, rng.Streams(99, n))
+	requireSameBits(t, want, tcpBits)
+	requireSameBits(t, loopBits, tcpBits)
+	for w := 1; w < n; w++ {
+		if !tcpBits[0].Equal(tcpBits[w]) {
+			t.Fatalf("rank %d disagrees with rank 0 over TCP", w)
+		}
+	}
+	requireSameAccounting(t, loopC, tcpC)
+
+	again, _ := run(newTCPEngine(t, n))
+	requireSameBits(t, tcpBits, again)
+}
+
+// TestTCPEngineLargePayload pushes segment payloads well past a single
+// TCP segment to exercise framing over partial reads.
+func TestTCPEngineLargePayload(t *testing.T) {
+	const n, d = 4, 200_000
+	base := randVecs(42, n, d)
+	loopV, tcpV := cloneAll(base), cloneAll(base)
+	loopC := netsim.NewCluster(n, netsim.DefaultCostModel())
+	tcpC := netsim.NewCluster(n, netsim.DefaultCostModel())
+
+	loop := runtime.New(n)
+	defer loop.Close()
+	loop.RingAllReduce(loopC, loopV)
+
+	eng := newTCPEngine(t, n)
+	defer eng.Close()
+	eng.RingAllReduce(tcpC, tcpV)
+
+	requireSameVecs(t, loopV, tcpV)
+	requireSameAccounting(t, loopC, tcpC)
+}
+
+// TestClockBarrierMatchesCoordinator drives skewed per-rank clocks
+// through the wire barrier — one goroutine per rank over a shared fabric
+// — and checks every rank lands on the cluster maximum with the wait
+// attributed to transmission, exactly like netsim's coordinator Barrier.
+func TestClockBarrierMatchesCoordinator(t *testing.T) {
+	const n = 5
+	for _, backend := range []string{"loopback", "tcp"} {
+		t.Run(backend, func(t *testing.T) {
+			seqC := netsim.NewCluster(n, netsim.DefaultCostModel())
+			parC := netsim.NewCluster(n, netsim.DefaultCostModel())
+			for w := 0; w < n; w++ {
+				sec := float64(w+1) * 0.25
+				seqC.AddCompute(w, sec)
+				parC.AddCompute(w, sec)
+			}
+			seqC.Barrier()
+
+			var tr transport.Transport
+			if backend == "tcp" {
+				f, err := tcp.NewLocal(n)
+				if err != nil {
+					t.Fatalf("tcp fabric: %v", err)
+				}
+				tr = f
+			} else {
+				tr = transport.NewLoopback(n)
+			}
+			defer tr.Close()
+			var wg sync.WaitGroup
+			wg.Add(n)
+			for r := 0; r < n; r++ {
+				go func(rank int) {
+					defer wg.Done()
+					runtime.ClockBarrier(parC, tr.Endpoint(rank))
+				}(r)
+			}
+			wg.Wait()
+
+			requireSameAccounting(t, seqC, parC)
+		})
+	}
+}

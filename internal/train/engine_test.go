@@ -55,6 +55,65 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 }
 
+// TestEngineEquivalenceTCP re-runs the engine equivalence with the
+// parallel engine's TCP fabric: metric series must match the sequential
+// engine point for point even when every collective hop crosses a real
+// socket.
+func TestEngineEquivalenceTCP(t *testing.T) {
+	for _, method := range []Method{MethodPSGD, MethodMarsit} {
+		t.Run(string(method), func(t *testing.T) {
+			cfg := quickCfg(method, TopoRing)
+			cfg.Rounds = 6
+			cfg.K = 3
+
+			seqCfg, tcpCfg := cfg, cfg
+			seqCfg.Engine = EngineSeq
+			tcpCfg.Engine = EnginePar
+			tcpCfg.Transport = TransportTCP
+			seqRes, err := Run(seqCfg)
+			if err != nil {
+				t.Fatalf("seq: %v", err)
+			}
+			tcpRes, err := Run(tcpCfg)
+			if err != nil {
+				t.Fatalf("tcp: %v", err)
+			}
+			if len(seqRes.Points) != len(tcpRes.Points) {
+				t.Fatalf("point counts: seq %d, tcp %d", len(seqRes.Points), len(tcpRes.Points))
+			}
+			for i := range seqRes.Points {
+				s, p := seqRes.Points[i], tcpRes.Points[i]
+				if s.Loss != p.Loss || s.MatchRate != p.MatchRate || s.MB != p.MB {
+					t.Fatalf("round %d: seq %+v, tcp %+v", i, s, p)
+				}
+				if diff := s.SimTime - p.SimTime; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("round %d sim time: seq %v, tcp %v", i, s.SimTime, p.SimTime)
+				}
+			}
+			if seqRes.FinalAcc != tcpRes.FinalAcc {
+				t.Fatalf("final acc: seq %v, tcp %v", seqRes.FinalAcc, tcpRes.FinalAcc)
+			}
+		})
+	}
+}
+
+// TestUnknownTransportRejected checks transport validation at the train
+// layer.
+func TestUnknownTransportRejected(t *testing.T) {
+	cfg := quickCfg(MethodPSGD, TopoRing)
+	cfg.Transport = "carrier-pigeon"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus transport accepted")
+	}
+	old := DefaultTransport
+	defer func() { DefaultTransport = old }()
+	DefaultTransport = "bogus"
+	cfg.Transport = ""
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus DefaultTransport accepted")
+	}
+}
+
 // TestEngineFallback checks non-ported methods accept EnginePar and run
 // sequentially, and that bogus engine names are rejected.
 func TestEngineFallback(t *testing.T) {

@@ -76,6 +76,23 @@ const (
 // -engine flag sets it process-wide.
 var DefaultEngine = EngineSeq
 
+// Transport selects the parallel engine's message fabric; see
+// core.Transport. It only matters under EnginePar.
+type Transport = core.Transport
+
+// The fabric backends, re-exported for configuration convenience.
+const (
+	// TransportLoopback is the in-process channel fabric (default).
+	TransportLoopback = core.TransportLoopback
+	// TransportTCP runs every rank pair over a real TCP socket on the
+	// loopback interface.
+	TransportTCP = core.TransportTCP
+)
+
+// DefaultTransport is used when Config.Transport is empty;
+// cmd/marsit-bench's -transport flag sets it process-wide.
+var DefaultTransport = TransportLoopback
+
 // Topo selects the interconnect.
 type Topo string
 
@@ -93,6 +110,9 @@ type Config struct {
 	// Engine selects the execution engine ("" ⇒ DefaultEngine). See
 	// EngineSeq and EnginePar for semantics and fallback rules.
 	Engine Engine
+	// Transport selects the parallel engine's fabric backend
+	// ("" ⇒ DefaultTransport); ignored under EngineSeq.
+	Transport Transport
 	// Workers is the cluster size M.
 	Workers int
 	// Rounds is the number of synchronizations T.
@@ -225,6 +245,16 @@ func (cfg *Config) validate() error {
 	default:
 		return fmt.Errorf("train: unknown engine %q", cfg.Engine)
 	}
+	switch cfg.Transport {
+	case TransportLoopback, TransportTCP:
+	case "":
+		cfg.Transport = DefaultTransport
+		if cfg.Transport != TransportLoopback && cfg.Transport != TransportTCP {
+			return fmt.Errorf("train: unknown DefaultTransport %q", DefaultTransport)
+		}
+	default:
+		return fmt.Errorf("train: unknown transport %q", cfg.Transport)
+	}
 	if cfg.Optimizer == "" {
 		cfg.Optimizer = "sgd"
 	}
@@ -278,7 +308,10 @@ func Run(cfg Config) (*Result, error) {
 	// sequentially (see EnginePar).
 	var rtEngine *runtime.Engine
 	if parallel && cfg.Method == MethodPSGD && cfg.Topo != TopoPS {
-		rtEngine = runtime.New(cfg.Workers)
+		rtEngine, err = core.NewParallelEngine(cfg.Workers, cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
 		defer rtEngine.Close()
 	}
 
@@ -293,6 +326,7 @@ func Run(cfg Config) (*Result, error) {
 			Seed:                cfg.Seed ^ 0x3a55,
 			DisableCompensation: cfg.MarsitNoCompensation,
 			Parallel:            parallel,
+			Transport:           cfg.Transport,
 		})
 		if err != nil {
 			return nil, err

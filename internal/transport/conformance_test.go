@@ -1,0 +1,17 @@
+package transport_test
+
+import (
+	"testing"
+
+	"marsit/internal/transport"
+	"marsit/internal/transport/transporttest"
+)
+
+// TestLoopbackConformance runs the shared transport conformance suite
+// against the in-process backend (the backend-specific buffered-send
+// semantics stay covered by the package-internal tests).
+func TestLoopbackConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transport.Transport {
+		return transport.NewLoopback(n)
+	})
+}

@@ -118,6 +118,14 @@ func (e *loopbackEndpoint) Recv(from int) (Packet, error) {
 	case p := <-l.links[from*l.n+e.rank]:
 		return p, nil
 	case <-l.done:
+		// Both cases may be ready at once and select picks arbitrarily:
+		// re-check the link so a packet delivered before the close is
+		// never masked by it.
+		select {
+		case p := <-l.links[from*l.n+e.rank]:
+			return p, nil
+		default:
+		}
 		return Packet{}, ErrClosed
 	}
 }

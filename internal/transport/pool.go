@@ -1,0 +1,44 @@
+package transport
+
+import "sync"
+
+// Payload buffers flow sender → fabric → receiver and are dead once the
+// receiver has decoded them, so the hot collective loops would otherwise
+// allocate one slice per hop. GetBuffer/PutBuffer recycle them through a
+// sync.Pool shared by every backend.
+//
+// Ownership contract: a sender that obtains a buffer from GetBuffer gives
+// it up at Send (the general Packet.Data rule — no mutation or reuse after
+// Send). Exactly one party recycles each buffer: the receiver once it has
+// decoded Packet.Data (in-process backends deliver the sender's slice by
+// reference), or the wire backend's writer once the bytes are on the
+// socket. Recycling is cooperative — dropping a buffer instead of
+// returning it is always safe, it merely costs an allocation later.
+
+// bufPool recycles payload buffers of mixed capacity. Entries are stored
+// through a pointer so Put does not allocate an interface box per call.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuffer returns a buffer of length n, reusing pooled capacity when
+// possible. The contents are unspecified; callers overwrite all n bytes.
+func GetBuffer(n int) []byte {
+	p := bufPool.Get().(*[]byte)
+	if cap(*p) >= n {
+		b := (*p)[:n]
+		return b
+	}
+	// Too small for this request: let it be collected and grow a fresh
+	// one (segment sizes within a collective are near-uniform, so this
+	// settles quickly).
+	return make([]byte, n)
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not touch b
+// afterwards. Buffers of any origin are accepted.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

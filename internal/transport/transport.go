@@ -4,11 +4,21 @@
 // then exchanges Packets with peers from its own goroutine.
 //
 // The contract is deliberately minimal — FIFO per (sender, receiver) pair,
-// blocking receives, byte-slice payloads — so that implementations can
-// range from the in-process Loopback used today to a TCP (or RDMA) backend
-// later: a socket per peer pair with a small frame header carrying Wire
-// and Clock satisfies the same interface. Collectives are written against
-// Endpoint only and never assume shared memory.
+// blocking receives, byte-slice payloads — and collectives are written
+// against Endpoint only, never assuming shared memory. Two backends
+// implement it:
+//
+//   - Loopback (this package): n² buffered in-process channels, zero-copy
+//     payload delivery.
+//   - TCP (transport/tcp): one full-duplex socket per rank pair carrying
+//     length-prefixed frames of Wire, Clock and payload, with a
+//     rendezvous layer that assembles an n-rank fabric from a list of
+//     addresses — across goroutines, processes or machines
+//     (cmd/marsit-node hosts one rank per process).
+//
+// The shared conformance suite in transport/transporttest pins the
+// contract for every backend. GetBuffer/PutBuffer recycle payload buffers
+// through a pool shared by all of them; see their ownership contract.
 package transport
 
 import "errors"

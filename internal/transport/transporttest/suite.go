@@ -1,0 +1,256 @@
+// Package transporttest is the shared conformance suite for
+// transport.Transport implementations. Every backend — the in-process
+// Loopback, the TCP fabric, and whatever comes next — must exhibit the
+// same observable contract: per-pair FIFO delivery with intact Wire and
+// Clock fields, genuinely blocking receives, Close unblocking pending
+// operations, ErrClosed after Close, and deadlock-free neighbor exchange
+// on rings of odd and even size. Backend packages invoke Run from their
+// own tests with a factory for their fabric.
+package transporttest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"marsit/internal/transport"
+)
+
+// Factory builds a fresh fabric of n ranks for one subtest. The suite
+// closes it.
+type Factory func(t *testing.T, n int) transport.Transport
+
+// Run exercises the full conformance suite against the backend built by
+// factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("RankAndSize", func(t *testing.T) { testRankAndSize(t, factory) })
+	t.Run("FIFOPerPair", func(t *testing.T) { testFIFOPerPair(t, factory) })
+	t.Run("PairwiseExchange", func(t *testing.T) { testPairwiseExchange(t, factory) })
+	t.Run("BlockingRecv", func(t *testing.T) { testBlockingRecv(t, factory) })
+	t.Run("CloseUnblocksRecv", func(t *testing.T) { testCloseUnblocksRecv(t, factory) })
+	t.Run("ErrClosedAfterClose", func(t *testing.T) { testErrClosedAfterClose(t, factory) })
+	for _, n := range []int{2, 3, 4, 5} {
+		n := n
+		t.Run(fmt.Sprintf("RingDeadlockFreedom/M=%d", n), func(t *testing.T) {
+			testRingExchange(t, factory, n, 50)
+		})
+	}
+}
+
+// waitAll fails the test if the wait group does not drain within the
+// timeout — the deadlock detector for the exchange patterns.
+func waitAll(t *testing.T, wg *sync.WaitGroup, timeout time.Duration, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatalf("%s: deadlock (no progress within %v)", what, timeout)
+	}
+}
+
+func testRankAndSize(t *testing.T, factory Factory) {
+	const n = 3
+	tr := factory(t, n)
+	defer tr.Close()
+	if tr.Size() != n {
+		t.Fatalf("Size() = %d, want %d", tr.Size(), n)
+	}
+	for r := 0; r < n; r++ {
+		ep := tr.Endpoint(r)
+		if ep.Rank() != r || ep.Size() != n {
+			t.Fatalf("endpoint %d reports rank %d size %d", r, ep.Rank(), ep.Size())
+		}
+	}
+}
+
+// testFIFOPerPair checks packets between a fixed pair arrive in send
+// order with payload, Wire and Clock intact.
+func testFIFOPerPair(t *testing.T, factory Factory) {
+	tr := factory(t, 2)
+	defer tr.Close()
+	const count = 100
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ep := tr.Endpoint(0)
+		for i := 0; i < count; i++ {
+			p := transport.Packet{Data: []byte{byte(i), byte(i >> 8)}, Wire: i, Clock: float64(i) / 8}
+			if err := ep.Send(1, p); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ep := tr.Endpoint(1)
+		for i := 0; i < count; i++ {
+			p, err := ep.Recv(0)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if len(p.Data) != 2 || p.Data[0] != byte(i) || p.Data[1] != byte(i>>8) ||
+				p.Wire != i || p.Clock != float64(i)/8 {
+				t.Errorf("recv %d: got %+v", i, p)
+				return
+			}
+		}
+	}()
+	waitAll(t, &wg, 10*time.Second, "fifo per pair")
+}
+
+// testPairwiseExchange has every ordered pair exchange messages
+// concurrently for several rounds; under -race this also checks the
+// fabric is data-race free.
+func testPairwiseExchange(t *testing.T, factory Factory) {
+	const n, rounds = 4, 20
+	tr := factory(t, n)
+	defer tr.Close()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			ep := tr.Endpoint(rank)
+			for k := 0; k < rounds; k++ {
+				for peer := 0; peer < n; peer++ {
+					if peer == rank {
+						continue
+					}
+					msg := []byte(fmt.Sprintf("%d->%d#%d", rank, peer, k))
+					if err := ep.Send(peer, transport.Packet{Data: msg, Wire: len(msg)}); err != nil {
+						t.Errorf("rank %d send: %v", rank, err)
+						return
+					}
+				}
+				for peer := 0; peer < n; peer++ {
+					if peer == rank {
+						continue
+					}
+					p, err := ep.Recv(peer)
+					if err != nil {
+						t.Errorf("rank %d recv: %v", rank, err)
+						return
+					}
+					want := fmt.Sprintf("%d->%d#%d", peer, rank, k)
+					if string(p.Data) != want {
+						t.Errorf("rank %d got %q, want %q", rank, p.Data, want)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	waitAll(t, &wg, 15*time.Second, "pairwise exchange")
+}
+
+// testBlockingRecv checks Recv genuinely blocks until a packet arrives,
+// then returns exactly it.
+func testBlockingRecv(t *testing.T, factory Factory) {
+	tr := factory(t, 2)
+	defer tr.Close()
+	got := make(chan transport.Packet, 1)
+	errs := make(chan error, 1)
+	go func() {
+		p, err := tr.Endpoint(1).Recv(0)
+		if err != nil {
+			errs <- err
+			return
+		}
+		got <- p
+	}()
+	select {
+	case p := <-got:
+		t.Fatalf("Recv returned %+v before anything was sent", p)
+	case err := <-errs:
+		t.Fatalf("Recv failed early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := tr.Endpoint(0).Send(1, transport.Packet{Data: []byte("late"), Wire: 4, Clock: 2.5}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case p := <-got:
+		if string(p.Data) != "late" || p.Wire != 4 || p.Clock != 2.5 {
+			t.Fatalf("got %+v", p)
+		}
+	case err := <-errs:
+		t.Fatalf("recv: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv did not wake after Send")
+	}
+}
+
+// testCloseUnblocksRecv checks Close releases a Recv blocked on a link
+// that never receives traffic.
+func testCloseUnblocksRecv(t *testing.T, factory Factory) {
+	tr := factory(t, 2)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := tr.Endpoint(1).Recv(0)
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	tr.Close()
+	tr.Close() // idempotent
+	select {
+	case err := <-errs:
+		if err != transport.ErrClosed {
+			t.Fatalf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not unblock Recv")
+	}
+}
+
+// testErrClosedAfterClose checks Send and Recv report ErrClosed once the
+// fabric is down.
+func testErrClosedAfterClose(t *testing.T, factory Factory) {
+	tr := factory(t, 2)
+	tr.Close()
+	if err := tr.Endpoint(0).Send(1, transport.Packet{Data: []byte("x"), Wire: 1}); err != transport.ErrClosed {
+		t.Fatalf("Send after Close: %v, want ErrClosed", err)
+	}
+	if _, err := tr.Endpoint(1).Recv(0); err != transport.ErrClosed {
+		t.Fatalf("Recv after Close: %v, want ErrClosed", err)
+	}
+}
+
+// testRingExchange runs the collective engine's neighbor pattern — every
+// rank posts to its successor, then receives from its predecessor — the
+// shape whose all-send cycle deadlocks on an unbuffered fabric.
+func testRingExchange(t *testing.T, factory Factory, n, steps int) {
+	tr := factory(t, n)
+	defer tr.Close()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			ep := tr.Endpoint(rank)
+			next := (rank + 1) % n
+			prev := (rank - 1 + n) % n
+			for s := 0; s < steps; s++ {
+				if err := ep.Send(next, transport.Packet{Data: []byte{byte(s)}, Wire: 1}); err != nil {
+					t.Errorf("rank %d step %d send: %v", rank, s, err)
+					return
+				}
+				p, err := ep.Recv(prev)
+				if err != nil {
+					t.Errorf("rank %d step %d recv: %v", rank, s, err)
+					return
+				}
+				if p.Data[0] != byte(s) {
+					t.Errorf("rank %d step %d: got %d", rank, s, p.Data[0])
+					return
+				}
+			}
+		}(r)
+	}
+	waitAll(t, &wg, 15*time.Second, fmt.Sprintf("ring M=%d", n))
+}

@@ -27,10 +27,14 @@
 //     collective access): the concurrent execution engine of
 //     internal/runtime runs one goroutine per worker, each owning its
 //     shard and exchanging messages through a pluggable Transport
-//     (internal/transport). The in-process loopback backend is used
-//     today; the interface — FIFO per rank pair, byte payloads, a frame
-//     header of wire size and virtual clock — is shaped so a TCP backend
-//     can slot in without touching the collectives.
+//     (internal/transport). Two fabric backends exist: the in-process
+//     loopback (Config.Transport = TransportLoopback, the default) and
+//     real TCP sockets (TransportTCP, backed by internal/transport/tcp
+//     on the loopback interface). The collectives are written against
+//     the Endpoint contract only — FIFO per rank pair, byte payloads, a
+//     frame header of wire size and virtual clock — so both backends
+//     produce bit-identical results; cmd/marsit-node stretches the same
+//     TCP fabric across processes and machines.
 //
 // The parallel engine charges the same α–β costs as the sequential one
 // (each packet carries the sender's virtual clock, reproducing netsim's
@@ -82,6 +86,26 @@ type Engine = runtime.Engine
 // NewEngine starts a concurrent engine of workers goroutines connected
 // by an in-process loopback transport. Close it when done.
 func NewEngine(workers int) *Engine { return runtime.New(workers) }
+
+// Transport selects the parallel engine's message fabric backend.
+type Transport = core.Transport
+
+// The fabric backends of the parallel engine.
+const (
+	// TransportLoopback is the in-process channel fabric (the default).
+	TransportLoopback = core.TransportLoopback
+	// TransportTCP exchanges every message over a real TCP socket on the
+	// loopback interface; results and virtual-time accounting stay
+	// bit-identical to loopback.
+	TransportTCP = core.TransportTCP
+)
+
+// NewEngineTCP starts a concurrent engine whose ranks exchange messages
+// over real TCP sockets on the loopback interface (one connection per
+// rank pair). Close it when done; the sockets are released with it.
+func NewEngineTCP(workers int) (*Engine, error) {
+	return core.NewParallelEngine(workers, core.TransportTCP)
+}
 
 // New validates cfg and returns a fresh Marsit with zero compensation.
 func New(cfg Config) (*Marsit, error) { return core.New(cfg) }
