@@ -1,14 +1,15 @@
 # Development targets for the Marsit reproduction.
 #
-#   make check     fmt + vet + build + test (what CI runs)
-#   make race      race-detector pass over the concurrency-bearing packages
-#   make bench     engine benchmarks (sequential vs parallel speedup)
-#   make tcp-demo  4-rank multi-process Marsit run over local TCP, verified
-#                  bit-for-bit against the sequential engine
+#   make check       fmt + vet + build + test (what CI runs)
+#   make race        race-detector pass over the concurrency-bearing packages
+#   make bench       engine benchmarks (sequential vs parallel speedup)
+#   make fuzz-smoke  short fuzz pass over the Elias wire coder
+#   make tcp-demo    4-rank multi-process Marsit run over local TCP, verified
+#                    bit-for-bit against the sequential engine
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench tcp-demo
+.PHONY: check fmt vet build test race bench fuzz-smoke tcp-demo
 
 check: fmt vet build test
 
@@ -34,6 +35,15 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
+
+# fuzz-smoke gives the wire-facing Elias coder a short adversarial pass:
+# its payloads genuinely travel TCP frames in the distributed sign-sum
+# collectives, so the decoder must never panic on hostile bytes.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzEliasIntsRoundTrip' -fuzztime $(FUZZTIME) ./internal/compress
+	$(GO) test -run '^$$' -fuzz 'FuzzEliasDecodeRobust' -fuzztime $(FUZZTIME) ./internal/compress
 
 # tcp-demo launches one marsit-node process per rank on fixed local
 # ports; rank 0 gathers every rank's result, wire bytes and virtual

@@ -198,6 +198,143 @@ func BenchmarkEngineRAR(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Compressed-path engine benchmarks (sign-sum, cascading SSDM, PS hub):
+// the parallel engine over loopback and TCP against the sequential
+// collective at M=4, D=1e5, so the perf trajectory tracks the
+// compressed paths alongside the full-precision ones.
+
+// benchTransports are the fabric backends the compressed benchmarks
+// cover.
+var benchTransports = []string{"loopback", "tcp"}
+
+// newBenchEngine builds a concurrent engine over the named fabric.
+func newBenchEngine(b *testing.B, transport string, workers int) *Engine {
+	b.Helper()
+	if transport == "tcp" {
+		eng, err := NewEngineTCP(workers)
+		if err != nil {
+			b.Fatalf("tcp engine: %v", err)
+		}
+		return eng
+	}
+	return NewEngine(workers)
+}
+
+// benchSignScaleInputs builds deterministic signSGD inputs.
+func benchSignScaleInputs(seed uint64, workers, dim int) ([][]float64, []float64) {
+	r := rng.New(seed)
+	signs := make([][]float64, workers)
+	scales := make([]float64, workers)
+	for w := range signs {
+		v := r.NormVec(make(Vec, dim), 0, 1)
+		signs[w] = make([]float64, dim)
+		tensor.SignVec(signs[w], v)
+		scales[w] = tensor.Norm1(v) / float64(dim)
+	}
+	return signs, scales
+}
+
+// BenchmarkEngineSignSum measures the bit-width-expansion sign-sum ring
+// (the SSDM/signSGD transport) on the concurrent engine, loopback and
+// TCP, against the sequential collective.
+func BenchmarkEngineSignSum(b *testing.B) {
+	const workers, dim = 4, 100_000
+	for _, tr := range benchTransports {
+		b.Run(fmt.Sprintf("M=%d/D=%d/%s", workers, dim, tr), func(b *testing.B) {
+			signs, scales := benchSignScaleInputs(31, workers, dim)
+			cluster := NewCluster(workers)
+			eng := newBenchEngine(b, tr, workers)
+			defer eng.Close()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.SignSumRing(cluster, signs, scales, false)
+			}
+			b.StopTimer()
+
+			iters := baselineIters(b.N)
+			seqCluster := NewCluster(workers)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				collective.SignSumRing(seqCluster, signs, scales, false)
+			}
+			reportSeqBaseline(b, time.Since(start), iters)
+		})
+	}
+}
+
+// BenchmarkEngineCascading measures the cascading SSDM ring (per-hop
+// decompress–add–recompress) on the concurrent engine against the
+// sequential collective.
+func BenchmarkEngineCascading(b *testing.B) {
+	const workers, dim = 4, 100_000
+	for _, tr := range benchTransports {
+		b.Run(fmt.Sprintf("M=%d/D=%d/%s", workers, dim, tr), func(b *testing.B) {
+			r := rng.New(37)
+			work := make([]Vec, workers)
+			for w := range work {
+				work[w] = r.NormVec(make(Vec, dim), 0, 1)
+			}
+			parRNGs := rng.Streams(41, workers)
+			cluster := NewCluster(workers)
+			eng := newBenchEngine(b, tr, workers)
+			defer eng.Close()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.CascadingRing(cluster, work, parRNGs)
+			}
+			b.StopTimer()
+
+			iters := baselineIters(b.N)
+			seqRNGs := rng.Streams(41, workers)
+			seqCluster := NewCluster(workers)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				collective.CascadingRing(seqCluster, work, seqRNGs)
+			}
+			reportSeqBaseline(b, time.Since(start), iters)
+		})
+	}
+}
+
+// BenchmarkEnginePS measures the full-precision parameter-server
+// push–pull through the rank-0-hosted hub actor against the sequential
+// virtual hub.
+func BenchmarkEnginePS(b *testing.B) {
+	const workers, dim = 4, 100_000
+	for _, tr := range benchTransports {
+		b.Run(fmt.Sprintf("M=%d/D=%d/%s", workers, dim, tr), func(b *testing.B) {
+			r := rng.New(43)
+			work := make([]Vec, workers)
+			for w := range work {
+				work[w] = r.NormVec(make(Vec, dim), 0, 1)
+			}
+			cluster := NewCluster(workers)
+			eng := newBenchEngine(b, tr, workers)
+			defer eng.Close()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.PSAllReduce(cluster, work)
+			}
+			b.StopTimer()
+
+			iters := baselineIters(b.N)
+			seqCluster := NewCluster(workers)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				collective.PSAllReduce(seqCluster, work)
+			}
+			reportSeqBaseline(b, time.Since(start), iters)
+		})
+	}
+}
+
 // BenchmarkEngineMarsit measures the one-bit Marsit synchronization on
 // the concurrent engine against the sequential core path.
 func BenchmarkEngineMarsit(b *testing.B) {

@@ -11,9 +11,11 @@
 //	marsit-bench -exp fig5 -engine par -transport tcp
 //
 // -engine selects the execution engine: seq is the single-threaded
-// virtual-time loop; par runs one goroutine per simulated worker
-// (bit-identical results and α–β accounting for the ported collectives,
-// so figures are unchanged — only wall-clock speed differs).
+// virtual-time loop; par runs one goroutine per simulated worker. Every
+// training method runs on the parallel engine — full-precision RAR/TAR
+// and PS, the sign-sum transports (signsgd, ef-signsgd, ssdm ± Elias),
+// cascading SSDM, and Marsit — with bit-identical results and α–β
+// accounting, so figures are unchanged; only wall-clock speed differs.
 //
 // -transport selects the parallel engine's fabric: loopback exchanges
 // messages through in-process channels, tcp through real sockets on the

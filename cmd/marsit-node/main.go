@@ -18,6 +18,13 @@
 // the last round, replays the run on the sequential engine, and exits
 // non-zero unless everything is bit-identical — `make tcp-demo` scripts
 // exactly that.
+//
+// -collective selects the schedule: the full-precision ring (rar), the
+// one-bit Marsit ring (marsit), the compressed sign-sum ring with
+// bit-width expansion (signsum = majority-vote signSGD, ssdm = the
+// "SSDM (Overflow)" baseline; add -elias for Elias-gamma compaction on
+// the wire), or the parameter-server push–pull (ps), whose hub actor is
+// hosted by rank 0 and serves every rank over the same TCP fabric.
 package main
 
 import (
@@ -34,13 +41,15 @@ func main() {
 	var (
 		rank     = flag.Int("rank", 0, "this process's rank (index into -peers)")
 		peers    = flag.String("peers", "", "comma-separated host:port list, one per rank")
-		coll     = flag.String("collective", "marsit", "rar | marsit")
+		coll     = flag.String("collective", "marsit", "rar | marsit | signsum | ssdm | ps")
 		dim      = flag.Int("dim", 4096, "gradient dimension D")
 		rounds   = flag.Int("rounds", 10, "synchronization rounds")
 		k        = flag.Int("k", 0, "Marsit full-precision period (0 = never)")
 		globalLR = flag.Float64("global-lr", 0.004, "Marsit global step η_s")
 		seed     = flag.Uint64("seed", 1, "shared root seed (must match on every rank)")
+		elias    = flag.Bool("elias", false, "Elias-gamma compaction of sign-sum payloads (signsum, ssdm)")
 		check    = flag.Bool("check", false, "rank 0 verifies the fabric against the sequential engine")
+		dieAfter = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
 		timeout  = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -56,16 +65,18 @@ func main() {
 	}
 
 	cfg := node.Config{
-		Rank:        *rank,
-		Addrs:       addrs,
-		Collective:  *coll,
-		Dim:         *dim,
-		Rounds:      *rounds,
-		K:           *k,
-		GlobalLR:    *globalLR,
-		Seed:        *seed,
-		Check:       *check,
-		DialTimeout: *timeout,
+		Rank:           *rank,
+		Addrs:          addrs,
+		Collective:     *coll,
+		Dim:            *dim,
+		Rounds:         *rounds,
+		K:              *k,
+		GlobalLR:       *globalLR,
+		Seed:           *seed,
+		UseElias:       *elias,
+		Check:          *check,
+		DieAfterRounds: *dieAfter,
+		DialTimeout:    *timeout,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr

@@ -38,6 +38,69 @@ const float32WireBytes = 4
 // normWireBytes is the wire width of one transmitted scaling constant.
 const normWireBytes = 4
 
+// The wire-size formulas below are shared with the concurrent engine
+// (internal/runtime ports each collective per rank): both engines must
+// charge byte-identical wire costs, so the formulas live here only.
+
+// DenseWireBytes is the simulated wire size of a dense full-precision
+// vector of dimension d (float32 on the wire).
+func DenseWireBytes(d int) int { return d * float32WireBytes }
+
+// SignWireBytes is the simulated wire size of a one-bit sign payload of
+// dimension d plus its scaling constant.
+func SignWireBytes(d int) int { return (d+7)/8 + normWireBytes }
+
+// SignSumSegBytes is the simulated wire size of one sign-sum ring
+// payload carrying vals (per-coordinate integer sums aggregated over
+// workers workers) plus the scale constant riding along. Without Elias
+// the per-element width is the bit-length expansion ⌈log2 workers⌉+1;
+// with Elias it is the exact entropy-coded size of vals.
+func SignSumSegBytes(workers int, vals []int64, useElias bool) int {
+	if useElias {
+		_, bits := compressEliasInts(vals)
+		return EliasWireBytes(bits)
+	}
+	perElem := bitsFor(workers) + 1
+	return (len(vals)*perElem+7)/8 + normWireBytes
+}
+
+// EliasWireBytes is the wire size of an Elias-coded sign-sum payload of
+// the given bit length, plus the scale constant riding along — the
+// Elias arm of SignSumSegBytes, exposed so a caller that has already
+// entropy-coded the payload (the concurrent engine puts the coded bytes
+// on the wire) does not encode twice just to size the message.
+func EliasWireBytes(bits int) int { return (bits+7)/8 + normWireBytes }
+
+// HubSchedule computes the parameter-server push–pull arrival times of
+// hubPushPull from the workers' clocks at push time: uplinks serialize
+// on the hub NIC in rank order, then the hub streams the replies back,
+// also in rank order. arrivals[w] is the simulated time worker w's
+// reply lands. Shared with the concurrent engine's hub actor
+// (internal/runtime), whose rank-0-hosted hub applies exactly this
+// arithmetic to the clocks carried on the push packets.
+func HubSchedule(model netsim.CostModel, clocks []float64, upBytes, downBytes []int) []float64 {
+	beta := model.BytePeriod
+	alpha := model.Latency
+
+	// Ingress: arrivals serialize on the hub NIC in rank order.
+	hub := 0.0
+	for w := range clocks {
+		arrive := clocks[w] + alpha
+		if hub < arrive {
+			hub = arrive
+		}
+		hub += float64(upBytes[w]) * beta
+	}
+	// Egress: hub sends replies in rank order (cut-through).
+	sendStart := hub
+	arrivals := make([]float64, len(clocks))
+	for w := range clocks {
+		arrivals[w] = sendStart + alpha + float64(downBytes[w])*beta
+		sendStart += float64(downBytes[w]) * beta
+	}
+	return arrivals
+}
+
 func checkShape(c *netsim.Cluster, vecs []tensor.Vec) int {
 	if len(vecs) != c.Size() {
 		panic(fmt.Sprintf("collective: %d vectors for %d workers", len(vecs), c.Size()))
@@ -378,24 +441,13 @@ func TreeAllReduce(c *netsim.Cluster, tr *topology.Tree, vecs []tensor.Vec) {
 // 2·M·D accounting for PS).
 func hubPushPull(c *netsim.Cluster, upBytes, downBytes []int) {
 	n := c.Size()
-	beta := c.Model.BytePeriod
-	alpha := c.Model.Latency
-
-	// Ingress: arrivals serialize on the hub NIC in rank order.
-	hub := 0.0
+	clocks := make([]float64, n)
 	for w := 0; w < n; w++ {
-		arrive := c.Clock(w) + alpha
-		if hub < arrive {
-			hub = arrive
-		}
-		hub += float64(upBytes[w]) * beta
+		clocks[w] = c.Clock(w)
 	}
-	// Egress: hub sends replies in rank order (cut-through).
-	sendStart := hub
+	arrivals := HubSchedule(c.Model, clocks, upBytes, downBytes)
 	for w := 0; w < n; w++ {
-		arrival := sendStart + alpha + float64(downBytes[w])*beta
-		sendStart += float64(downBytes[w]) * beta
-		c.AdvanceTransmit(w, arrival)
+		c.AdvanceTransmit(w, arrivals[w])
 		c.AccountBytes(w, upBytes[w]+downBytes[w])
 	}
 }
@@ -413,7 +465,7 @@ func PSAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
 	for _, v := range vecs {
 		copy(v, mean)
 	}
-	up := uniformBytes(n, d*float32WireBytes)
+	up := uniformBytes(n, DenseWireBytes(d))
 	hubPushPull(c, up, up)
 }
 
@@ -515,7 +567,7 @@ func CascadingRing(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
 	}
 	segs := tensor.Partition(d, n)
 	pos := func(i int) int { return ((i % n) + n) % n }
-	segBytes := func(s tensor.Segment) int { return (s.Len()+7)/8 + normWireBytes }
+	segBytes := func(s tensor.Segment) int { return SignWireBytes(s.Len()) }
 
 	// State: the payload each worker is about to forward, per segment
 	// position. Initially each worker compresses its own outgoing
@@ -637,13 +689,8 @@ func SignSumRing(c *netsim.Cluster, signs [][]float64, scales []float64, useElia
 // the group-wide consensus for worker w.
 func signSumGroups(c *netsim.Cluster, sums [][]int64, groups [][]int, baseCount int, useElias bool) []int64 {
 	d := len(sums[0])
-	segBytes := func(seg tensor.Segment, workers int, vals []int64) int {
-		if useElias {
-			_, bits := compressEliasInts(vals)
-			return (bits+7)/8 + normWireBytes
-		}
-		perElem := bitsFor(workers) + 1
-		return (seg.Len()*perElem+7)/8 + normWireBytes
+	segBytes := func(_ tensor.Segment, workers int, vals []int64) int {
+		return SignSumSegBytes(workers, vals, useElias)
 	}
 	for _, g := range groups {
 		m := len(g)
@@ -811,7 +858,7 @@ func SignMajorityPS(c *netsim.Cluster, vecs []tensor.Vec) {
 		}
 		c.AddDecompress(w, d)
 	}
-	oneBit := uniformBytes(n, (d+7)/8+normWireBytes)
+	oneBit := uniformBytes(n, SignWireBytes(d))
 	hubPushPull(c, oneBit, oneBit)
 }
 
@@ -837,7 +884,7 @@ func SSDMPS(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
 	for _, v := range vecs {
 		copy(v, mean)
 	}
-	up := uniformBytes(n, (d+7)/8+normWireBytes)
-	down := uniformBytes(n, d*float32WireBytes)
+	up := uniformBytes(n, SignWireBytes(d))
+	down := uniformBytes(n, DenseWireBytes(d))
 	hubPushPull(c, up, down)
 }

@@ -1,12 +1,54 @@
 package collective
 
 import (
+	"math/bits"
 	"testing"
 
+	"marsit/internal/compress"
 	"marsit/internal/rng"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
 )
+
+// TestBitWidthExpansionSufficient is the property behind the "overflow"
+// scheme's wire formula: aggregating w workers yields per-coordinate
+// sums in [−w, w], and ⌈log2 w⌉+1 bits (bitsFor(w)+1, the width
+// SignSumSegBytes charges) always suffice to code the zigzag image of
+// any such sum.
+func TestBitWidthExpansionSufficient(t *testing.T) {
+	for w := 1; w <= 1<<16; w = w*2 + 1 {
+		perElem := bitsFor(w) + 1
+		for _, sum := range []int64{int64(w), int64(-w), 0, 1, -1, int64(w/2 + 1)} {
+			if need := bits.Len64(compress.ZigZag(sum)); need > perElem {
+				t.Fatalf("workers=%d sum=%d needs %d bits, formula allows %d", w, sum, need, perElem)
+			}
+		}
+		// One past the bound must overflow the width — the expansion is
+		// tight, not merely safe.
+		if need := bits.Len64(compress.ZigZag(int64(2*w + 1))); need <= perElem {
+			t.Fatalf("workers=%d: width %d also fits out-of-range sum %d", w, perElem, 2*w+1)
+		}
+	}
+}
+
+// TestSignSumSegBytesFormula pins the shared wire-size helper both
+// engines charge: the fixed-width form is the packed bit-length
+// expansion plus the scale constant; the Elias form is the exact
+// entropy-coded size of the payload values.
+func TestSignSumSegBytesFormula(t *testing.T) {
+	vals := []int64{0, 1, -1, 3, -4, 7, -7, 2}
+	for _, workers := range []int{1, 2, 3, 8, 9} {
+		want := (len(vals)*(bitsFor(workers)+1)+7)/8 + normWireBytes
+		if got := SignSumSegBytes(workers, vals, false); got != want {
+			t.Fatalf("fixed width workers=%d: %d bytes, want %d", workers, got, want)
+		}
+	}
+	_, bitLen := compress.EliasEncodeInts(vals)
+	want := (bitLen+7)/8 + normWireBytes
+	if got := SignSumSegBytes(8, vals, true); got != want {
+		t.Fatalf("elias: %d bytes, want %d", got, want)
+	}
+}
 
 func deterministicSigns(n, d int, positives []int) ([][]float64, []float64) {
 	// positives[i] = number of workers whose coordinate i is +1.

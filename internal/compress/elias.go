@@ -139,7 +139,10 @@ func EliasDeltaDecode(r *BitReader) (uint64, error) {
 
 // ZigZag maps a signed integer to an unsigned one suitable for Elias
 // coding: 0→1, -1→2, 1→3, -2→4, ... (shifted by one because Elias codes
-// start at 1).
+// start at 1). The one-slot shift makes math.MinInt64 unrepresentable
+// (its image wraps to 0, which gamma cannot code); the sign-sum payloads
+// this coder compacts are bounded by the worker count, far inside the
+// domain.
 func ZigZag(v int64) uint64 {
 	u := uint64(v<<1) ^ uint64(v>>63)
 	return u + 1

@@ -2,18 +2,20 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"testing"
 
 	"marsit/internal/netsim"
 	"marsit/internal/rng"
+	"marsit/internal/runtime/equivtest"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
 )
 
 // runEngines drives a sequential and a parallel Marsit with identical
 // configs and gradients for several rounds and asserts bit-identical
-// updates, compensation state and cluster accounting every round.
+// updates, compensation state and cluster accounting every round (the
+// accounting bar is the shared equivtest one: bytes exact, clocks and
+// phase breakdowns to 1e-12).
 func runEngines(t *testing.T, cfg Config, rounds int) {
 	t.Helper()
 	seqCfg, parCfg := cfg, cfg
@@ -33,27 +35,12 @@ func runEngines(t *testing.T, cfg Config, rounds int) {
 		}
 		seqG := seqM.Sync(seqC, grads)
 		parG := parM.Sync(parC, grads)
-		for i := range seqG {
-			if seqG[i] != parG[i] {
-				t.Fatalf("round %d elem %d: seq %v, par %v", round, i, seqG[i], parG[i])
-			}
-		}
+		equivtest.RequireSameVecs(t, []tensor.Vec{seqG}, []tensor.Vec{parG})
 		for w := 0; w < cfg.Workers; w++ {
-			sc, pc := seqM.Compensation(w), parM.Compensation(w)
-			for i := range sc {
-				if sc[i] != pc[i] {
-					t.Fatalf("round %d worker %d comp %d: seq %v, par %v", round, w, i, sc[i], pc[i])
-				}
-			}
-			if seqC.BytesSent(w) != parC.BytesSent(w) {
-				t.Fatalf("round %d worker %d bytes: seq %d, par %d",
-					round, w, seqC.BytesSent(w), parC.BytesSent(w))
-			}
-			if d := math.Abs(seqC.Clock(w) - parC.Clock(w)); d > 1e-12 {
-				t.Fatalf("round %d worker %d clock: seq %v, par %v",
-					round, w, seqC.Clock(w), parC.Clock(w))
-			}
+			equivtest.RequireSameVecs(t,
+				[]tensor.Vec{seqM.Compensation(w)}, []tensor.Vec{parM.Compensation(w)})
 		}
+		equivtest.RequireSameClusters(t, seqC, parC)
 	}
 }
 

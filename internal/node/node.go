@@ -51,6 +51,18 @@ const (
 	// CollectiveMarsit is the paper's one-bit ring schedule with global
 	// compensation and periodic full-precision synchronization.
 	CollectiveMarsit = "marsit"
+	// CollectiveSignSum is majority-vote signSGD over the sign-sum ring:
+	// per-coordinate integer sign sums with bit-width expansion
+	// (optionally Elias-coded on the wire), decoded as the majority sign
+	// scaled by the mean ℓ1 magnitude.
+	CollectiveSignSum = "signsum"
+	// CollectiveSSDM is the "SSDM (Overflow)" baseline: stochastic sign
+	// compression, sign sums with bit-width expansion, mean-norm decode.
+	CollectiveSSDM = "ssdm"
+	// CollectivePS is the full-precision parameter-server push–pull: a
+	// hub actor hosted at rank 0 serves every rank's push–pull over the
+	// transport instead of a ring schedule.
+	CollectivePS = "ps"
 )
 
 // Config parameterizes one rank's run.
@@ -59,8 +71,9 @@ type Config struct {
 	Rank int
 	// Addrs lists every rank's address, defining the fabric size.
 	Addrs []string
-	// Collective selects the schedule (CollectiveRAR or CollectiveMarsit;
-	// "" means marsit).
+	// Collective selects the schedule (CollectiveRAR, CollectiveMarsit,
+	// CollectiveSignSum, CollectiveSSDM or CollectivePS; "" means
+	// marsit).
 	Collective string
 	// Dim is the gradient dimension D.
 	Dim int
@@ -73,11 +86,20 @@ type Config struct {
 	// Seed drives the per-rank gradient and transient streams; all ranks
 	// must agree on it.
 	Seed uint64
+	// UseElias enables Elias-gamma compaction of the sign-sum payloads
+	// (CollectiveSignSum and CollectiveSSDM); all ranks must agree.
+	UseElias bool
 	// Check makes rank 0 verify every rank's result, clock and byte
 	// count against the sequential engine and broadcast the verdict.
 	// Every rank of a fabric must agree on it: the check protocol is a
 	// collective exchange.
 	Check bool
+	// DieAfterRounds, when positive, makes this rank abandon the run
+	// after that many rounds without any farewell — a crash-fault
+	// injection hook: the rank's fabric closes abruptly and the peers'
+	// blocked exchanges (including the hub actor's gathers) must fail
+	// with a transport error instead of hanging.
+	DieAfterRounds int
 	// DialTimeout bounds the fabric rendezvous (0 = tcp default).
 	DialTimeout time.Duration
 	// Cost overrides the default netsim cost model when non-nil.
@@ -117,7 +139,7 @@ func (cfg *Config) validate() error {
 	switch cfg.Collective {
 	case "":
 		cfg.Collective = CollectiveMarsit
-	case CollectiveRAR, CollectiveMarsit:
+	case CollectiveRAR, CollectiveMarsit, CollectiveSignSum, CollectiveSSDM, CollectivePS:
 	default:
 		return fmt.Errorf("node: unknown collective %q", cfg.Collective)
 	}
@@ -206,40 +228,113 @@ func Run(cfg Config) (*Summary, error) {
 	return s, nil
 }
 
+// ErrRankDied is returned by a rank whose DieAfterRounds crash-fault
+// fired: it abandoned the fabric without any farewell.
+var ErrRankDied = errors.New("node: simulated rank death")
+
+// signSumStream returns rank w's SSDM compression stream.
+func signSumStream(seed uint64, w int) *rng.PCG {
+	return rng.NewStream(seed, 0xe000+uint64(w))
+}
+
 // runRounds executes the configured collective for every round and
-// returns the final synchronized update.
-func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (tensor.Vec, error) {
-	rank, d := ep.Rank(), cfg.Dim
+// returns the final synchronized update. A transport failure
+// mid-collective (the per-rank entry points panic when the fabric is
+// poisoned, e.g. by a dead peer) is converted into an error so the
+// caller exits non-zero instead of crashing or hanging.
+func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (result tensor.Vec, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("node: collective aborted: %v", r)
+		}
+	}()
+	rank, n, d := ep.Rank(), ep.Size(), cfg.Dim
 	grads := gradStream(cfg.Seed, rank)
 
+	var step func() (tensor.Vec, error)
 	switch cfg.Collective {
 	case CollectiveRAR:
-		var result tensor.Vec
-		for round := 0; round < cfg.Rounds; round++ {
+		step = func() (tensor.Vec, error) {
 			work := grads.NormVec(make(tensor.Vec, d), 0, 1)
 			runtime.RingAllReduceRank(c, ep, work)
 			runtime.ClockBarrier(c, ep)
-			result = work
+			return work, nil
 		}
-		return result, nil
 
 	case CollectiveMarsit:
 		// core.RankSync is the per-rank Algorithm 1, maintained next to
 		// Marsit.Sync so the distributed schedule cannot drift from the
 		// sequential one.
 		rs, err := core.NewRankSync(core.Config{
-			Workers: ep.Size(), Dim: d, K: cfg.K, GlobalLR: cfg.GlobalLR, Seed: cfg.Seed,
+			Workers: n, Dim: d, K: cfg.K, GlobalLR: cfg.GlobalLR, Seed: cfg.Seed,
 		}, rank)
 		if err != nil {
 			return nil, err
 		}
-		var result tensor.Vec
-		for round := 0; round < cfg.Rounds; round++ {
-			result = rs.Sync(c, ep, grads.NormVec(make(tensor.Vec, d), 0, 1))
+		step = func() (tensor.Vec, error) {
+			return rs.Sync(c, ep, grads.NormVec(make(tensor.Vec, d), 0, 1)), nil
 		}
-		return result, nil
+
+	case CollectiveSignSum:
+		step = func() (tensor.Vec, error) {
+			grad := grads.NormVec(make(tensor.Vec, d), 0, 1)
+			signs := make(tensor.Vec, d)
+			tensor.SignVec(signs, grad)
+			scale := tensor.Norm1(grad) / float64(d)
+			c.AddCompress(rank, d)
+			sums, total := runtime.SignSumRingRank(c, ep, signs, scale, cfg.UseElias)
+			work := decodeMajority(sums, total, n)
+			c.AddDecompress(rank, d)
+			runtime.ClockBarrier(c, ep)
+			return work, nil
+		}
+
+	case CollectiveSSDM:
+		ssdm := signSumStream(cfg.Seed, rank)
+		step = func() (tensor.Vec, error) {
+			work := grads.NormVec(make(tensor.Vec, d), 0, 1)
+			runtime.OverflowRingRank(c, ep, work, ssdm, cfg.UseElias)
+			runtime.ClockBarrier(c, ep)
+			return work, nil
+		}
+
+	case CollectivePS:
+		step = func() (tensor.Vec, error) {
+			work := grads.NormVec(make(tensor.Vec, d), 0, 1)
+			runtime.PSAllReduceRank(c, ep, work)
+			return work, nil
+		}
+
+	default:
+		return nil, fmt.Errorf("node: unknown collective %q", cfg.Collective)
 	}
-	return nil, fmt.Errorf("node: unknown collective %q", cfg.Collective)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.DieAfterRounds > 0 && round == cfg.DieAfterRounds {
+			cfg.logf("simulated death after %d rounds", round)
+			return nil, ErrRankDied
+		}
+		if result, err = step(); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// decodeMajority is the signSGD majority decode shared by the
+// distributed rank and the sequential reference: the majority sign of
+// each coordinate, scaled by the mean ℓ1 magnitude.
+func decodeMajority(sums []int64, totalScale float64, n int) tensor.Vec {
+	meanScale := totalScale / float64(n)
+	out := make(tensor.Vec, len(sums))
+	for i, s := range sums {
+		if s >= 0 {
+			out[i] = meanScale
+		} else {
+			out[i] = -meanScale
+		}
+	}
+	return out
 }
 
 // sequentialReference replays the whole run on the single-threaded
@@ -253,14 +348,60 @@ func sequentialReference(cfg *Config, n int) ([]tensor.Vec, *netsim.Cluster, err
 	}
 	results := make([]tensor.Vec, n)
 
+	roundGrads := func() []tensor.Vec {
+		grads := make([]tensor.Vec, n)
+		for w := range grads {
+			grads[w] = streams[w].NormVec(make(tensor.Vec, d), 0, 1)
+		}
+		return grads
+	}
+
 	switch cfg.Collective {
 	case CollectiveRAR:
 		for round := 0; round < cfg.Rounds; round++ {
-			work := make([]tensor.Vec, n)
-			for w := range work {
-				work[w] = streams[w].NormVec(make(tensor.Vec, d), 0, 1)
-			}
+			work := roundGrads()
 			collective.RingAllReduce(c, work)
+			copy(results, work)
+		}
+		return results, c, nil
+
+	case CollectiveSignSum:
+		for round := 0; round < cfg.Rounds; round++ {
+			grads := roundGrads()
+			signs := make([][]float64, n)
+			scales := make([]float64, n)
+			for w, g := range grads {
+				signs[w] = make([]float64, d)
+				tensor.SignVec(signs[w], g)
+				scales[w] = tensor.Norm1(g) / float64(d)
+				c.AddCompress(w, d)
+			}
+			sums, total := collective.SignSumRing(c, signs, scales, cfg.UseElias)
+			work := decodeMajority(sums, total, n)
+			for w := 0; w < n; w++ {
+				results[w] = work
+				c.AddDecompress(w, d)
+			}
+			c.Barrier()
+		}
+		return results, c, nil
+
+	case CollectiveSSDM:
+		ssdm := make([]*rng.PCG, n)
+		for w := range ssdm {
+			ssdm[w] = signSumStream(cfg.Seed, w)
+		}
+		for round := 0; round < cfg.Rounds; round++ {
+			work := roundGrads()
+			collective.OverflowRing(c, work, ssdm, cfg.UseElias)
+			copy(results, work)
+		}
+		return results, c, nil
+
+	case CollectivePS:
+		for round := 0; round < cfg.Rounds; round++ {
+			work := roundGrads()
+			collective.PSAllReduce(c, work)
 			copy(results, work)
 		}
 		return results, c, nil

@@ -1,6 +1,7 @@
 package node_test
 
 import (
+	"errors"
 	"math"
 	"net"
 	"strings"
@@ -138,6 +139,115 @@ func TestFourRankRARMatchesSequential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCompressedFleetsMatchSequential is the process-level acceptance
+// check for the compressed collectives and the PS hub actor: sign-sum
+// fleets (majority signSGD and SSDM overflow, with and without Elias
+// coding on the wire) and the rank-0-hosted push–pull must be
+// bit-identical to the sequential engine — results, wire bytes and
+// virtual clocks — as verified by rank 0's check protocol, across even
+// and odd fabric sizes.
+func TestCompressedFleetsMatchSequential(t *testing.T) {
+	set := func(coll string, elias bool) func(int, *node.Config) {
+		return func(_ int, cfg *node.Config) {
+			cfg.Collective = coll
+			cfg.UseElias = elias
+		}
+	}
+	cases := []struct {
+		name string
+		n    int
+		mut  func(rank int, cfg *node.Config)
+	}{
+		{"signsum_4", 4, set(node.CollectiveSignSum, false)},
+		{"signsum_elias_3", 3, set(node.CollectiveSignSum, true)},
+		{"ssdm_4", 4, set(node.CollectiveSSDM, false)},
+		{"ssdm_elias_3", 3, set(node.CollectiveSSDM, true)},
+		{"ps_4", 4, set(node.CollectivePS, false)},
+		{"ps_3", 3, set(node.CollectivePS, false)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sums, errs := launch(t, tc.n, tc.mut)
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			for r, s := range sums {
+				if !s.Checked {
+					t.Fatalf("rank %d not verified", r)
+				}
+				if s.Bytes <= 0 || s.Clock <= 0 {
+					t.Fatalf("rank %d accounted nothing: %+v", r, s)
+				}
+			}
+			// Every collective here is a consensus schedule: the final
+			// update must be identical on all ranks.
+			for r := 1; r < tc.n; r++ {
+				for i := range sums[0].Result {
+					if sums[0].Result[i] != sums[r].Result[i] {
+						t.Fatalf("rank %d result diverges at %d", r, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankDeathPoisonsHub kills one worker of a PS fleet mid-run (the
+// crash-fault hook closes its fabric with no farewell) and asserts the
+// fabric poisons instead of hanging: the hub actor's blocked gather —
+// and every surviving rank's blocked pull — must surface a transport
+// error, while the dead rank reports its simulated death.
+func TestRankDeathPoisonsHub(t *testing.T) {
+	const n, victim = 3, 1
+	_, errs := launch(t, n, func(rank int, cfg *node.Config) {
+		cfg.Collective = node.CollectivePS
+		cfg.Check = false
+		cfg.Rounds = 4
+		if rank == victim {
+			cfg.DieAfterRounds = 1
+		}
+	})
+	if !errors.Is(errs[victim], node.ErrRankDied) {
+		t.Fatalf("victim rank error = %v, want ErrRankDied", errs[victim])
+	}
+	for r, err := range errs {
+		if r == victim {
+			continue
+		}
+		if err == nil {
+			t.Fatalf("rank %d survived a dead peer without error", r)
+		}
+		if !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("rank %d error %v does not surface the poisoned fabric", r, err)
+		}
+	}
+}
+
+// TestRankDeathPoisonsRing is the same fault against the sign-sum ring:
+// the dead rank's neighbors (and transitively the whole ring) must fail
+// fast rather than deadlock.
+func TestRankDeathPoisonsRing(t *testing.T) {
+	const n, victim = 3, 2
+	_, errs := launch(t, n, func(rank int, cfg *node.Config) {
+		cfg.Collective = node.CollectiveSSDM
+		cfg.Check = false
+		cfg.Rounds = 5
+		if rank == victim {
+			cfg.DieAfterRounds = 2
+		}
+	})
+	if !errors.Is(errs[victim], node.ErrRankDied) {
+		t.Fatalf("victim rank error = %v, want ErrRankDied", errs[victim])
+	}
+	for r, err := range errs {
+		if r != victim && err == nil {
+			t.Fatalf("rank %d survived a dead peer without error", r)
+		}
 	}
 }
 

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"marsit/internal/collective"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+)
+
+// This file ports the cascading-compression workflow of Section 3.2 to
+// the concurrent engine: a ring reduce-scatter where every hop
+// decompresses the received SSDM segment, adds the local one,
+// re-compresses and forwards — accumulating compression error at every
+// hop — followed by a gather circulating the final payloads. The
+// per-hop (de)compression charges interleave with the exchanges exactly
+// as in collective.CascadingRing, and each rank's stochastic draws come
+// from its own goroutine-confined stream in the sequential order.
+
+// encodeCascade serializes one cascading payload: the ℓ2 norm followed
+// by the ±1 sign vector as raw float64 bits (an exact round-trip; the
+// simulated wire charges 1 bit per element + the constant regardless).
+func encodeCascade(norm float64, signs []float64) []byte {
+	out := transport.GetBuffer(8 + 8*len(signs))
+	binary.LittleEndian.PutUint64(out, math.Float64bits(norm))
+	for i, s := range signs {
+		binary.LittleEndian.PutUint64(out[8+8*i:], math.Float64bits(s))
+	}
+	return out
+}
+
+// decodeCascade parses an encodeCascade payload of n signs and recycles
+// it.
+func decodeCascade(data []byte, n int) (norm float64, signs []float64) {
+	if len(data) != 8+8*n {
+		panic(fmt.Sprintf("runtime: cascade payload of %d bytes for %d elements", len(data), n))
+	}
+	norm = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	signs = make([]float64, n)
+	for i := range signs {
+		signs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
+	}
+	transport.PutBuffer(data)
+	return norm, signs
+}
+
+// CascadingRingRank executes one rank's share of the cascading SSDM
+// ring. vec is replaced by the (error-laden) estimate of the mean; r
+// must be the rank's own SSDM stream. The caller owns the closing
+// barrier (sequential collective.CascadingRing ends in c.Barrier()).
+func CascadingRingRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, r *rng.PCG) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if n == 1 {
+		return
+	}
+	d := len(vec)
+	segs := tensor.Partition(d, n)
+	next, prev := mod(rank+1, n), mod(rank-1, n)
+	rk := newRankCtx(c, ep, rank)
+
+	// Reduce phase: at step s forward the payload covering segment
+	// (p−s) mod n, then decompress–add–recompress the received segment
+	// (p−s−1) mod n.
+	var curNorm float64
+	var curSigns []float64
+	for s := 0; s < n-1; s++ {
+		out := segs[mod(rank-s, n)]
+		if s == 0 {
+			curSigns, curNorm = collective.SSDMSigns(out.Of(vec), r)
+			rk.addCompress(out.Len())
+		}
+		data := rk.exchange(next, encodeCascade(curNorm, curSigns), collective.SignWireBytes(out.Len()), prev)
+		in := segs[mod(rank-s-1, n)]
+		inNorm, inSigns := decodeCascade(data, in.Len())
+		local := in.Of(vec)
+		summed := make(tensor.Vec, in.Len())
+		for i := range summed {
+			summed[i] = inNorm*inSigns[i] + local[i]
+		}
+		rk.addDecompress(in.Len())
+		curSigns, curNorm = collective.SSDMSigns(summed, r)
+		rk.addCompress(in.Len())
+	}
+
+	// Gather phase: position p holds the fully cascaded payload of
+	// segment (p+1) mod n; circulate the final payloads unchanged.
+	finalNorm := make([]float64, n)
+	finalSigns := make([][]float64, n)
+	finalNorm[mod(rank+1, n)], finalSigns[mod(rank+1, n)] = curNorm, curSigns
+	for s := 0; s < n-1; s++ {
+		out := segs[mod(rank+1-s, n)]
+		data := rk.exchange(next, encodeCascade(curNorm, curSigns), collective.SignWireBytes(out.Len()), prev)
+		in := segs[mod(rank-s, n)]
+		curNorm, curSigns = decodeCascade(data, in.Len())
+		finalNorm[mod(rank-s, n)], finalSigns[mod(rank-s, n)] = curNorm, curSigns
+	}
+
+	// Decode every segment into the local vector.
+	for j, seg := range segs {
+		dst := seg.Of(vec)
+		for i := range dst {
+			dst[i] = finalNorm[j] * finalSigns[j][i] / float64(n)
+		}
+	}
+	rk.addDecompress(d)
+	rk.finish()
+}
+
+// CascadingRing is the concurrent counterpart of
+// collective.CascadingRing, including its closing barrier. rs[rank]
+// must be rank's SSDM stream.
+func (e *Engine) CascadingRing(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
+	e.checkShape(c, vecs)
+	if len(rs) != e.n {
+		panic("runtime: need one RNG per worker")
+	}
+	if e.n == 1 {
+		return
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		CascadingRingRank(c, ep, vecs[rank], rs[rank])
+	})
+	c.Barrier()
+}

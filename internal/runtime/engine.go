@@ -248,6 +248,24 @@ func (r *rankCtx) exchange(next int, data []byte, outWire int, prev int) []byte 
 	return p.Data
 }
 
+// addCompress charges compression of elems elements mid-collective: the
+// cluster charge records the phase split (and advances the rank's
+// cluster clock), while the local clock advances by the same amount so
+// subsequent exchanges start exactly where the sequential schedule's
+// would. finish then attributes only the remaining advance to
+// transmission, reproducing the sequential interleaving of charge and
+// Exchange (the cascading schedule compresses between hops).
+func (r *rankCtx) addCompress(elems int) {
+	r.c.AddCompress(r.rank, elems)
+	r.clk += float64(elems) * r.c.Model.CompressPerElem
+}
+
+// addDecompress is addCompress for the decompression charge.
+func (r *rankCtx) addDecompress(elems int) {
+	r.c.AddDecompress(r.rank, elems)
+	r.clk += float64(elems) * r.c.Model.DecompressPerElem
+}
+
 // finish writes the accumulated transmission time back to the cluster:
 // everything beyond the charges already applied is transmit time, exactly
 // how the sequential Exchange attributes it.

@@ -2,126 +2,25 @@ package runtime_test
 
 import (
 	"fmt"
-	"math"
 	"strings"
 	"testing"
 
 	"marsit/internal/bitvec"
-	"marsit/internal/collective"
 	"marsit/internal/core"
 	"marsit/internal/netsim"
 	"marsit/internal/rng"
 	"marsit/internal/runtime"
+	"marsit/internal/runtime/equivtest"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
 )
 
-func randVecs(seed uint64, n, d int) []tensor.Vec {
-	r := rng.New(seed)
-	out := make([]tensor.Vec, n)
-	for w := range out {
-		out[w] = r.NormVec(make(tensor.Vec, d), 0, 1)
-	}
-	return out
-}
-
-func cloneAll(vecs []tensor.Vec) []tensor.Vec {
-	out := make([]tensor.Vec, len(vecs))
-	for i, v := range vecs {
-		out[i] = tensor.Clone(v)
-	}
-	return out
-}
-
-// requireSameAccounting asserts that the parallel engine charged the
-// cluster exactly like the sequential collective: identical wire bytes
-// and (up to float tolerance) identical per-worker clocks and phase
-// breakdowns.
-func requireSameAccounting(t *testing.T, seq, par *netsim.Cluster) {
-	t.Helper()
-	if seq.TotalBytes() != par.TotalBytes() {
-		t.Fatalf("wire bytes: seq %d, par %d", seq.TotalBytes(), par.TotalBytes())
-	}
-	const tol = 1e-12
-	for w := 0; w < seq.Size(); w++ {
-		if seq.BytesSent(w) != par.BytesSent(w) {
-			t.Fatalf("worker %d bytes: seq %d, par %d", w, seq.BytesSent(w), par.BytesSent(w))
-		}
-		if d := math.Abs(seq.Clock(w) - par.Clock(w)); d > tol {
-			t.Fatalf("worker %d clock: seq %v, par %v", w, seq.Clock(w), par.Clock(w))
-		}
-		sb, pb := seq.PhaseBreakdown(w), par.PhaseBreakdown(w)
-		for ph := 0; ph < 3; ph++ {
-			if d := math.Abs(sb[ph] - pb[ph]); d > tol {
-				t.Fatalf("worker %d phase %d: seq %v, par %v", w, ph, sb[ph], pb[ph])
-			}
-		}
-	}
-}
-
-func requireSameVecs(t *testing.T, seq, par []tensor.Vec) {
-	t.Helper()
-	for w := range seq {
-		for i := range seq[w] {
-			if seq[w][i] != par[w][i] {
-				t.Fatalf("worker %d elem %d: seq %v, par %v", w, i, seq[w][i], par[w][i])
-			}
-		}
-	}
-}
-
-// TestRingAllReduceEquivalence checks the parallel ring all-reduce is
-// bit-identical to collective.RingAllReduce — values, bytes and clocks —
-// across worker counts and (unbalanced) dimensions.
-func TestRingAllReduceEquivalence(t *testing.T) {
-	for _, n := range []int{1, 2, 3, 4, 8} {
-		for _, d := range []int{1, 5, 64, 1001} {
-			t.Run(fmt.Sprintf("M=%d_D=%d", n, d), func(t *testing.T) {
-				base := randVecs(uint64(n*1000+d), n, d)
-				seqV, parV := cloneAll(base), cloneAll(base)
-				seqC := netsim.NewCluster(n, netsim.DefaultCostModel())
-				parC := netsim.NewCluster(n, netsim.DefaultCostModel())
-
-				collective.RingAllReduce(seqC, seqV)
-
-				eng := runtime.New(n)
-				defer eng.Close()
-				eng.RingAllReduce(parC, parV)
-
-				requireSameVecs(t, seqV, parV)
-				requireSameAccounting(t, seqC, parC)
-			})
-		}
-	}
-}
-
-// TestTorusAllReduceEquivalence covers square, rectangular, single-row
-// and single-column tori against collective.TorusAllReduce.
-func TestTorusAllReduceEquivalence(t *testing.T) {
-	shapes := [][2]int{{2, 2}, {2, 3}, {3, 2}, {4, 1}, {1, 4}, {3, 3}}
-	for _, sh := range shapes {
-		rows, cols := sh[0], sh[1]
-		n := rows * cols
-		for _, d := range []int{13, 96, 501} {
-			t.Run(fmt.Sprintf("%dx%d_D=%d", rows, cols, d), func(t *testing.T) {
-				tor := topology.NewTorus(rows, cols)
-				base := randVecs(uint64(rows*100+cols*10+d), n, d)
-				seqV, parV := cloneAll(base), cloneAll(base)
-				seqC := netsim.NewCluster(n, netsim.DefaultCostModel())
-				parC := netsim.NewCluster(n, netsim.DefaultCostModel())
-
-				collective.TorusAllReduce(seqC, tor, seqV)
-
-				eng := runtime.New(n)
-				defer eng.Close()
-				eng.TorusAllReduce(parC, tor, parV)
-
-				requireSameVecs(t, seqV, parV)
-				requireSameAccounting(t, seqC, parC)
-			})
-		}
-	}
-}
+// The cross-engine matrix for the collectives with a sequential
+// counterpart lives in equiv_test.go (one spec per collective, run by
+// the shared equivtest harness over loopback and TCP). This file keeps
+// what does not fit the spec shape: the one-bit schedule against its
+// lockstep reference, and the engine's execution semantics (ParallelFor,
+// panic propagation).
 
 // mergeWithStreams builds a MergeFunc backed by per-rank RNG streams,
 // the exact shape core.Marsit uses.
@@ -194,7 +93,7 @@ func requireSameBits(t *testing.T, want, got []*bitvec.Vec) {
 }
 
 func randBits(seed uint64, n, d int) []*bitvec.Vec {
-	vecs := randVecs(seed, n, d)
+	vecs := equivtest.RandVecs(seed, n, d)
 	bits := make([]*bitvec.Vec, n)
 	for w := range bits {
 		bits[w] = bitvec.FromSigns(vecs[w])

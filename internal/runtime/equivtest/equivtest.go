@@ -1,0 +1,249 @@
+// Package equivtest is the shared cross-engine equivalence harness of
+// the reproduction: one spec table drives every ported collective
+// through the sequential engine and the concurrent engine over both
+// fabric backends (in-process loopback and real TCP sockets), across a
+// fixed set of cluster shapes (M = 2, odd M, larger rings, square,
+// rectangular and degenerate tori) and unbalanced dimensions, and
+// demands bit-identical results plus identical α–β accounting — wire
+// bytes exact, per-worker clocks and phase breakdowns to 1e-12.
+//
+// A Spec provides two closures that run the same logical collective
+// from the same derived seed: Seq on a fresh cluster with the
+// single-threaded lock-step engine, Par on a fresh cluster with a
+// *runtime.Engine. Both return the per-rank output vectors (whatever
+// encoding the spec chooses, as long as both sides build it the same
+// way). Run executes the full spec × shape × dim × backend matrix as
+// subtests.
+//
+// The comparison helpers (RequireSameClusters, RequireSameVecs) are
+// exported separately so the engine-level tests that do not fit the
+// spec shape — core's round-by-round Marsit equivalence, the one-bit
+// lockstep references — share the same acceptance bar instead of
+// duplicating it.
+package equivtest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/runtime"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+	"marsit/internal/transport/tcp"
+)
+
+// Shape is one cluster configuration a spec runs on.
+type Shape struct {
+	// Name labels the subtest.
+	Name string
+	// Workers is the cluster size M.
+	Workers int
+	// Torus is non-nil for torus schedules (Torus.Size() == Workers).
+	Torus *topology.Torus
+}
+
+// RingShapes returns the ring shapes every ring collective must cover:
+// the degenerate single worker, the M=2 edge, an odd M, and larger
+// rings.
+func RingShapes() []Shape {
+	return []Shape{
+		{Name: "M=1", Workers: 1},
+		{Name: "M=2", Workers: 2},
+		{Name: "M=3", Workers: 3},
+		{Name: "M=4", Workers: 4},
+		{Name: "M=8", Workers: 8},
+	}
+}
+
+// TorusShapes returns the torus shapes every torus collective must
+// cover: square, both rectangular orientations, and the degenerate
+// single-row and single-column tori.
+func TorusShapes() []Shape {
+	shapes := [][2]int{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {1, 4}, {4, 1}}
+	out := make([]Shape, 0, len(shapes))
+	for _, sh := range shapes {
+		rows, cols := sh[0], sh[1]
+		out = append(out, Shape{
+			Name:    fmt.Sprintf("%dx%d", rows, cols),
+			Workers: rows * cols,
+			Torus:   topology.NewTorus(rows, cols),
+		})
+	}
+	return out
+}
+
+// DefaultDims are the dimensions specs run at: the degenerate D=1
+// (zero-length ring segments), tiny (segments shorter than the ring),
+// unbalanced partitions, and a moderate size.
+var DefaultDims = []int{1, 5, 64, 257}
+
+// Spec is one collective's cross-engine equivalence contract.
+type Spec struct {
+	// Name labels the spec's subtests.
+	Name string
+	// Shapes defaults to RingShapes when nil.
+	Shapes []Shape
+	// Dims defaults to DefaultDims when nil.
+	Dims []int
+	// Seq runs the collective on the sequential engine and returns the
+	// per-rank outputs.
+	Seq func(c *netsim.Cluster, sh Shape, d int, seed uint64) []tensor.Vec
+	// Par runs the collective on the concurrent engine and returns the
+	// per-rank outputs.
+	Par func(eng *runtime.Engine, c *netsim.Cluster, sh Shape, d int, seed uint64) []tensor.Vec
+}
+
+// Backends are the fabric backends the matrix covers.
+var Backends = []string{"loopback", "tcp"}
+
+// Run executes every spec over its shape × dim × backend matrix. The
+// TCP leg runs the full shape set at the last (largest) dimension only,
+// keeping socket churn bounded while still proving every schedule over
+// real frames.
+func Run(t *testing.T, specs []Spec) {
+	for _, spec := range specs {
+		shapes := spec.Shapes
+		if shapes == nil {
+			shapes = RingShapes()
+		}
+		dims := spec.Dims
+		if dims == nil {
+			dims = DefaultDims
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, backend := range Backends {
+				t.Run(backend, func(t *testing.T) {
+					caseDims := dims
+					if backend == "tcp" {
+						caseDims = dims[len(dims)-1:]
+					}
+					for _, sh := range shapes {
+						for _, d := range caseDims {
+							t.Run(fmt.Sprintf("%s_D=%d", sh.Name, d), func(t *testing.T) {
+								runCase(t, spec, backend, sh, d)
+							})
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func runCase(t *testing.T, spec Spec, backend string, sh Shape, d int) {
+	t.Helper()
+	seed := caseSeed(sh, d)
+	seqC := netsim.NewCluster(sh.Workers, netsim.DefaultCostModel())
+	parC := netsim.NewCluster(sh.Workers, netsim.DefaultCostModel())
+
+	seqOut := spec.Seq(seqC, sh, d, seed)
+
+	eng := newEngine(t, backend, sh.Workers)
+	defer eng.Close()
+	parOut := spec.Par(eng, parC, sh, d, seed)
+
+	RequireSameVecs(t, seqOut, parOut)
+	RequireSameClusters(t, seqC, parC)
+}
+
+// caseSeed derives a deterministic per-case seed so Seq and Par consume
+// identical inputs and streams.
+func caseSeed(sh Shape, d int) uint64 {
+	seed := uint64(sh.Workers)*1_000_003 + uint64(d)*9176
+	if sh.Torus != nil {
+		seed += uint64(sh.Torus.Rows()) * 131
+	}
+	return seed
+}
+
+// newEngine builds a concurrent engine over the requested backend.
+func newEngine(t testing.TB, backend string, workers int) *runtime.Engine {
+	t.Helper()
+	switch backend {
+	case "loopback":
+		return runtime.New(workers)
+	case "tcp":
+		f, err := tcp.NewLocal(workers)
+		if err != nil {
+			t.Fatalf("tcp fabric: %v", err)
+		}
+		return runtime.NewWithOwnedTransport(f)
+	default:
+		t.Fatalf("unknown backend %q", backend)
+		return nil
+	}
+}
+
+// accountingTol bounds the float summation-order drift tolerated on
+// clocks and phase breakdowns (bytes are compared exactly).
+const accountingTol = 1e-12
+
+// RequireSameClusters asserts the two clusters were charged
+// identically: exact wire bytes, and per-worker clocks and phase
+// breakdowns within accountingTol.
+func RequireSameClusters(t testing.TB, seq, par *netsim.Cluster) {
+	t.Helper()
+	if seq.Size() != par.Size() {
+		t.Fatalf("cluster sizes: seq %d, par %d", seq.Size(), par.Size())
+	}
+	if seq.TotalBytes() != par.TotalBytes() {
+		t.Fatalf("wire bytes: seq %d, par %d", seq.TotalBytes(), par.TotalBytes())
+	}
+	for w := 0; w < seq.Size(); w++ {
+		if seq.BytesSent(w) != par.BytesSent(w) {
+			t.Fatalf("worker %d bytes: seq %d, par %d", w, seq.BytesSent(w), par.BytesSent(w))
+		}
+		if diff := math.Abs(seq.Clock(w) - par.Clock(w)); diff > accountingTol {
+			t.Fatalf("worker %d clock: seq %v, par %v", w, seq.Clock(w), par.Clock(w))
+		}
+		sb, pb := seq.PhaseBreakdown(w), par.PhaseBreakdown(w)
+		for ph := range sb {
+			if diff := math.Abs(sb[ph] - pb[ph]); diff > accountingTol {
+				t.Fatalf("worker %d phase %v: seq %v, par %v",
+					w, netsim.Phase(ph), sb[ph], pb[ph])
+			}
+		}
+	}
+}
+
+// RequireSameVecs asserts bit-exact equality of the per-rank outputs.
+func RequireSameVecs(t testing.TB, want, got []tensor.Vec) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("output counts: want %d, got %d", len(want), len(got))
+	}
+	for w := range want {
+		if len(want[w]) != len(got[w]) {
+			t.Fatalf("rank %d output dims: want %d, got %d", w, len(want[w]), len(got[w]))
+		}
+		for i := range want[w] {
+			if math.Float64bits(want[w][i]) != math.Float64bits(got[w][i]) {
+				t.Fatalf("rank %d elem %d: want %v, got %v", w, i, want[w][i], got[w][i])
+			}
+		}
+	}
+}
+
+// RandVecs returns n deterministic standard-normal vectors of dimension
+// d — the shared input generator, so seq and par legs (and different
+// packages' tests) draw identical data from a seed.
+func RandVecs(seed uint64, n, d int) []tensor.Vec {
+	r := rng.New(seed)
+	out := make([]tensor.Vec, n)
+	for w := range out {
+		out[w] = r.NormVec(make(tensor.Vec, d), 0, 1)
+	}
+	return out
+}
+
+// CloneVecs deep-copies a vector set.
+func CloneVecs(vecs []tensor.Vec) []tensor.Vec {
+	out := make([]tensor.Vec, len(vecs))
+	for i, v := range vecs {
+		out[i] = tensor.Clone(v)
+	}
+	return out
+}

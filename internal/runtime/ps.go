@@ -1,0 +1,277 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/collective"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+)
+
+// This file ports the parameter-server family to the concurrent engine
+// with a hub actor: instead of a ring schedule, rank 0 hosts the hub
+// endpoint and serves push–pull over the Transport interface. Every
+// rank pushes its payload (carrying its virtual clock); the hub folds
+// the payloads in rank order, applies collective.HubSchedule — the
+// exact ingress/egress serialization arithmetic of the sequential
+// virtual hub — and replies to each rank with the aggregate and its
+// arrival time. The hub is not an extra cluster member: as in the
+// sequential accounting, both up and down traffic are charged to the
+// worker, and rank 0 doubles as worker 0 exactly like every other rank.
+//
+// A dead rank poisons the fabric rather than hanging it: the hub's
+// blocked Recv (or a worker's blocked reply Recv) returns ErrClosed
+// once the transport observes the peer loss, and the resulting panic
+// carries the failure to the caller (cmd/marsit-node converts it into
+// an orderly non-zero exit).
+
+// hubRank is the rank hosting the hub actor.
+const hubRank = 0
+
+// runHub performs one push–pull through the rank-0-hosted hub. push is
+// this rank's uplink payload (ownership passes; pooled). upBytes and
+// downBytes are the uniform simulated sizes per direction. On the hub,
+// fold is called once per rank in rank order with each rank's payload
+// (which it must consume/recycle), then reply must return the pooled
+// downlink payload. Every rank returns its downlink payload (caller
+// consumes/recycles) after charging the hub-serialized arrival time and
+// the round's wire bytes.
+func runHub(c *netsim.Cluster, ep transport.Endpoint, push []byte, upBytes, downBytes int,
+	fold func(rank int, payload []byte), reply func() []byte) []byte {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if rank != hubRank {
+		if err := ep.Send(hubRank, transport.Packet{Data: push, Clock: c.Clock(rank)}); err != nil {
+			panic(fmt.Sprintf("runtime: rank %d push to hub: %v", rank, err))
+		}
+		p, err := ep.Recv(hubRank)
+		if err != nil {
+			panic(fmt.Sprintf("runtime: rank %d pull from hub: %v", rank, err))
+		}
+		c.AdvanceTransmit(rank, p.Clock)
+		c.AccountBytes(rank, upBytes+downBytes)
+		return p.Data
+	}
+
+	// Hub side: gather every rank's payload and clock, in rank order.
+	clocks := make([]float64, n)
+	ups := make([]int, n)
+	downs := make([]int, n)
+	for w := 0; w < n; w++ {
+		ups[w], downs[w] = upBytes, downBytes
+	}
+	clocks[hubRank] = c.Clock(hubRank)
+	fold(hubRank, push)
+	for w := 0; w < n; w++ {
+		if w == hubRank {
+			continue
+		}
+		p, err := ep.Recv(w)
+		if err != nil {
+			panic(fmt.Sprintf("runtime: hub gather from rank %d: %v", w, err))
+		}
+		clocks[w] = p.Clock
+		fold(w, p.Data)
+	}
+	arrivals := collective.HubSchedule(c.Model, clocks, ups, downs)
+	down := reply()
+	for w := 0; w < n; w++ {
+		if w == hubRank {
+			continue
+		}
+		buf := transport.GetBuffer(len(down))
+		copy(buf, down)
+		if err := ep.Send(w, transport.Packet{Data: buf, Clock: arrivals[w]}); err != nil {
+			panic(fmt.Sprintf("runtime: hub reply to rank %d: %v", w, err))
+		}
+	}
+	c.AdvanceTransmit(hubRank, arrivals[hubRank])
+	c.AccountBytes(hubRank, upBytes+downBytes)
+	return down
+}
+
+// PSAllReduceRank executes one rank's share of the full-precision
+// parameter-server baseline (collective.PSAllReduce): the full gradient
+// up, the mean back down. vec holds the element-wise mean on return.
+// The sequential baseline has no closing barrier, and neither does
+// this.
+func PSAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec) {
+	rank, n := ep.Rank(), ep.Size()
+	d := len(vec)
+	var mean tensor.Vec
+	if rank == hubRank {
+		mean = tensor.New(d)
+	}
+	wire := collective.DenseWireBytes(d)
+	down := runHub(c, ep, encodeFloats(vec), wire, wire,
+		func(_ int, payload []byte) { addFloats(mean, payload) },
+		func() []byte {
+			tensor.Scale(mean, 1/float64(n))
+			return encodeFloats(mean)
+		})
+	copyFloats(vec, down)
+}
+
+// SignMajorityPSRank executes one rank's share of signSGD with majority
+// vote under PS (collective.SignMajorityPS): sign bits and the ℓ1/D
+// magnitude up, the coordinate-wise majority back down, the result
+// scaled by the mean magnitude.
+func SignMajorityPSRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec) {
+	rank, n := ep.Rank(), ep.Size()
+	d := len(vec)
+	// The sequential engine charges both the sign packing and the
+	// decode before the hub exchange; reproduce that order.
+	c.AddCompress(rank, d)
+	c.AddDecompress(rank, d)
+	bits := bitvec.FromSigns(vec)
+	myScale := tensor.Norm1(vec) / float64(d)
+
+	var votes []int
+	scale := 0.0
+	if rank == hubRank {
+		votes = make([]int, d)
+	}
+	wire := collective.SignWireBytes(d)
+	down := runHub(c, ep, encodeSignScale(bits, myScale), wire, wire,
+		func(_ int, payload []byte) {
+			b, s := decodeSignScale(payload, d)
+			for i := 0; i < d; i++ {
+				if b.Get(i) {
+					votes[i]++
+				} else {
+					votes[i]--
+				}
+			}
+			scale += s
+		},
+		func() []byte {
+			scale /= float64(n)
+			majority := bitvec.New(d)
+			for i, v := range votes {
+				majority.Set(i, v >= 0)
+			}
+			return encodeSignScale(majority, scale)
+		})
+	maj, meanScale := decodeSignScale(down, d)
+	for i := 0; i < d; i++ {
+		if maj.Get(i) {
+			vec[i] = meanScale
+		} else {
+			vec[i] = -meanScale
+		}
+	}
+}
+
+// ScaledSignPSRank executes one rank's share of the norm-weighted
+// sign push–pull under PS (the exchange of SSDM-PS and of the train
+// layer's PS sign transports): signs and scale up, the dense mean
+// (1/M)·Σ scale_m·sign_m back down. The caller owns the compression and
+// decode charges around it, mirroring the sequential layering.
+func ScaledSignPSRank(c *netsim.Cluster, ep transport.Endpoint, signs []float64, scale float64) tensor.Vec {
+	rank, n := ep.Rank(), ep.Size()
+	d := len(signs)
+	var mean tensor.Vec
+	if rank == hubRank {
+		mean = tensor.New(d)
+	}
+	down := runHub(c, ep, encodeCascade(scale, signs), collective.SignWireBytes(d), collective.DenseWireBytes(d),
+		func(_ int, payload []byte) {
+			s, sg := decodeCascade(payload, d)
+			for i := range mean {
+				mean[i] += s * sg[i]
+			}
+		},
+		func() []byte {
+			tensor.Scale(mean, 1/float64(n))
+			return encodeFloats(mean)
+		})
+	update := tensor.New(d)
+	copyFloats(update, down)
+	return update
+}
+
+// SSDMPSRank executes one rank's share of SSDM under PS
+// (collective.SSDMPS): stochastic signs + norm up, the dense mean back
+// down. r must be the rank's own SSDM stream. The sequential baseline
+// charges only the compression (the dense downlink needs no decode).
+func SSDMPSRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, r *rng.PCG) {
+	rank := ep.Rank()
+	d := len(vec)
+	signs, norm := collective.SSDMSigns(vec, r)
+	c.AddCompress(rank, d)
+	copy(vec, ScaledSignPSRank(c, ep, signs, norm))
+}
+
+// encodeSignScale serializes a packed sign vector plus its scaling
+// constant into a pooled payload.
+func encodeSignScale(bits *bitvec.Vec, scale float64) []byte {
+	out := transport.GetBuffer(8 + bits.MarshalBytes())
+	binary.LittleEndian.PutUint64(out, math.Float64bits(scale))
+	bits.MarshalInto(out[8:])
+	return out
+}
+
+// decodeSignScale parses an encodeSignScale payload of d sign bits and
+// recycles it.
+func decodeSignScale(data []byte, d int) (*bitvec.Vec, float64) {
+	if len(data) < 8 {
+		panic(fmt.Sprintf("runtime: sign-scale payload of %d bytes", len(data)))
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	bits, err := bitvec.Unmarshal(data[8:])
+	if err != nil {
+		panic(fmt.Sprintf("runtime: sign-scale payload: %v", err))
+	}
+	if bits.Len() != d {
+		panic(fmt.Sprintf("runtime: sign-scale payload of %d bits for dim %d", bits.Len(), d))
+	}
+	transport.PutBuffer(data)
+	return bits, scale
+}
+
+// PSAllReduce is the concurrent counterpart of collective.PSAllReduce:
+// rank 0's worker goroutine doubles as the hub actor.
+func (e *Engine) PSAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
+	e.checkShape(c, vecs)
+	e.run(func(rank int, ep transport.Endpoint) {
+		PSAllReduceRank(c, ep, vecs[rank])
+	})
+}
+
+// SignMajorityPS is the concurrent counterpart of
+// collective.SignMajorityPS.
+func (e *Engine) SignMajorityPS(c *netsim.Cluster, vecs []tensor.Vec) {
+	e.checkShape(c, vecs)
+	e.run(func(rank int, ep transport.Endpoint) {
+		SignMajorityPSRank(c, ep, vecs[rank])
+	})
+}
+
+// SSDMPS is the concurrent counterpart of collective.SSDMPS. rs[rank]
+// must be rank's SSDM stream.
+func (e *Engine) SSDMPS(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
+	e.checkShape(c, vecs)
+	if len(rs) != e.n {
+		panic("runtime: need one RNG per worker")
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		SSDMPSRank(c, ep, vecs[rank], rs[rank])
+	})
+}
+
+// ScaledSignPS is the concurrent counterpart of the train layer's PS
+// sign exchange: it returns the consensus dense update
+// (1/M)·Σ scale_m·sign_m.
+func (e *Engine) ScaledSignPS(c *netsim.Cluster, signs [][]float64, scales []float64) tensor.Vec {
+	e.checkSignShape(c, signs, scales)
+	updates := make([]tensor.Vec, e.n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		updates[rank] = ScaledSignPSRank(c, ep, signs[rank], scales[rank])
+	})
+	return updates[0]
+}

@@ -1,0 +1,319 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"marsit/internal/collective"
+	"marsit/internal/compress"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+	"marsit/internal/transport"
+)
+
+// This file ports the bit-width-expansion sign-sum collectives of
+// Section 3.1 ("SSDM (Overflow)" and majority-vote signSGD transports)
+// to the concurrent engine: per-coordinate integer sign sums circulate a
+// reduce-scatter + all-gather ring whose payload width grows with the
+// number of aggregated workers, optionally compacted with Elias gamma
+// coding — in which case the entropy-coded bytes genuinely travel the
+// wire. Results, wire bytes and α–β clocks are bit-identical to
+// collective.SignSumRing / SignSumTorus / OverflowRing.
+//
+// The scaling constants ride along the payloads (their 4 simulated bytes
+// are part of every message, as in the sequential accounting): each
+// reduce-scatter hop forwards the scale data received on the previous
+// hop, so after m−1 hops a rank holds every ring member's original
+// constant and can form the total in rank order — the exact float
+// summation order of the sequential engine.
+
+// signsToSums converts a ±-sign vector to int64 sign sums, with the
+// repository-wide zero-is-positive convention of the sequential path.
+func signsToSums(signs []float64) []int64 {
+	out := make([]int64, len(signs))
+	for i, sg := range signs {
+		if sg >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// encodeSignSum serializes one sign-sum hop: the scale payload riding
+// along (a small float64 vector) followed by the integer sums — raw
+// little-endian int64s, or the exact Elias-gamma bytes when useElias is
+// set (the paper's compaction, actually on the wire). The buffer comes
+// from the shared payload pool. eliasBits reports the coded bit length
+// (0 without Elias) so the caller sizes the simulated message from this
+// single encode.
+func encodeSignSum(vals []int64, scales []float64, useElias bool) (data []byte, eliasBits int) {
+	var eliasBytes []byte
+	sumBytes := 8 * len(vals)
+	if useElias {
+		eliasBytes, eliasBits = compress.EliasEncodeInts(vals)
+		sumBytes = len(eliasBytes)
+	}
+	out := transport.GetBuffer(4 + 8*len(scales) + sumBytes)
+	binary.LittleEndian.PutUint32(out, uint32(len(scales)))
+	off := 4
+	for _, s := range scales {
+		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(s))
+		off += 8
+	}
+	if useElias {
+		copy(out[off:], eliasBytes)
+	} else {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(out[off:], uint64(v))
+			off += 8
+		}
+	}
+	return out, eliasBits
+}
+
+// signSumWire sizes one hop from a completed encode: the Elias bit
+// length when coded, the bit-width-expansion formula otherwise — the
+// same shared formulas collective.SignSumSegBytes charges sequentially.
+func signSumWire(workers int, vals []int64, useElias bool, eliasBits int) int {
+	if useElias {
+		return collective.EliasWireBytes(eliasBits)
+	}
+	return collective.SignSumSegBytes(workers, vals, false)
+}
+
+// decodeSignSum parses an encodeSignSum payload of nVals sums and
+// recycles it.
+func decodeSignSum(data []byte, nVals int, useElias bool) ([]int64, []float64) {
+	if len(data) < 4 {
+		panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes", len(data)))
+	}
+	nScales := int(binary.LittleEndian.Uint32(data))
+	off := 4
+	if len(data) < off+8*nScales {
+		panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes for %d scales", len(data), nScales))
+	}
+	scales := make([]float64, nScales)
+	for i := range scales {
+		scales[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	var vals []int64
+	if useElias {
+		var err error
+		vals, err = compress.EliasDecodeInts(data[off:], nVals)
+		if err != nil {
+			panic(fmt.Sprintf("runtime: sign-sum elias payload: %v", err))
+		}
+	} else {
+		if len(data) != off+8*nVals {
+			panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes for %d sums", len(data), nVals))
+		}
+		vals = make([]int64, nVals)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	transport.PutBuffer(data)
+	return vals, scales
+}
+
+// signSumPhase runs one ring phase of the integer-sum schedule for this
+// rank at position p of an m-ring (neighbors next and prev): a
+// reduce-scatter accumulating into sums, then the all-gather writing the
+// consensus back. ownScales is the rank's scale payload for this phase;
+// the returned slice holds every ring member's scale payload indexed by
+// ring position (own included). baseCount is the worker count already
+// aggregated per member (1 for a flat ring, cols for a torus column
+// phase), matching the sequential bit-width arithmetic.
+func signSumPhase(rk *rankCtx, next, prev, p, m int, sums []int64, baseCount int, useElias bool, ownScales []float64) [][]float64 {
+	scalesByPos := make([][]float64, m)
+	scalesByPos[p] = ownScales
+	if m < 2 {
+		return scalesByPos
+	}
+	segs := tensor.Partition(len(sums), m)
+
+	// Reduce-scatter: at step s send segment (p−s) mod m downstream with
+	// the scale payload that originated at position (p−s) mod m, and
+	// accumulate the received segment (p−s−1) mod m.
+	for s := 0; s < m-1; s++ {
+		out := segs[mod(p-s, m)]
+		outVals := sums[out.Lo:out.Hi]
+		payload, eliasBits := encodeSignSum(outVals, scalesByPos[mod(p-s, m)], useElias)
+		wire := signSumWire((s+1)*baseCount, outVals, useElias, eliasBits)
+		data := rk.exchange(next, payload, wire, prev)
+		in := segs[mod(p-s-1, m)]
+		vals, scales := decodeSignSum(data, in.Len(), useElias)
+		for i := in.Lo; i < in.Hi; i++ {
+			sums[i] += vals[i-in.Lo]
+		}
+		scalesByPos[mod(p-1-s, m)] = scales
+	}
+
+	// All-gather: position p now owns the consensus of segment
+	// (p+1) mod m; circulate the final segments (no scales left to learn,
+	// but the constant still rides each payload in the wire accounting).
+	for s := 0; s < m-1; s++ {
+		out := segs[mod(p+1-s, m)]
+		outVals := sums[out.Lo:out.Hi]
+		payload, eliasBits := encodeSignSum(outVals, nil, useElias)
+		wire := signSumWire(m*baseCount, outVals, useElias, eliasBits)
+		data := rk.exchange(next, payload, wire, prev)
+		in := segs[mod(p-s, m)]
+		vals, _ := decodeSignSum(data, in.Len(), useElias)
+		copy(sums[in.Lo:in.Hi], vals)
+	}
+	return scalesByPos
+}
+
+// SignSumRingRank executes one rank's share of the sign-sum ring:
+// signs holds the rank's ±1 vector, scale its scaling constant (ℓ2 norm
+// for SSDM, ℓ1/D for signSGD). It returns the consensus per-coordinate
+// sums and the total scale over all ranks, both identical on every rank
+// and bit-identical to collective.SignSumRing. The caller owns any
+// closing barrier.
+func SignSumRingRank(c *netsim.Cluster, ep transport.Endpoint, signs []float64, scale float64, useElias bool) ([]int64, float64) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	sums := signsToSums(signs)
+	if n == 1 {
+		return sums, scale
+	}
+	rk := newRankCtx(c, ep, rank)
+	scalesByPos := signSumPhase(rk, mod(rank+1, n), mod(rank-1, n), rank, n, sums, 1, useElias, []float64{scale})
+	rk.finish()
+	// Total in rank order 0..n−1: the sequential engine's exact float
+	// summation order.
+	total := 0.0
+	for w := 0; w < n; w++ {
+		total += scalesByPos[w][0]
+	}
+	return sums, total
+}
+
+// SignSumTorusRank is SignSumRingRank over a 2D torus: a row-ring phase
+// first, then a column-ring phase whose payload width starts at the row
+// width — exactly the hierarchical schedule of collective.SignSumTorus.
+func SignSumTorusRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.Torus, signs []float64, scale float64, useElias bool) ([]int64, float64) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if tor.Size() != n {
+		panic("runtime: torus size mismatch")
+	}
+	sums := signsToSums(signs)
+	if n == 1 {
+		return sums, scale
+	}
+	rows, cols := tor.Rows(), tor.Cols()
+	r, p := tor.Coord(rank)
+	rk := newRankCtx(c, ep, rank)
+
+	// Row phase: each member contributes its own constant; afterwards
+	// the rank knows its whole row's constants by row position.
+	rowScales := signSumPhase(rk, tor.Rank(r, p+1), tor.Rank(r, p-1), p, cols, sums, 1, useElias, []float64{scale})
+	myRow := make([]float64, cols)
+	for q := 0; q < cols; q++ {
+		myRow[q] = rowScales[q][0]
+	}
+
+	// Column phase: each member contributes its row's constants, so the
+	// chain delivers every rank's constant.
+	colScales := signSumPhase(rk, tor.Rank(r+1, p), tor.Rank(r-1, p), r, rows, sums, cols, useElias, myRow)
+	rk.finish()
+
+	total := 0.0
+	for w := 0; w < n; w++ {
+		wr, wp := tor.Coord(w)
+		total += colScales[wr][wp]
+	}
+	return sums, total
+}
+
+// OverflowRingRank executes one rank's share of the "SSDM (Overflow)"
+// baseline: SSDM-compress once, circulate integer sign sums with
+// bit-width expansion (± Elias), and decode with the mean norm standing
+// in for per-worker norms. vec is replaced by the decoded estimate. r
+// must be the rank's own SSDM stream, consumed exactly as the
+// sequential engine would. The caller owns the closing barrier
+// (sequential collective.OverflowRing ends in c.Barrier()).
+func OverflowRingRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, r *rng.PCG, useElias bool) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if n == 1 {
+		return
+	}
+	d := len(vec)
+	signs, norm := collective.SSDMSigns(vec, r)
+	c.AddCompress(rank, d)
+	sums, totalNorm := SignSumRingRank(c, ep, signs, norm, useElias)
+	meanNorm := totalNorm / float64(n)
+	for i := 0; i < d; i++ {
+		vec[i] = meanNorm * float64(sums[i]) / float64(n)
+	}
+	c.AddDecompress(rank, d)
+}
+
+// checkSignShape validates one sign vector and scale per rank.
+func (e *Engine) checkSignShape(c *netsim.Cluster, signs [][]float64, scales []float64) {
+	if c.Size() != e.n {
+		panic(fmt.Sprintf("runtime: cluster size %d != engine workers %d", c.Size(), e.n))
+	}
+	if len(signs) != e.n || len(scales) != e.n {
+		panic("runtime: need one sign vector and scale per worker")
+	}
+	d := len(signs[0])
+	for w, s := range signs {
+		if len(s) != d {
+			panic(fmt.Sprintf("runtime: worker %d has dim %d, want %d", w, len(s), d))
+		}
+	}
+}
+
+// SignSumRing is the concurrent counterpart of collective.SignSumRing:
+// every rank circulates its integer sign sums on its own goroutine. It
+// returns the consensus sums and total scale (identical on every rank).
+func (e *Engine) SignSumRing(c *netsim.Cluster, signs [][]float64, scales []float64, useElias bool) ([]int64, float64) {
+	e.checkSignShape(c, signs, scales)
+	sums := make([][]int64, e.n)
+	totals := make([]float64, e.n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		sums[rank], totals[rank] = SignSumRingRank(c, ep, signs[rank], scales[rank], useElias)
+	})
+	return sums[0], totals[0]
+}
+
+// SignSumTorus is the concurrent counterpart of collective.SignSumTorus.
+func (e *Engine) SignSumTorus(c *netsim.Cluster, tor *topology.Torus, signs [][]float64, scales []float64, useElias bool) ([]int64, float64) {
+	e.checkSignShape(c, signs, scales)
+	if tor.Size() != e.n {
+		panic("runtime: torus size mismatch")
+	}
+	sums := make([][]int64, e.n)
+	totals := make([]float64, e.n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		sums[rank], totals[rank] = SignSumTorusRank(c, ep, tor, signs[rank], scales[rank], useElias)
+	})
+	return sums[0], totals[0]
+}
+
+// OverflowRing is the concurrent counterpart of collective.OverflowRing,
+// including its closing barrier. rs[rank] must be rank's SSDM stream.
+func (e *Engine) OverflowRing(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG, useElias bool) {
+	e.checkShape(c, vecs)
+	if len(rs) != e.n {
+		panic("runtime: need one RNG per worker")
+	}
+	if e.n == 1 {
+		return
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		OverflowRingRank(c, ep, vecs[rank], rs[rank], useElias)
+	})
+	c.Barrier()
+}

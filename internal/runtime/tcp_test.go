@@ -1,7 +1,6 @@
 package runtime_test
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
@@ -9,9 +8,16 @@ import (
 	"marsit/internal/netsim"
 	"marsit/internal/rng"
 	"marsit/internal/runtime"
+	"marsit/internal/runtime/equivtest"
 	"marsit/internal/transport"
 	"marsit/internal/transport/tcp"
 )
+
+// The TCP leg of every ported collective's equivalence matrix runs in
+// equiv_test.go through the shared harness. This file keeps the
+// wire-specific stress cases: the one-bit schedule (whose lockstep
+// reference has no netsim counterpart), framing over payloads larger
+// than a TCP segment, and the distributed clock barrier.
 
 // newTCPEngine starts an engine whose ranks exchange messages over real
 // TCP sockets on the loopback interface.
@@ -22,35 +28,6 @@ func newTCPEngine(t *testing.T, n int) *runtime.Engine {
 		t.Fatalf("tcp fabric: %v", err)
 	}
 	return runtime.NewWithOwnedTransport(f)
-}
-
-// TestTCPRingAllReduceEquivalence is the acceptance check for the wire
-// backend's full-precision path: ring all-reduce over real sockets is
-// bit-identical — values, wire bytes, virtual clocks, phase breakdowns —
-// to the loopback engine (itself proven identical to the sequential
-// collective) across worker counts and unbalanced dimensions.
-func TestTCPRingAllReduceEquivalence(t *testing.T) {
-	for _, n := range []int{2, 4, 5} {
-		for _, d := range []int{5, 1001} {
-			t.Run(fmt.Sprintf("M=%d_D=%d", n, d), func(t *testing.T) {
-				base := randVecs(uint64(n*1000+d), n, d)
-				loopV, tcpV := cloneAll(base), cloneAll(base)
-				loopC := netsim.NewCluster(n, netsim.DefaultCostModel())
-				tcpC := netsim.NewCluster(n, netsim.DefaultCostModel())
-
-				loop := runtime.New(n)
-				defer loop.Close()
-				loop.RingAllReduce(loopC, loopV)
-
-				eng := newTCPEngine(t, n)
-				defer eng.Close()
-				eng.RingAllReduce(tcpC, tcpV)
-
-				requireSameVecs(t, loopV, tcpV)
-				requireSameAccounting(t, loopC, tcpC)
-			})
-		}
-	}
 }
 
 // TestTCPOneBitRingEquivalence is the acceptance check for the one-bit
@@ -78,7 +55,7 @@ func TestTCPOneBitRingEquivalence(t *testing.T) {
 			t.Fatalf("rank %d disagrees with rank 0 over TCP", w)
 		}
 	}
-	requireSameAccounting(t, loopC, tcpC)
+	equivtest.RequireSameClusters(t, loopC, tcpC)
 
 	again, _ := run(newTCPEngine(t, n))
 	requireSameBits(t, tcpBits, again)
@@ -88,8 +65,8 @@ func TestTCPOneBitRingEquivalence(t *testing.T) {
 // TCP segment to exercise framing over partial reads.
 func TestTCPEngineLargePayload(t *testing.T) {
 	const n, d = 4, 200_000
-	base := randVecs(42, n, d)
-	loopV, tcpV := cloneAll(base), cloneAll(base)
+	base := equivtest.RandVecs(42, n, d)
+	loopV, tcpV := equivtest.CloneVecs(base), equivtest.CloneVecs(base)
 	loopC := netsim.NewCluster(n, netsim.DefaultCostModel())
 	tcpC := netsim.NewCluster(n, netsim.DefaultCostModel())
 
@@ -101,8 +78,8 @@ func TestTCPEngineLargePayload(t *testing.T) {
 	defer eng.Close()
 	eng.RingAllReduce(tcpC, tcpV)
 
-	requireSameVecs(t, loopV, tcpV)
-	requireSameAccounting(t, loopC, tcpC)
+	equivtest.RequireSameVecs(t, loopV, tcpV)
+	equivtest.RequireSameClusters(t, loopC, tcpC)
 }
 
 // TestClockBarrierMatchesCoordinator drives skewed per-rank clocks
@@ -143,7 +120,7 @@ func TestClockBarrierMatchesCoordinator(t *testing.T) {
 			}
 			wg.Wait()
 
-			requireSameAccounting(t, seqC, parC)
+			equivtest.RequireSameClusters(t, seqC, parC)
 		})
 	}
 }

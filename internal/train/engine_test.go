@@ -5,25 +5,42 @@ import (
 	"testing"
 )
 
-// TestEngineEquivalence trains the ported methods on both execution
-// engines and asserts the recorded metric series is identical point for
-// point — loss, simulated time, wire megabytes and matching rate — so
-// the parallel engine changes wall-clock behaviour only.
+// TestEngineEquivalence trains every method on both execution engines —
+// including the compressed sign-sum transports, cascading SSDM and the
+// PS hub forms ported in this series — and asserts the recorded metric
+// series is identical point for point — loss, simulated time, wire
+// megabytes and matching rate — so the parallel engine changes
+// wall-clock behaviour only.
 func TestEngineEquivalence(t *testing.T) {
 	cases := []struct {
 		method Method
 		topo   Topo
+		elias  bool
 	}{
-		{MethodPSGD, TopoRing},
-		{MethodPSGD, TopoTorus},
-		{MethodMarsit, TopoRing},
-		{MethodMarsit, TopoTorus},
+		{method: MethodPSGD, topo: TopoRing},
+		{method: MethodPSGD, topo: TopoTorus},
+		{method: MethodPSGD, topo: TopoPS},
+		{method: MethodMarsit, topo: TopoRing},
+		{method: MethodMarsit, topo: TopoTorus},
+		{method: MethodSignSGD, topo: TopoRing},
+		{method: MethodSignSGD, topo: TopoPS},
+		{method: MethodEFSignSGD, topo: TopoRing},
+		{method: MethodSSDM, topo: TopoRing},
+		{method: MethodSSDM, topo: TopoRing, elias: true},
+		{method: MethodSSDM, topo: TopoTorus},
+		{method: MethodSSDM, topo: TopoPS},
+		{method: MethodCascading, topo: TopoRing},
 	}
 	for _, tc := range cases {
-		t.Run(fmt.Sprintf("%s_%s", tc.method, tc.topo), func(t *testing.T) {
+		name := fmt.Sprintf("%s_%s", tc.method, tc.topo)
+		if tc.elias {
+			name += "_elias"
+		}
+		t.Run(name, func(t *testing.T) {
 			cfg := quickCfg(tc.method, tc.topo)
 			cfg.Rounds = 12
 			cfg.K = 5 // Marsit: mix full-precision and one-bit rounds
+			cfg.UseElias = tc.elias
 
 			seqCfg, parCfg := cfg, cfg
 			seqCfg.Engine = EngineSeq
@@ -58,11 +75,21 @@ func TestEngineEquivalence(t *testing.T) {
 // TestEngineEquivalenceTCP re-runs the engine equivalence with the
 // parallel engine's TCP fabric: metric series must match the sequential
 // engine point for point even when every collective hop crosses a real
-// socket.
+// socket. ssdm covers the compressed sign-sum ring over the wire; the
+// PS case covers the hub actor over the wire.
 func TestEngineEquivalenceTCP(t *testing.T) {
-	for _, method := range []Method{MethodPSGD, MethodMarsit} {
-		t.Run(string(method), func(t *testing.T) {
-			cfg := quickCfg(method, TopoRing)
+	cases := []struct {
+		method Method
+		topo   Topo
+	}{
+		{MethodPSGD, TopoRing},
+		{MethodMarsit, TopoRing},
+		{MethodSSDM, TopoRing},
+		{MethodSSDM, TopoPS},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s_%s", tc.method, tc.topo), func(t *testing.T) {
+			cfg := quickCfg(tc.method, tc.topo)
 			cfg.Rounds = 6
 			cfg.K = 3
 
@@ -114,9 +141,9 @@ func TestUnknownTransportRejected(t *testing.T) {
 	}
 }
 
-// TestEngineFallback checks non-ported methods accept EnginePar and run
-// sequentially, and that bogus engine names are rejected.
-func TestEngineFallback(t *testing.T) {
+// TestEngineValidation checks every method accepts EnginePar and that
+// bogus engine names are rejected.
+func TestEngineValidation(t *testing.T) {
 	cfg := quickCfg(MethodSSDM, TopoRing)
 	cfg.Rounds = 4
 	cfg.Engine = EnginePar

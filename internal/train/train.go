@@ -63,12 +63,13 @@ const (
 	// Deterministic virtual time; the mode the paper figures use.
 	EngineSeq Engine = "seq"
 	// EnginePar is the concurrent engine (internal/runtime): one
-	// goroutine per worker exchanging messages over an in-process
-	// loopback transport. Bit-identical results and α–β accounting for
-	// the ported collectives — full-precision RAR/TAR (psgd) and the
-	// Marsit one-bit path; methods whose collectives are not ported
-	// (signsgd, ef-signsgd, ssdm, cascading, and any PS topology) fall
-	// back to the sequential engine.
+	// goroutine per worker exchanging messages over a pluggable
+	// transport (loopback or TCP). Every method runs on it —
+	// full-precision RAR/TAR and the PS push–pull (psgd), the sign-sum
+	// transports with bit-width expansion ± Elias (signsgd, ef-signsgd,
+	// ssdm, including their PS hub forms), cascading SSDM, and the
+	// Marsit one-bit path — with bit-identical results and α–β
+	// accounting to the sequential engine.
 	EnginePar Engine = "par"
 )
 
@@ -303,11 +304,10 @@ func Run(cfg Config) (*Result, error) {
 
 	parallel := cfg.Engine == EnginePar
 
-	// The concurrent engine backs the ported collectives: full-precision
-	// RAR/TAR for psgd and the Marsit paths; everything else runs
-	// sequentially (see EnginePar).
+	// The concurrent engine backs every non-Marsit method's collectives
+	// (Marsit owns its engine through core.Config.Parallel below).
 	var rtEngine *runtime.Engine
-	if parallel && cfg.Method == MethodPSGD && cfg.Topo != TopoPS {
+	if parallel && cfg.Method != MethodMarsit {
 		rtEngine, err = core.NewParallelEngine(cfg.Workers, cfg.Transport)
 		if err != nil {
 			return nil, err
@@ -395,19 +395,25 @@ func Run(cfg Config) (*Result, error) {
 				rtEngine.TorusAllReduce(cluster, tor, work)
 			case cfg.Topo == TopoTorus:
 				collective.TorusAllReduce(cluster, tor, work)
+			case cfg.Topo == TopoPS && rtEngine != nil:
+				rtEngine.PSAllReduce(cluster, work)
 			case cfg.Topo == TopoPS:
 				collective.PSAllReduce(cluster, work)
 			}
 			update = work[0]
 		case MethodSignSGD:
-			update = signVoteSync(cluster, cfg, tor, grads, ssdmRNGs, false, nil)
+			update = signVoteSync(cluster, cfg, tor, rtEngine, grads, ssdmRNGs, false, nil)
 		case MethodEFSignSGD:
-			update = signVoteSync(cluster, cfg, tor, grads, ssdmRNGs, false, efState)
+			update = signVoteSync(cluster, cfg, tor, rtEngine, grads, ssdmRNGs, false, efState)
 		case MethodSSDM:
-			update = signVoteSync(cluster, cfg, tor, grads, ssdmRNGs, true, nil)
+			update = signVoteSync(cluster, cfg, tor, rtEngine, grads, ssdmRNGs, true, nil)
 		case MethodCascading:
 			work := cloneAll(grads)
-			collective.CascadingRing(cluster, work, ssdmRNGs)
+			if rtEngine != nil {
+				rtEngine.CascadingRing(cluster, work, ssdmRNGs)
+			} else {
+				collective.CascadingRing(cluster, work, ssdmRNGs)
+			}
 			update = work[0]
 		case MethodMarsit:
 			fullSync = marsit.FullPrecisionNext()
@@ -468,13 +474,16 @@ func Run(cfg Config) (*Result, error) {
 // ssdm true the signs are stochastic (SSDM); otherwise deterministic
 // signSGD, optionally with per-worker error feedback (efState non-nil).
 // Under MAR the sums travel with bit-width expansion; under PS the hub
-// push–pull carries 1-bit signs up and a dense mean down.
-func signVoteSync(cluster *netsim.Cluster, cfg Config, tor *topology.Torus, grads []tensor.Vec, rs []*rng.PCG, ssdm bool, efState []*compressEF) tensor.Vec {
+// push–pull carries 1-bit signs up and a dense mean down. A non-nil eng
+// runs the compression shard-local on the worker goroutines and the
+// exchange on the concurrent engine (sign-sum rings, or the rank-0
+// hub actor under PS) with bit-identical results and accounting.
+func signVoteSync(cluster *netsim.Cluster, cfg Config, tor *topology.Torus, eng *runtime.Engine, grads []tensor.Vec, rs []*rng.PCG, ssdm bool, efState []*compressEF) tensor.Vec {
 	n := cfg.Workers
 	d := len(grads[0])
 	signs := make([][]float64, n)
 	scales := make([]float64, n)
-	for w := 0; w < n; w++ {
+	compress := func(w int) {
 		src := grads[w]
 		if efState != nil {
 			src = efState[w].corrected(grads[w])
@@ -491,32 +500,52 @@ func signVoteSync(cluster *netsim.Cluster, cfg Config, tor *topology.Torus, grad
 			efState[w].update(src, signs[w], scales[w])
 		}
 	}
+	if eng != nil {
+		// Shard-local: each worker touches only its own signs/scales
+		// entry, RNG stream, EF residual and cluster charges.
+		eng.ParallelFor(compress)
+	} else {
+		for w := 0; w < n; w++ {
+			compress(w)
+		}
+	}
 
-	update := tensor.New(d)
+	var update tensor.Vec
 	if cfg.Topo == TopoPS {
 		// Hub aggregation: signs+scale up, dense mean down (majority
 		// semantics for deterministic signs, norm-weighted for SSDM).
-		for w := 0; w < n; w++ {
-			for i := 0; i < d; i++ {
-				update[i] += scales[w] * signs[w][i]
+		if eng != nil {
+			update = eng.ScaledSignPS(cluster, signs, scales)
+		} else {
+			update = tensor.New(d)
+			for w := 0; w < n; w++ {
+				for i := 0; i < d; i++ {
+					update[i] += scales[w] * signs[w][i]
+				}
 			}
+			tensor.Scale(update, 1/float64(n))
+			up := make([]int, n)
+			down := make([]int, n)
+			for w := range up {
+				up[w] = collective.SignWireBytes(d)
+				down[w] = collective.DenseWireBytes(d)
+			}
+			collective.HubPushPull(cluster, up, down)
 		}
-		tensor.Scale(update, 1/float64(n))
-		up := make([]int, n)
-		down := make([]int, n)
-		for w := range up {
-			up[w] = (d+7)/8 + 4
-			down[w] = d * 4
-		}
-		collective.HubPushPull(cluster, up, down)
 	} else {
 		var sums []int64
 		var totalScale float64
-		if cfg.Topo == TopoTorus {
+		switch {
+		case cfg.Topo == TopoTorus && eng != nil:
+			sums, totalScale = eng.SignSumTorus(cluster, tor, signs, scales, cfg.UseElias)
+		case cfg.Topo == TopoTorus:
 			sums, totalScale = collective.SignSumTorus(cluster, tor, signs, scales, cfg.UseElias)
-		} else {
+		case eng != nil:
+			sums, totalScale = eng.SignSumRing(cluster, signs, scales, cfg.UseElias)
+		default:
 			sums, totalScale = collective.SignSumRing(cluster, signs, scales, cfg.UseElias)
 		}
+		update = tensor.New(d)
 		meanScale := totalScale / float64(n)
 		if ssdm || efState != nil {
 			// Linear decode: mean scale × mean sign sum.

@@ -79,8 +79,16 @@ type Vec = tensor.Vec
 
 // Engine is the concurrent execution engine: one goroutine per worker,
 // exchanging messages over a pluggable transport, exposing the ported
-// collectives (RingAllReduce, TorusAllReduce, the one-bit paths) and
-// ParallelFor for shard-local work.
+// collectives — full-precision RingAllReduce/TorusAllReduce, the
+// one-bit Marsit paths, the compressed sign-sum transports
+// (SignSumRing, SignSumTorus, OverflowRing, CascadingRing, with
+// optional Elias coding on the wire), and the parameter-server family
+// (PSAllReduce, SignMajorityPS, SSDMPS, ScaledSignPS) served by a hub
+// actor hosted on rank 0 — plus ParallelFor for shard-local work. Every
+// ported collective reproduces the sequential engine's results, wire
+// bytes and α–β virtual clocks bit for bit over both fabric backends
+// (the cross-engine matrix in internal/runtime/equivtest enforces
+// this).
 type Engine = runtime.Engine
 
 // NewEngine starts a concurrent engine of workers goroutines connected
