@@ -1,17 +1,22 @@
 # Development targets for the Marsit reproduction.
 #
-#   make check       fmt + vet + build + test (what CI runs)
-#   make race        race-detector pass over the concurrency-bearing packages
-#   make bench       engine benchmarks (sequential vs parallel speedup)
-#   make fuzz-smoke  short fuzz pass over the Elias wire coder
-#   make tcp-demo    4-rank multi-process Marsit run over local TCP, verified
-#                    bit-for-bit against the sequential engine
+#   make check             fmt + vet + build + test + collective-listing golden
+#                          (what CI runs)
+#   make race              race-detector pass over the concurrency-bearing
+#                          packages
+#   make bench             engine benchmarks (sequential vs parallel speedup)
+#   make fuzz-smoke        short fuzz pass over the Elias wire coder
+#   make list-collectives  golden check: the CLIs' collective listing must
+#                          match docs/collectives.golden, so help text cannot
+#                          drift from the registry
+#   make tcp-demo          4-rank multi-process Marsit run over local TCP,
+#                          verified bit-for-bit against the sequential engine
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke tcp-demo
+.PHONY: check fmt vet build test race bench fuzz-smoke list-collectives tcp-demo
 
-check: fmt vet build test
+check: fmt vet build test list-collectives
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -31,7 +36,7 @@ test:
 race:
 	$(GO) test -race . ./internal/runtime/... ./internal/transport/... \
 		./internal/core/... ./internal/rng/... ./internal/train/... \
-		./internal/node/...
+		./internal/node/... ./internal/collective/registry/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
@@ -44,6 +49,18 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzEliasIntsRoundTrip' -fuzztime $(FUZZTIME) ./internal/compress
 	$(GO) test -run '^$$' -fuzz 'FuzzEliasDecodeRobust' -fuzztime $(FUZZTIME) ./internal/compress
+
+# list-collectives pins the registry-generated discovery listing (the
+# same lines marsit-node/marsit-bench print for -list-collectives) to
+# docs/collectives.golden: registering, renaming or re-documenting a
+# collective must update the golden file in the same change, so CLI help
+# cannot drift from the registry.
+list-collectives:
+	$(GO) build -o bin/marsit-node ./cmd/marsit-node
+	@./bin/marsit-node -list-collectives | diff -u docs/collectives.golden - \
+		|| { echo "list-collectives: registry listing drifted from docs/collectives.golden"; \
+		     echo "  (regenerate with: ./bin/marsit-node -list-collectives > docs/collectives.golden)"; exit 1; }
+	@echo "list-collectives: listing matches docs/collectives.golden"
 
 # tcp-demo launches one marsit-node process per rank on fixed local
 # ports; rank 0 gathers every rank's result, wire bytes and virtual

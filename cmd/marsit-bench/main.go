@@ -6,6 +6,7 @@
 //	marsit-bench -exp fig4a -scale full # paper-proportioned run
 //	marsit-bench -exp all               # everything
 //	marsit-bench -list                  # enumerate experiment ids
+//	marsit-bench -list-collectives      # enumerate the collective registry
 //	marsit-bench -exp fig3 -csv out.csv # also dump tables as CSV
 //	marsit-bench -exp fig5 -engine par  # concurrent execution engine
 //	marsit-bench -exp fig5 -engine par -transport tcp
@@ -29,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"marsit/internal/collective/registry"
 	"marsit/internal/experiments"
 	"marsit/internal/train"
 )
@@ -38,11 +40,17 @@ func main() {
 		exp       = flag.String("exp", "", "experiment id (or 'all')")
 		scale     = flag.String("scale", "quick", "quick | full")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
+		listColl  = flag.Bool("list-collectives", false, "list the registered collectives and exit")
 		csvPath   = flag.String("csv", "", "write result tables as CSV to this file")
 		engine    = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
 		transport = flag.String("transport", "loopback", "parallel engine fabric: loopback (in-process channels) | tcp (real sockets)")
 	)
 	flag.Parse()
+
+	if *listColl {
+		fmt.Print(registry.FormatList())
+		return
+	}
 
 	switch *engine {
 	case "seq":

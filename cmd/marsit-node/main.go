@@ -14,26 +14,29 @@
 //
 // The rank index selects this process's entry in the -peers list. The
 // -check flag must be given to every rank or none: with it, rank 0
-// gathers every rank's result, wire-byte count and virtual clock after
-// the last round, replays the run on the sequential engine, and exits
-// non-zero unless everything is bit-identical — `make tcp-demo` scripts
-// exactly that.
+// gathers every rank's result, wire-byte count, virtual clock and
+// per-phase breakdown after the last round, replays the run on the
+// sequential engine, exits non-zero unless everything is bit-identical,
+// and prints a Figure-5-style per-phase table from the live fabric —
+// `make tcp-demo` scripts exactly that.
 //
-// -collective selects the schedule: the full-precision ring (rar), the
-// one-bit Marsit ring (marsit), the compressed sign-sum ring with
-// bit-width expansion (signsum = majority-vote signSGD, ssdm = the
-// "SSDM (Overflow)" baseline; add -elias for Elias-gamma compaction on
-// the wire), or the parameter-server push–pull (ps), whose hub actor is
-// hosted by rank 0 and serves every rank over the same TCP fabric.
+// -collective selects the schedule by collective-registry name; run
+// with -list-collectives for the full set with topology, capability and
+// wire-model metadata. Torus-capable schedules (tar, marsit, signsum)
+// take -torus R,C; Elias-capable ones (signsum, ssdm) take -elias. A
+// newly registered collective is runnable here with no changes to this
+// binary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"marsit/internal/collective/registry"
 	"marsit/internal/node"
 )
 
@@ -41,19 +44,26 @@ func main() {
 	var (
 		rank     = flag.Int("rank", 0, "this process's rank (index into -peers)")
 		peers    = flag.String("peers", "", "comma-separated host:port list, one per rank")
-		coll     = flag.String("collective", "marsit", "rar | marsit | signsum | ssdm | ps")
+		coll     = flag.String("collective", "marsit", registry.FlagHelp())
+		torus    = flag.String("torus", "", "R,C torus layout for torus-capable collectives (default: ring, or a square torus for tar)")
 		dim      = flag.Int("dim", 4096, "gradient dimension D")
 		rounds   = flag.Int("rounds", 10, "synchronization rounds")
 		k        = flag.Int("k", 0, "Marsit full-precision period (0 = never)")
 		globalLR = flag.Float64("global-lr", 0.004, "Marsit global step η_s")
 		seed     = flag.Uint64("seed", 1, "shared root seed (must match on every rank)")
-		elias    = flag.Bool("elias", false, "Elias-gamma compaction of sign-sum payloads (signsum, ssdm)")
-		check    = flag.Bool("check", false, "rank 0 verifies the fabric against the sequential engine")
+		elias    = flag.Bool("elias", false, "Elias-gamma compaction of sign-sum payloads (Elias-capable collectives)")
+		check    = flag.Bool("check", false, "rank 0 verifies the fabric against the sequential engine and prints the per-phase table")
 		dieAfter = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
 		timeout  = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		list     = flag.Bool("list-collectives", false, "list the registered collectives and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Print(registry.FormatList())
+		return
+	}
 
 	addrs := strings.Split(*peers, ",")
 	if *peers == "" || len(addrs) < 1 {
@@ -63,11 +73,18 @@ func main() {
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
+	torusRows, torusCols, err := parseTorus(*torus)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marsit-node: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := node.Config{
 		Rank:           *rank,
 		Addrs:          addrs,
 		Collective:     *coll,
+		TorusRows:      torusRows,
+		TorusCols:      torusCols,
 		Dim:            *dim,
 		Rounds:         *rounds,
 		K:              *k,
@@ -92,4 +109,30 @@ func main() {
 	}
 	fmt.Printf("rank %d/%d: %s D=%d rounds=%d t=%.6fs wire=%dB%s\n",
 		s.Rank, s.Workers, cfg.Collective, *dim, *rounds, s.Clock, s.Bytes, status)
+	if s.PhaseTable != "" {
+		fmt.Print(s.PhaseTable)
+	}
+}
+
+// parseTorus parses the -torus "R,C" layout ("" means none).
+func parseTorus(s string) (rows, cols int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -torus %q (want R,C)", s)
+	}
+	rows, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -torus rows %q", parts[0])
+	}
+	cols, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -torus cols %q", parts[1])
+	}
+	if rows < 1 || cols < 1 {
+		return 0, 0, fmt.Errorf("bad -torus %q (need positive dims)", s)
+	}
+	return rows, cols, nil
 }

@@ -7,11 +7,16 @@
 //	marsit-train -method psgd -dataset cifar -model resnet
 //	marsit-train -method marsit -k 100 -global-lr 0.004
 //	marsit-train -method psgd -engine par -transport tcp
+//	marsit-train -method ps-sign -workers 8    # any registered collective
 //
-// -engine selects the execution engine (seq: single-threaded virtual
-// time; par: one goroutine per worker) and -transport the parallel
-// engine's fabric (loopback | tcp); metric series are bit-identical
-// across all combinations for the ported methods.
+// -method accepts the paper's six methods (resolved to their collectives
+// through the collective registry) or any registered collective name
+// directly — the raw collective then synchronizes the cloned gradients
+// each round, exactly how psgd and cascading run. -engine selects the
+// execution engine (seq: single-threaded virtual time; par: one
+// goroutine per worker) and -transport the parallel engine's fabric
+// (loopback | tcp); metric series are bit-identical across all
+// combinations.
 package main
 
 import (
@@ -29,7 +34,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "marsit", "psgd | signsgd | ef-signsgd | ssdm | cascading | marsit")
+		method    = flag.String("method", "marsit", train.MethodHelp())
 		topo      = flag.String("topo", "ring", "ring | torus | ps")
 		workers   = flag.Int("workers", 8, "cluster size M")
 		rounds    = flag.Int("rounds", 100, "synchronizations T")

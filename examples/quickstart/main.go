@@ -1,6 +1,12 @@
 // Quickstart: synchronize gradients across 4 simulated workers with
 // one bit per element, and compare the wire cost against full
 // precision. This is the smallest possible use of the public API.
+//
+// marsit.Run is the one-call facade: name a collective from the
+// registry (marsit.Collectives lists them all), hand it one gradient
+// vector per worker, and pick options. The stateful marsit.Marsit type
+// below runs the paper's full Algorithm 1 across rounds (global
+// compensation, K-periodic full precision).
 package main
 
 import (
@@ -17,6 +23,31 @@ func main() {
 		rounds  = 5
 	)
 
+	// --- One-shot: any registered collective through one facade. ---
+	r := rng.New(7)
+	grads := make([]marsit.Vec, workers)
+	for w := range grads {
+		grads[w] = r.NormVec(make(marsit.Vec, dim), 0, 1)
+	}
+	oneBit := marsit.NewCluster(workers)
+	outs, err := marsit.Run("marsit", grads,
+		marsit.WithGlobalLR(0.01),
+		marsit.WithSeed(1),
+		marsit.WithCluster(oneBit),
+	)
+	if err != nil {
+		panic(err)
+	}
+	full := marsit.NewCluster(workers)
+	if _, err := marsit.Run("rar", grads, marsit.WithCluster(full)); err != nil {
+		panic(err)
+	}
+	fmt.Printf("one round, %d workers, D=%d:\n", workers, dim)
+	fmt.Printf("  marsit (1 bit/elem): %7d bytes, update[0] = %+.3f\n", oneBit.TotalBytes(), outs[0][0])
+	fmt.Printf("  rar (full precision): %7d bytes (%.0fx more)\n\n",
+		full.TotalBytes(), float64(full.TotalBytes())/float64(oneBit.TotalBytes()))
+
+	// --- Stateful: Algorithm 1 across rounds, with compensation. ---
 	sync := marsit.MustNew(marsit.Config{
 		Workers:  workers,
 		Dim:      dim,
@@ -26,10 +57,8 @@ func main() {
 	})
 	cluster := marsit.NewCluster(workers)
 
-	r := rng.New(7)
 	for round := 0; round < rounds; round++ {
 		// In a real job these are the η_l-scaled local gradients.
-		grads := make([]marsit.Vec, workers)
 		for w := range grads {
 			grads[w] = r.NormVec(make(marsit.Vec, dim), 0, 1)
 		}

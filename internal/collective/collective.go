@@ -888,3 +888,21 @@ func SSDMPS(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
 	down := uniformBytes(n, DenseWireBytes(d))
 	hubPushPull(c, up, down)
 }
+
+// MajorityDecode is the signSGD majority decode shared by every layer
+// (sequential references, per-rank runners, the registry descriptors):
+// the majority sign of each coordinate's sum, scaled by the mean
+// magnitude totalScale/workers. Ties (sum 0) decode positive, the
+// repository-wide zero-is-positive convention.
+func MajorityDecode(sums []int64, totalScale float64, workers int) tensor.Vec {
+	meanScale := totalScale / float64(workers)
+	out := make(tensor.Vec, len(sums))
+	for i, s := range sums {
+		if s >= 0 {
+			out[i] = meanScale
+		} else {
+			out[i] = -meanScale
+		}
+	}
+	return out
+}

@@ -33,10 +33,12 @@ type RankSync struct {
 
 // NewRankSync validates cfg (the same configuration every rank of the
 // fabric must share) and returns rank's synchronizer with zero
-// compensation. Only the ring topology is supported so far.
+// compensation. A non-nil cfg.Torus selects the hierarchical 2D-torus
+// schedule (TAR full-precision rounds, row-then-column one-bit rings),
+// mirroring Marsit.Sync's topology switch.
 func NewRankSync(cfg Config, rank int) (*RankSync, error) {
-	if cfg.Torus != nil {
-		return nil, fmt.Errorf("core: RankSync supports the ring topology only")
+	if cfg.Torus != nil && cfg.Torus.Size() != cfg.Workers {
+		return nil, fmt.Errorf("core: torus size %d != workers %d", cfg.Torus.Size(), cfg.Workers)
 	}
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("core: Workers = %d, need >= 1", cfg.Workers)
@@ -94,8 +96,12 @@ func (r *RankSync) Sync(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Ve
 	r.round++
 
 	if full {
-		// Lines 11–13: full-precision ring all-reduce; c ← 0.
-		runtime.RingAllReduceRank(c, ep, u)
+		// Lines 11–13: full-precision all-reduce (RAR or TAR); c ← 0.
+		if r.cfg.Torus != nil {
+			runtime.TorusAllReduceRank(c, ep, r.cfg.Torus, u)
+		} else {
+			runtime.RingAllReduceRank(c, ep, u)
+		}
 		tensor.Zero(r.comp)
 		runtime.ClockBarrier(c, ep)
 		return u
@@ -105,9 +111,21 @@ func (r *RankSync) Sync(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Ve
 	// this rank's stream in schedule order.
 	bits := bitvec.FromSigns(u)
 	c.AddCompress(r.rank, d)
-	runtime.OneBitRingAllReduceRank(c, ep, bits, func(_ int, agg, local *bitvec.Vec, aw, bw int) {
+	merge := func(_ int, agg, local *bitvec.Vec, aw, bw int) {
 		MergeSigns(agg, local, aw, bw, r.rng)
-	})
+	}
+	if r.cfg.Torus != nil {
+		runtime.OneBitTorusAllReduceRank(c, ep, r.cfg.Torus, bits, merge)
+		if r.cfg.Torus.Rows() >= 2 && r.cfg.Torus.Cols() >= 2 {
+			// Columns resolve disagreeing bits with independent draws;
+			// the sequential engine defines g_t from worker 0's
+			// aggregate, so align to it (control plane, nothing
+			// charged) before decoding.
+			runtime.AlignBitsToRank0(ep, bits)
+		}
+	} else {
+		runtime.OneBitRingAllReduceRank(c, ep, bits, merge)
+	}
 
 	// Line 9: g_t = η_s · signs.
 	gt := tensor.New(d)

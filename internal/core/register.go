@@ -1,0 +1,57 @@
+package core
+
+import (
+	"marsit/internal/collective/registry"
+	"marsit/internal/netsim"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+)
+
+// This file registers the paper's own collective — the one-bit Marsit
+// all-reduce with global compensation — with the collective registry.
+// It lives here rather than in internal/runtime because both legs own
+// per-round state (compensation vectors, merge streams, the K-period
+// counter) that this package implements: the sequential leg is a
+// Marsit instance, the per-rank leg a RankSync. The two are maintained
+// side by side (see rank.go) so the registered legs cannot drift.
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:     "marsit",
+		Summary:  "one-bit Marsit all-reduce with global compensation (K-periodic full precision)",
+		Topology: registry.Ring,
+		Wire:     "1 bit/elem (4 B/elem every K-th round)",
+		Caps:     registry.Caps{Torus: true, NeedsK: true},
+		// Three rounds with a small K cover both the full-precision and
+		// the one-bit path in the generated equivalence matrix.
+		EquivRounds: 3,
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			m, err := New(Config{
+				Workers: o.Workers, Dim: o.Dim, K: o.K,
+				GlobalLR: o.GlobalLR, Torus: o.Torus, Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				gt := m.Sync(c, grads)
+				outs := make([]tensor.Vec, len(grads))
+				for w := range outs {
+					outs[w] = gt // consensus: identical on every rank
+				}
+				return outs
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			rs, err := NewRankSync(Config{
+				Workers: o.Workers, Dim: o.Dim, K: o.K,
+				GlobalLR: o.GlobalLR, Torus: o.Torus, Seed: o.Seed,
+			}, rank)
+			if err != nil {
+				return nil, err
+			}
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				return rs.Sync(c, ep, grad)
+			}, nil
+		},
+	})
+}

@@ -1,8 +1,15 @@
 // Package node drives one rank of a distributed Marsit fabric: it joins
 // a TCP transport (internal/transport/tcp), runs the configured
-// collective for a number of rounds using the per-rank entry points of
-// internal/runtime, and — in check mode — lets rank 0 verify the whole
-// fabric against the sequential engine.
+// collective for a number of rounds, and — in check mode — lets rank 0
+// verify the whole fabric against the sequential engine.
+//
+// The collective is resolved from internal/collective/registry, so a
+// node runs every registered schedule — full-precision RAR/TAR, the
+// one-bit Marsit ring and torus, the sign-sum transports ± Elias,
+// cascading SSDM, and the PS hub family — through one generic loop: the
+// descriptor's per-rank leg executes this rank's share each round, and
+// its sequential leg is the replay rank 0 checks against. Registering a
+// new collective makes it runnable here with no node changes.
 //
 // This is the engine room of cmd/marsit-node. Every process hosts
 // exactly one rank; gradients are generated from deterministic per-rank
@@ -16,14 +23,16 @@
 // (control-plane packets with Wire = 0, so nothing is charged to the
 // simulation): every rank r > 0 sends rank 0 a report frame
 //
-//	float64 clock | uint64 wire bytes | D × float64 result
+//	float64 clock | uint64 wire bytes | per-phase float64 seconds | D × float64 result
 //
 // and blocks on a one-byte verdict frame (1 = fabric matches the
-// sequential engine). Per-pair FIFO guarantees the report trails all of
-// the rank's collective traffic. Shutdown is ordered so no verdict can
-// race a teardown: each peer acks its verdict and then lingers until
-// rank 0 — which closes only after collecting every ack — tears the
-// fabric down.
+// sequential engine). Rank 0 additionally renders the gathered
+// per-phase clock breakdowns as a Figure-5-style table
+// (Summary.PhaseTable). Per-pair FIFO guarantees the report trails all
+// of the rank's collective traffic. Shutdown is ordered so no verdict
+// can race a teardown: each peer acks its verdict and then lingers
+// until rank 0 — which closes only after collecting every ack — tears
+// the fabric down.
 package node
 
 import (
@@ -34,34 +43,39 @@ import (
 	"math"
 	"time"
 
-	"marsit/internal/collective"
-	"marsit/internal/core"
+	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
+	"marsit/internal/report"
 	"marsit/internal/rng"
-	"marsit/internal/runtime"
 	"marsit/internal/tensor"
+	"marsit/internal/topology"
 	"marsit/internal/transport"
 	"marsit/internal/transport/tcp"
+
+	// Populate the collective registry (core also pulls in the runtime
+	// registrations).
+	_ "marsit/internal/core"
 )
 
-// The collectives a node can run.
+// Historical names of the first collectives a node could run, kept for
+// callers that predate the registry. Any name from registry.Names() is
+// accepted.
 const (
 	// CollectiveRAR is the full-precision ring all-reduce (PSGD-style).
 	CollectiveRAR = "rar"
-	// CollectiveMarsit is the paper's one-bit ring schedule with global
-	// compensation and periodic full-precision synchronization.
+	// CollectiveTAR is the full-precision hierarchical 2D-torus
+	// all-reduce (pair with Config.TorusRows/TorusCols, or let a square
+	// torus be derived).
+	CollectiveTAR = "tar"
+	// CollectiveMarsit is the paper's one-bit schedule with global
+	// compensation and periodic full-precision synchronization (ring,
+	// or torus with Config.TorusRows/TorusCols).
 	CollectiveMarsit = "marsit"
-	// CollectiveSignSum is majority-vote signSGD over the sign-sum ring:
-	// per-coordinate integer sign sums with bit-width expansion
-	// (optionally Elias-coded on the wire), decoded as the majority sign
-	// scaled by the mean ℓ1 magnitude.
+	// CollectiveSignSum is majority-vote signSGD over the sign-sum ring.
 	CollectiveSignSum = "signsum"
-	// CollectiveSSDM is the "SSDM (Overflow)" baseline: stochastic sign
-	// compression, sign sums with bit-width expansion, mean-norm decode.
+	// CollectiveSSDM is the "SSDM (Overflow)" baseline.
 	CollectiveSSDM = "ssdm"
-	// CollectivePS is the full-precision parameter-server push–pull: a
-	// hub actor hosted at rank 0 serves every rank's push–pull over the
-	// transport instead of a ring schedule.
+	// CollectivePS is the full-precision parameter-server push–pull.
 	CollectivePS = "ps"
 )
 
@@ -71,10 +85,15 @@ type Config struct {
 	Rank int
 	// Addrs lists every rank's address, defining the fabric size.
 	Addrs []string
-	// Collective selects the schedule (CollectiveRAR, CollectiveMarsit,
-	// CollectiveSignSum, CollectiveSSDM or CollectivePS; "" means
-	// marsit).
+	// Collective selects the schedule by registry name ("" means
+	// marsit); see registry.Names for the full set.
 	Collective string
+	// TorusRows and TorusCols select a 2D-torus layout for
+	// torus-capable collectives (tar, marsit, signsum). Both zero means
+	// the collective's default (a ring, or a square torus for tar);
+	// when set, TorusRows·TorusCols must equal the fabric size and all
+	// ranks must agree.
+	TorusRows, TorusCols int
 	// Dim is the gradient dimension D.
 	Dim int
 	// Rounds is the number of synchronizations.
@@ -87,12 +106,12 @@ type Config struct {
 	// must agree on it.
 	Seed uint64
 	// UseElias enables Elias-gamma compaction of the sign-sum payloads
-	// (CollectiveSignSum and CollectiveSSDM); all ranks must agree.
+	// (Elias-capable collectives); all ranks must agree.
 	UseElias bool
-	// Check makes rank 0 verify every rank's result, clock and byte
-	// count against the sequential engine and broadcast the verdict.
-	// Every rank of a fabric must agree on it: the check protocol is a
-	// collective exchange.
+	// Check makes rank 0 verify every rank's result, clock, byte count
+	// and phase breakdown against the sequential engine and broadcast
+	// the verdict. Every rank of a fabric must agree on it: the check
+	// protocol is a collective exchange.
 	Check bool
 	// DieAfterRounds, when positive, makes this rank abandon the run
 	// after that many rounds without any farewell — a crash-fault
@@ -106,6 +125,9 @@ type Config struct {
 	Cost *netsim.CostModel
 	// Log receives progress lines when non-nil.
 	Log io.Writer
+
+	// desc is the resolved registry descriptor (set by validate).
+	desc *registry.Descriptor
 }
 
 // Summary is one rank's view of a completed run.
@@ -115,11 +137,16 @@ type Summary struct {
 	// Clock is the rank's final simulated time, Bytes its wire bytes.
 	Clock float64
 	Bytes int64
+	// Phases is the rank's per-phase clock breakdown.
+	Phases netsim.Breakdown
 	// Result is the rank's final-round synchronized update.
 	Result tensor.Vec
 	// Checked reports that rank 0 verified the fabric against the
 	// sequential engine (set on every rank in check mode).
 	Checked bool
+	// PhaseTable is the Figure-5-style per-rank breakdown table rank 0
+	// renders from the gathered reports in check mode ("" elsewhere).
+	PhaseTable string
 }
 
 func (cfg *Config) validate() error {
@@ -136,17 +163,39 @@ func (cfg *Config) validate() error {
 	if cfg.Rounds < 1 {
 		return fmt.Errorf("node: Rounds = %d", cfg.Rounds)
 	}
-	switch cfg.Collective {
-	case "":
+	if cfg.Collective == "" {
 		cfg.Collective = CollectiveMarsit
-	case CollectiveRAR, CollectiveMarsit, CollectiveSignSum, CollectiveSSDM, CollectivePS:
-	default:
-		return fmt.Errorf("node: unknown collective %q", cfg.Collective)
 	}
-	if cfg.Collective == CollectiveMarsit && cfg.GlobalLR <= 0 {
-		return fmt.Errorf("node: marsit needs GlobalLR > 0, got %v", cfg.GlobalLR)
+	desc, err := registry.Get(cfg.Collective)
+	if err != nil {
+		return fmt.Errorf("node: unknown collective %q (known: %v)", cfg.Collective, registry.Names())
+	}
+	cfg.desc = desc
+	if (cfg.TorusRows == 0) != (cfg.TorusCols == 0) {
+		return fmt.Errorf("node: torus needs both rows and cols (got %dx%d)", cfg.TorusRows, cfg.TorusCols)
+	}
+	if cfg.TorusRows != 0 && cfg.TorusRows*cfg.TorusCols != n {
+		return fmt.Errorf("node: torus %dx%d != fabric size %d", cfg.TorusRows, cfg.TorusCols, n)
+	}
+	// Surface descriptor/option mismatches (unsupported elias or torus,
+	// missing GlobalLR) at validation time rather than mid-fabric.
+	if err := registry.Prepare(desc, cfg.opts(n)); err != nil {
+		return fmt.Errorf("node: %w", err)
 	}
 	return nil
+}
+
+// opts builds the registry options every rank derives identically from
+// the shared configuration.
+func (cfg *Config) opts(n int) *registry.Opts {
+	var tor *topology.Torus
+	if cfg.TorusRows != 0 {
+		tor = topology.NewTorus(cfg.TorusRows, cfg.TorusCols)
+	}
+	return &registry.Opts{
+		Workers: n, Dim: cfg.Dim, Torus: tor, Elias: cfg.UseElias,
+		Seed: cfg.Seed, K: cfg.K, GlobalLR: cfg.GlobalLR,
+	}
 }
 
 func (cfg *Config) logf(format string, args ...any) {
@@ -203,6 +252,7 @@ func Run(cfg Config) (*Summary, error) {
 		Workers: n,
 		Clock:   cluster.Clock(rank),
 		Bytes:   cluster.BytesSent(rank),
+		Phases:  cluster.PhaseBreakdown(rank),
 		Result:  result,
 	}
 	if !cfg.Check {
@@ -232,16 +282,12 @@ func Run(cfg Config) (*Summary, error) {
 // fired: it abandoned the fabric without any farewell.
 var ErrRankDied = errors.New("node: simulated rank death")
 
-// signSumStream returns rank w's SSDM compression stream.
-func signSumStream(seed uint64, w int) *rng.PCG {
-	return rng.NewStream(seed, 0xe000+uint64(w))
-}
-
-// runRounds executes the configured collective for every round and
-// returns the final synchronized update. A transport failure
-// mid-collective (the per-rank entry points panic when the fabric is
-// poisoned, e.g. by a dead peer) is converted into an error so the
-// caller exits non-zero instead of crashing or hanging.
+// runRounds executes the configured collective for every round through
+// its registry descriptor's per-rank leg and returns the final
+// synchronized update. A transport failure mid-collective (the per-rank
+// entry points panic when the fabric is poisoned, e.g. by a dead peer)
+// is converted into an error so the caller exits non-zero instead of
+// crashing or hanging.
 func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (result tensor.Vec, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -249,214 +295,90 @@ func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (result te
 		}
 	}()
 	rank, n, d := ep.Rank(), ep.Size(), cfg.Dim
-	grads := gradStream(cfg.Seed, rank)
-
-	var step func() (tensor.Vec, error)
-	switch cfg.Collective {
-	case CollectiveRAR:
-		step = func() (tensor.Vec, error) {
-			work := grads.NormVec(make(tensor.Vec, d), 0, 1)
-			runtime.RingAllReduceRank(c, ep, work)
-			runtime.ClockBarrier(c, ep)
-			return work, nil
-		}
-
-	case CollectiveMarsit:
-		// core.RankSync is the per-rank Algorithm 1, maintained next to
-		// Marsit.Sync so the distributed schedule cannot drift from the
-		// sequential one.
-		rs, err := core.NewRankSync(core.Config{
-			Workers: n, Dim: d, K: cfg.K, GlobalLR: cfg.GlobalLR, Seed: cfg.Seed,
-		}, rank)
-		if err != nil {
-			return nil, err
-		}
-		step = func() (tensor.Vec, error) {
-			return rs.Sync(c, ep, grads.NormVec(make(tensor.Vec, d), 0, 1)), nil
-		}
-
-	case CollectiveSignSum:
-		step = func() (tensor.Vec, error) {
-			grad := grads.NormVec(make(tensor.Vec, d), 0, 1)
-			signs := make(tensor.Vec, d)
-			tensor.SignVec(signs, grad)
-			scale := tensor.Norm1(grad) / float64(d)
-			c.AddCompress(rank, d)
-			sums, total := runtime.SignSumRingRank(c, ep, signs, scale, cfg.UseElias)
-			work := decodeMajority(sums, total, n)
-			c.AddDecompress(rank, d)
-			runtime.ClockBarrier(c, ep)
-			return work, nil
-		}
-
-	case CollectiveSSDM:
-		ssdm := signSumStream(cfg.Seed, rank)
-		step = func() (tensor.Vec, error) {
-			work := grads.NormVec(make(tensor.Vec, d), 0, 1)
-			runtime.OverflowRingRank(c, ep, work, ssdm, cfg.UseElias)
-			runtime.ClockBarrier(c, ep)
-			return work, nil
-		}
-
-	case CollectivePS:
-		step = func() (tensor.Vec, error) {
-			work := grads.NormVec(make(tensor.Vec, d), 0, 1)
-			runtime.PSAllReduceRank(c, ep, work)
-			return work, nil
-		}
-
-	default:
-		return nil, fmt.Errorf("node: unknown collective %q", cfg.Collective)
+	step, err := cfg.desc.Rank(cfg.opts(n), rank)
+	if err != nil {
+		return nil, err
 	}
+	grads := gradStream(cfg.Seed, rank)
 
 	for round := 0; round < cfg.Rounds; round++ {
 		if cfg.DieAfterRounds > 0 && round == cfg.DieAfterRounds {
 			cfg.logf("simulated death after %d rounds", round)
 			return nil, ErrRankDied
 		}
-		if result, err = step(); err != nil {
-			return nil, err
-		}
+		result = step(c, ep, grads.NormVec(make(tensor.Vec, d), 0, 1))
 	}
 	return result, nil
 }
 
-// decodeMajority is the signSGD majority decode shared by the
-// distributed rank and the sequential reference: the majority sign of
-// each coordinate, scaled by the mean ℓ1 magnitude.
-func decodeMajority(sums []int64, totalScale float64, n int) tensor.Vec {
-	meanScale := totalScale / float64(n)
-	out := make(tensor.Vec, len(sums))
-	for i, s := range sums {
-		if s >= 0 {
-			out[i] = meanScale
-		} else {
-			out[i] = -meanScale
-		}
-	}
-	return out
-}
-
 // sequentialReference replays the whole run on the single-threaded
-// engine and returns the per-rank results and the reference cluster.
+// engine through the descriptor's sequential leg and returns the
+// per-rank results and the reference cluster.
 func sequentialReference(cfg *Config, n int) ([]tensor.Vec, *netsim.Cluster, error) {
 	d := cfg.Dim
 	c := netsim.NewCluster(n, cfg.costModel())
+	run, err := cfg.desc.Seq(cfg.opts(n))
+	if err != nil {
+		return nil, nil, err
+	}
 	streams := make([]*rng.PCG, n)
 	for w := range streams {
 		streams[w] = gradStream(cfg.Seed, w)
 	}
-	results := make([]tensor.Vec, n)
-
-	roundGrads := func() []tensor.Vec {
+	var results []tensor.Vec
+	for round := 0; round < cfg.Rounds; round++ {
 		grads := make([]tensor.Vec, n)
 		for w := range grads {
 			grads[w] = streams[w].NormVec(make(tensor.Vec, d), 0, 1)
 		}
-		return grads
+		results = run(c, grads)
 	}
-
-	switch cfg.Collective {
-	case CollectiveRAR:
-		for round := 0; round < cfg.Rounds; round++ {
-			work := roundGrads()
-			collective.RingAllReduce(c, work)
-			copy(results, work)
-		}
-		return results, c, nil
-
-	case CollectiveSignSum:
-		for round := 0; round < cfg.Rounds; round++ {
-			grads := roundGrads()
-			signs := make([][]float64, n)
-			scales := make([]float64, n)
-			for w, g := range grads {
-				signs[w] = make([]float64, d)
-				tensor.SignVec(signs[w], g)
-				scales[w] = tensor.Norm1(g) / float64(d)
-				c.AddCompress(w, d)
-			}
-			sums, total := collective.SignSumRing(c, signs, scales, cfg.UseElias)
-			work := decodeMajority(sums, total, n)
-			for w := 0; w < n; w++ {
-				results[w] = work
-				c.AddDecompress(w, d)
-			}
-			c.Barrier()
-		}
-		return results, c, nil
-
-	case CollectiveSSDM:
-		ssdm := make([]*rng.PCG, n)
-		for w := range ssdm {
-			ssdm[w] = signSumStream(cfg.Seed, w)
-		}
-		for round := 0; round < cfg.Rounds; round++ {
-			work := roundGrads()
-			collective.OverflowRing(c, work, ssdm, cfg.UseElias)
-			copy(results, work)
-		}
-		return results, c, nil
-
-	case CollectivePS:
-		for round := 0; round < cfg.Rounds; round++ {
-			work := roundGrads()
-			collective.PSAllReduce(c, work)
-			copy(results, work)
-		}
-		return results, c, nil
-
-	case CollectiveMarsit:
-		m, err := core.New(core.Config{
-			Workers: n, Dim: d, K: cfg.K, GlobalLR: cfg.GlobalLR, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		var gt tensor.Vec
-		for round := 0; round < cfg.Rounds; round++ {
-			grads := make([]tensor.Vec, n)
-			for w := range grads {
-				grads[w] = streams[w].NormVec(make(tensor.Vec, d), 0, 1)
-			}
-			gt = m.Sync(c, grads)
-		}
-		for w := range results {
-			results[w] = gt // consensus: identical on every rank
-		}
-		return results, c, nil
-	}
-	return nil, nil, fmt.Errorf("node: unknown collective %q", cfg.Collective)
+	return results, c, nil
 }
 
-// reportBytes is the report frame size for dimension d.
-func reportBytes(d int) int { return 8 + 8 + 8*d }
+// numPhases is the per-phase breakdown width of the report frame.
+const numPhases = len(netsim.Breakdown{})
 
-// encodeReport serializes a rank's clock, byte count and result into a
-// pooled control-plane payload.
+// reportBytes is the report frame size for dimension d.
+func reportBytes(d int) int { return 8 + 8 + 8*numPhases + 8*d }
+
+// encodeReport serializes a rank's clock, byte count, phase breakdown
+// and result into a pooled control-plane payload.
 func encodeReport(s *Summary) []byte {
 	out := transport.GetBuffer(reportBytes(len(s.Result)))
 	binary.LittleEndian.PutUint64(out[0:], math.Float64bits(s.Clock))
 	binary.LittleEndian.PutUint64(out[8:], uint64(s.Bytes))
-	for i, x := range s.Result {
-		binary.LittleEndian.PutUint64(out[16+8*i:], math.Float64bits(x))
+	off := 16
+	for _, ph := range s.Phases {
+		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(ph))
+		off += 8
+	}
+	for _, x := range s.Result {
+		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(x))
+		off += 8
 	}
 	return out
 }
 
 // decodeReport parses a report frame (and recycles it).
-func decodeReport(data []byte, d int) (clock float64, bytes int64, result tensor.Vec, err error) {
+func decodeReport(data []byte, d int) (clock float64, bytes int64, phases netsim.Breakdown, result tensor.Vec, err error) {
 	if len(data) != reportBytes(d) {
-		return 0, 0, nil, fmt.Errorf("node: report of %d bytes, want %d", len(data), reportBytes(d))
+		return 0, 0, phases, nil, fmt.Errorf("node: report of %d bytes, want %d", len(data), reportBytes(d))
 	}
 	clock = math.Float64frombits(binary.LittleEndian.Uint64(data[0:]))
 	bytes = int64(binary.LittleEndian.Uint64(data[8:]))
+	off := 16
+	for i := range phases {
+		phases[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
 	result = tensor.New(d)
 	for i := range result {
-		result[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[16+8*i:]))
+		result[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
 	}
 	transport.PutBuffer(data)
-	return clock, bytes, result, nil
+	return clock, bytes, phases, result, nil
 }
 
 // clockTolerance absorbs the float summation-order differences the
@@ -464,25 +386,45 @@ func decodeReport(data []byte, d int) (clock float64, bytes int64, result tensor
 // the same doubles cannot add more).
 const clockTolerance = 1e-9
 
+// phaseTable renders the gathered per-phase clock breakdowns as the
+// Figure-5-style decomposition, one row per rank of the live fabric.
+func phaseTable(cfg *Config, clocks []float64, bytes []int64, phases []netsim.Breakdown) string {
+	tb := report.NewTable(
+		fmt.Sprintf("Per-phase clock breakdown — %s, M=%d, D=%d, %d rounds (live fabric)",
+			cfg.Collective, len(clocks), cfg.Dim, cfg.Rounds),
+		"Rank", "Compute(s)", "Compress(s)", "Transmit(s)", "Total(s)", "Wire(MB)")
+	for w := range clocks {
+		tb.AddRow(fmt.Sprint(w),
+			report.FormatFloat(phases[w].Compute()),
+			report.FormatFloat(phases[w].Compress()),
+			report.FormatFloat(phases[w].Transmit()),
+			report.FormatFloat(clocks[w]),
+			report.FormatFloat(float64(bytes[w])/1e6))
+	}
+	return tb.Render()
+}
+
 // verifyFabric is rank 0's check: gather every rank's report, replay the
 // run sequentially, compare bit for bit, and broadcast the verdict.
 func verifyFabric(cfg *Config, ep transport.Endpoint, own *Summary) error {
 	n, d := ep.Size(), cfg.Dim
 	clocks := make([]float64, n)
 	bytes := make([]int64, n)
+	phases := make([]netsim.Breakdown, n)
 	results := make([]tensor.Vec, n)
-	clocks[0], bytes[0], results[0] = own.Clock, own.Bytes, own.Result
+	clocks[0], bytes[0], phases[0], results[0] = own.Clock, own.Bytes, own.Phases, own.Result
 	for from := 1; from < n; from++ {
 		p, err := ep.Recv(from)
 		if err != nil {
 			return fmt.Errorf("node: gather report from rank %d: %w", from, err)
 		}
-		clocks[from], bytes[from], results[from], err = decodeReport(p.Data, d)
+		clocks[from], bytes[from], phases[from], results[from], err = decodeReport(p.Data, d)
 		if err != nil {
 			return err
 		}
 	}
 	cfg.logf("gathered %d reports, replaying sequentially", n-1)
+	own.PhaseTable = phaseTable(cfg, clocks, bytes, phases)
 
 	refResults, refC, err := sequentialReference(cfg, n)
 	verdict := err == nil
@@ -505,6 +447,15 @@ func verifyFabric(cfg *Config, ep transport.Endpoint, own *Summary) error {
 			verdict = false
 			failure = fmt.Errorf("node: rank %d clock %v, sequential engine %v", w, clocks[w], refC.Clock(w))
 			break
+		}
+		ref := refC.PhaseBreakdown(w)
+		for ph := range ref {
+			if diff := math.Abs(phases[w][ph] - ref[ph]); diff > clockTolerance {
+				verdict = false
+				failure = fmt.Errorf("node: rank %d %v phase %v, sequential engine %v",
+					w, netsim.Phase(ph), phases[w][ph], ref[ph])
+				break
+			}
 		}
 	}
 

@@ -111,19 +111,5 @@ func CascadingRingRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec,
 	rk.finish()
 }
 
-// CascadingRing is the concurrent counterpart of
-// collective.CascadingRing, including its closing barrier. rs[rank]
-// must be rank's SSDM stream.
-func (e *Engine) CascadingRing(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
-	e.checkShape(c, vecs)
-	if len(rs) != e.n {
-		panic("runtime: need one RNG per worker")
-	}
-	if e.n == 1 {
-		return
-	}
-	e.run(func(rank int, ep transport.Endpoint) {
-		CascadingRingRank(c, ep, vecs[rank], rs[rank])
-	})
-	c.Barrier()
-}
+// The Engine wrapper (CascadingRing) lives in deprecated.go; new code
+// goes through the registry dispatcher (Engine.Run).

@@ -10,19 +10,6 @@ import (
 // mod returns i modulo m in [0, m).
 func mod(i, m int) int { return ((i % m) + m) % m }
 
-// RingAllReduce is the concurrent counterpart of
-// collective.RingAllReduce: full-precision ring reduce-scatter +
-// all-gather across all ranks, each running on its own goroutine. On
-// return every vector holds the element-wise mean; results, wire bytes
-// and virtual clocks are bit-identical to the sequential path.
-func (e *Engine) RingAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
-	e.checkShape(c, vecs)
-	e.run(func(rank int, ep transport.Endpoint) {
-		RingAllReduceRank(c, ep, vecs[rank])
-	})
-	c.Barrier()
-}
-
 // ringReduceScatter runs the reduce-scatter half of ring all-reduce for
 // one rank at ring position p of an m-ring: at step s it sends segment
 // (p−s) mod m downstream and accumulates the received segment
@@ -47,62 +34,56 @@ func ringAllGather(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []ten
 	}
 }
 
-// TorusAllReduce is the concurrent counterpart of
-// collective.TorusAllReduce: hierarchical 2D-torus all-reduce (row
-// reduce-scatter, column all-reduce on the owned segment, row
-// all-gather). On return every vector holds the element-wise mean.
-func (e *Engine) TorusAllReduce(c *netsim.Cluster, tor *topology.Torus, vecs []tensor.Vec) {
-	d := e.checkShape(c, vecs)
-	if tor.Size() != e.n {
+// TorusAllReduceRank executes one rank's share of the full-precision
+// 2D-torus all-reduce (the hierarchical TAR of collective.TorusAllReduce):
+// ring reduce-scatter along the rank's row, ring all-reduce along its
+// column restricted to the owned segment, ring all-gather along the row,
+// then the 1/M scaling. vec holds the element-wise mean on return. The
+// caller owns the closing barrier (the Engine uses the coordinator's
+// c.Barrier(); distributed ranks use ClockBarrier).
+func TorusAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.Torus, vec tensor.Vec) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if tor.Size() != n {
 		panic("runtime: torus size mismatch")
 	}
-	n := e.n
 	rows, cols := tor.Rows(), tor.Cols()
+	rk := newRankCtx(c, ep, rank)
+	r, p := tor.Coord(rank)
 
 	if cols == 1 {
 		// Degenerate torus: a single column ring over the full vector.
-		segs := tensor.Partition(d, rows)
-		e.run(func(rank int, ep transport.Endpoint) {
-			rk := newRankCtx(c, ep, rank)
-			r, _ := tor.Coord(rank)
-			if rows >= 2 {
-				next, prev := tor.Rank(r+1, 0), tor.Rank(r-1, 0)
-				ringReduceScatter(rk, next, prev, r, rows, vecs[rank], segs)
-				ringAllGather(rk, next, prev, r, rows, vecs[rank], segs)
-			}
-			tensor.Scale(vecs[rank], 1/float64(n))
-			rk.finish()
-		})
-		c.Barrier()
+		if rows >= 2 {
+			segs := tensor.Partition(len(vec), rows)
+			next, prev := tor.Rank(r+1, 0), tor.Rank(r-1, 0)
+			ringReduceScatter(rk, next, prev, r, rows, vec, segs)
+			ringAllGather(rk, next, prev, r, rows, vec, segs)
+		}
+		tensor.Scale(vec, 1/float64(n))
+		rk.finish()
 		return
 	}
 
-	rowSegs := tensor.Partition(d, cols)
-	e.run(func(rank int, ep transport.Endpoint) {
-		rk := newRankCtx(c, ep, rank)
-		r, p := tor.Coord(rank)
-		rowNext, rowPrev := tor.Rank(r, p+1), tor.Rank(r, p-1)
+	rowSegs := tensor.Partition(len(vec), cols)
+	rowNext, rowPrev := tor.Rank(r, p+1), tor.Rank(r, p-1)
 
-		// Phase 1: ring reduce-scatter along the row. The rank ends
-		// owning row segment (p+1) mod cols with the row-wide sum.
-		ringReduceScatter(rk, rowNext, rowPrev, p, cols, vecs[rank], rowSegs)
+	// Phase 1: ring reduce-scatter along the row. The rank ends owning
+	// row segment (p+1) mod cols with the row-wide sum.
+	ringReduceScatter(rk, rowNext, rowPrev, p, cols, vec, rowSegs)
 
-		// Phase 2: ring all-reduce along the column, restricted to the
-		// owned segment; it becomes the global sum.
-		if rows > 1 {
-			owned := rowSegs[mod(p+1, cols)].Of(vecs[rank])
-			sub := tensor.Partition(len(owned), rows)
-			colNext, colPrev := tor.Rank(r+1, p), tor.Rank(r-1, p)
-			ringReduceScatter(rk, colNext, colPrev, r, rows, owned, sub)
-			ringAllGather(rk, colNext, colPrev, r, rows, owned, sub)
-		}
+	// Phase 2: ring all-reduce along the column, restricted to the
+	// owned segment; it becomes the global sum.
+	if rows > 1 {
+		owned := rowSegs[mod(p+1, cols)].Of(vec)
+		sub := tensor.Partition(len(owned), rows)
+		colNext, colPrev := tor.Rank(r+1, p), tor.Rank(r-1, p)
+		ringReduceScatter(rk, colNext, colPrev, r, rows, owned, sub)
+		ringAllGather(rk, colNext, colPrev, r, rows, owned, sub)
+	}
 
-		// Phase 3: ring all-gather along the row restores the full
-		// vector.
-		ringAllGather(rk, rowNext, rowPrev, p, cols, vecs[rank], rowSegs)
+	// Phase 3: ring all-gather along the row restores the full vector.
+	ringAllGather(rk, rowNext, rowPrev, p, cols, vec, rowSegs)
 
-		tensor.Scale(vecs[rank], 1/float64(n))
-		rk.finish()
-	})
-	c.Barrier()
+	tensor.Scale(vec, 1/float64(n))
+	rk.finish()
 }

@@ -1,0 +1,225 @@
+package runtime
+
+import (
+	"fmt"
+
+	"marsit/internal/bitvec"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/topology"
+	"marsit/internal/transport"
+)
+
+// This file is the retired per-collective wrapper zoo: one Engine
+// method per ported collective, kept as thin shims over the per-rank
+// entry points so existing callers and examples keep compiling. New
+// code should resolve a descriptor from internal/collective/registry
+// and go through the generic dispatcher (Engine.Run / Engine.Open) —
+// one entry point for every collective, present and future.
+
+// RingAllReduce is the concurrent counterpart of
+// collective.RingAllReduce: full-precision ring reduce-scatter +
+// all-gather across all ranks, each running on its own goroutine. On
+// return every vector holds the element-wise mean; results, wire bytes
+// and virtual clocks are bit-identical to the sequential path.
+//
+// Deprecated: use Engine.Run with the "rar" registry descriptor.
+func (e *Engine) RingAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
+	e.checkShape(c, vecs)
+	e.run(func(rank int, ep transport.Endpoint) {
+		RingAllReduceRank(c, ep, vecs[rank])
+	})
+	c.Barrier()
+}
+
+// TorusAllReduce is the concurrent counterpart of
+// collective.TorusAllReduce: hierarchical 2D-torus all-reduce (row
+// reduce-scatter, column all-reduce on the owned segment, row
+// all-gather). On return every vector holds the element-wise mean.
+//
+// Deprecated: use Engine.Run with the "tar" registry descriptor.
+func (e *Engine) TorusAllReduce(c *netsim.Cluster, tor *topology.Torus, vecs []tensor.Vec) {
+	e.checkShape(c, vecs)
+	if tor.Size() != e.n {
+		panic("runtime: torus size mismatch")
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		TorusAllReduceRank(c, ep, tor, vecs[rank])
+	})
+	c.Barrier()
+}
+
+// OneBitRingAllReduce runs the Marsit one-bit ring schedule concurrently:
+// reduce-scatter with merge at every hop, then all-gather of the final
+// segments. bits[rank] enters holding rank's packed signs and leaves
+// holding the group-wide consensus, identical on every rank and
+// bit-identical to the sequential core schedule.
+//
+// Deprecated: use Engine.Run with the "marsit" registry descriptor, or
+// OneBitRingAllReduceRank for custom merge layering.
+func (e *Engine) OneBitRingAllReduce(c *netsim.Cluster, bits []*bitvec.Vec, merge MergeFunc) {
+	e.checkBits(c, bits)
+	if e.n < 2 {
+		return
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		OneBitRingAllReduceRank(c, ep, bits[rank], merge)
+	})
+}
+
+// OneBitTorusAllReduce runs the hierarchical one-bit schedule: row rings
+// first (each aggregate then covers a full row), then column rings with
+// the row width as the base merge weight.
+//
+// Deprecated: use Engine.Run with the "marsit" registry descriptor, or
+// OneBitTorusAllReduceRank for custom merge layering.
+func (e *Engine) OneBitTorusAllReduce(c *netsim.Cluster, tor *topology.Torus, bits []*bitvec.Vec, merge MergeFunc) {
+	e.checkBits(c, bits)
+	if tor.Size() != e.n {
+		panic("runtime: torus size mismatch")
+	}
+	if e.n < 2 {
+		return
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		OneBitTorusAllReduceRank(c, ep, tor, bits[rank], merge)
+	})
+}
+
+// checkSignShape validates one sign vector and scale per rank.
+func (e *Engine) checkSignShape(c *netsim.Cluster, signs [][]float64, scales []float64) {
+	if c.Size() != e.n {
+		panic(fmt.Sprintf("runtime: cluster size %d != engine workers %d", c.Size(), e.n))
+	}
+	if len(signs) != e.n || len(scales) != e.n {
+		panic("runtime: need one sign vector and scale per worker")
+	}
+	d := len(signs[0])
+	for w, s := range signs {
+		if len(s) != d {
+			panic(fmt.Sprintf("runtime: worker %d has dim %d, want %d", w, len(s), d))
+		}
+	}
+}
+
+// SignSumRing is the concurrent counterpart of collective.SignSumRing:
+// every rank circulates its integer sign sums on its own goroutine. It
+// returns the consensus sums and total scale (identical on every rank).
+//
+// Deprecated: use Engine.Run with the "signsum" registry descriptor, or
+// SignSumRingRank for custom decode layering.
+func (e *Engine) SignSumRing(c *netsim.Cluster, signs [][]float64, scales []float64, useElias bool) ([]int64, float64) {
+	e.checkSignShape(c, signs, scales)
+	sums := make([][]int64, e.n)
+	totals := make([]float64, e.n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		sums[rank], totals[rank] = SignSumRingRank(c, ep, signs[rank], scales[rank], useElias)
+	})
+	return sums[0], totals[0]
+}
+
+// SignSumTorus is the concurrent counterpart of collective.SignSumTorus.
+//
+// Deprecated: use Engine.Run with the "signsum" registry descriptor and
+// Opts.Torus, or SignSumTorusRank for custom decode layering.
+func (e *Engine) SignSumTorus(c *netsim.Cluster, tor *topology.Torus, signs [][]float64, scales []float64, useElias bool) ([]int64, float64) {
+	e.checkSignShape(c, signs, scales)
+	if tor.Size() != e.n {
+		panic("runtime: torus size mismatch")
+	}
+	sums := make([][]int64, e.n)
+	totals := make([]float64, e.n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		sums[rank], totals[rank] = SignSumTorusRank(c, ep, tor, signs[rank], scales[rank], useElias)
+	})
+	return sums[0], totals[0]
+}
+
+// OverflowRing is the concurrent counterpart of collective.OverflowRing,
+// including its closing barrier. rs[rank] must be rank's SSDM stream.
+//
+// Deprecated: use Engine.Run with the "ssdm" registry descriptor.
+func (e *Engine) OverflowRing(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG, useElias bool) {
+	e.checkShape(c, vecs)
+	if len(rs) != e.n {
+		panic("runtime: need one RNG per worker")
+	}
+	if e.n == 1 {
+		return
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		OverflowRingRank(c, ep, vecs[rank], rs[rank], useElias)
+	})
+	c.Barrier()
+}
+
+// CascadingRing is the concurrent counterpart of
+// collective.CascadingRing, including its closing barrier. rs[rank]
+// must be rank's SSDM stream.
+//
+// Deprecated: use Engine.Run with the "cascading" registry descriptor.
+func (e *Engine) CascadingRing(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
+	e.checkShape(c, vecs)
+	if len(rs) != e.n {
+		panic("runtime: need one RNG per worker")
+	}
+	if e.n == 1 {
+		return
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		CascadingRingRank(c, ep, vecs[rank], rs[rank])
+	})
+	c.Barrier()
+}
+
+// PSAllReduce is the concurrent counterpart of collective.PSAllReduce:
+// rank 0's worker goroutine doubles as the hub actor.
+//
+// Deprecated: use Engine.Run with the "ps" registry descriptor.
+func (e *Engine) PSAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
+	e.checkShape(c, vecs)
+	e.run(func(rank int, ep transport.Endpoint) {
+		PSAllReduceRank(c, ep, vecs[rank])
+	})
+}
+
+// SignMajorityPS is the concurrent counterpart of
+// collective.SignMajorityPS.
+//
+// Deprecated: use Engine.Run with the "ps-sign" registry descriptor.
+func (e *Engine) SignMajorityPS(c *netsim.Cluster, vecs []tensor.Vec) {
+	e.checkShape(c, vecs)
+	e.run(func(rank int, ep transport.Endpoint) {
+		SignMajorityPSRank(c, ep, vecs[rank])
+	})
+}
+
+// SSDMPS is the concurrent counterpart of collective.SSDMPS. rs[rank]
+// must be rank's SSDM stream.
+//
+// Deprecated: use Engine.Run with the "ps-ssdm" registry descriptor.
+func (e *Engine) SSDMPS(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
+	e.checkShape(c, vecs)
+	if len(rs) != e.n {
+		panic("runtime: need one RNG per worker")
+	}
+	e.run(func(rank int, ep transport.Endpoint) {
+		SSDMPSRank(c, ep, vecs[rank], rs[rank])
+	})
+}
+
+// ScaledSignPS is the concurrent counterpart of the train layer's PS
+// sign exchange: it returns the consensus dense update
+// (1/M)·Σ scale_m·sign_m.
+//
+// Deprecated: use Engine.Run with the "ps-scaledsign" registry
+// descriptor, or ScaledSignPSRank for custom compression layering.
+func (e *Engine) ScaledSignPS(c *netsim.Cluster, signs [][]float64, scales []float64) tensor.Vec {
+	e.checkSignShape(c, signs, scales)
+	updates := make([]tensor.Vec, e.n)
+	e.run(func(rank int, ep transport.Endpoint) {
+		updates[rank] = ScaledSignPSRank(c, ep, signs[rank], scales[rank])
+	})
+	return updates[0]
+}

@@ -3,214 +3,23 @@ package runtime_test
 import (
 	"testing"
 
-	"marsit/internal/collective"
-	"marsit/internal/netsim"
-	"marsit/internal/rng"
-	"marsit/internal/runtime"
 	"marsit/internal/runtime/equivtest"
-	"marsit/internal/tensor"
+
+	// Populate the collective registry: internal/runtime registers the
+	// ported ring/torus/PS collectives via its own init, and
+	// internal/core registers the one-bit Marsit schedule.
+	_ "marsit/internal/core"
 )
 
-// TestCollectiveEquivalence is the cross-engine acceptance matrix: every
-// ported collective — full-precision RAR/TAR, the sign-sum ring and
-// torus with bit-width expansion (± Elias coding), cascading SSDM, and
-// the PS hub family — runs from one spec table over {loopback, tcp} ×
-// {M=2, odd M, torus shapes} × unbalanced dims, and must reproduce the
-// sequential engine's results, wire bytes and α–β clocks bit for bit.
+// TestCollectiveEquivalence is the cross-engine acceptance matrix,
+// generated from the collective registry: every registered descriptor —
+// full-precision RAR/TAR, the sign-sum ring and torus with bit-width
+// expansion (± Elias coding), cascading SSDM, the PS hub family, and
+// the one-bit Marsit schedule itself — runs its sequential and per-rank
+// legs over {loopback, tcp} × {M=2, odd M, torus shapes} × unbalanced
+// dims, and must reproduce the sequential engine's results, wire bytes
+// and α–β clocks bit for bit. Registering a new collective adds it to
+// this matrix with no other change.
 func TestCollectiveEquivalence(t *testing.T) {
-	equivtest.Run(t, collectiveSpecs())
-}
-
-// signScaleInputs derives the deterministic signSGD inputs both engine
-// legs consume: ±1 signs of random gradients and their ℓ1/D magnitudes.
-func signScaleInputs(seed uint64, n, d int) ([][]float64, []float64) {
-	vecs := equivtest.RandVecs(seed, n, d)
-	signs := make([][]float64, n)
-	scales := make([]float64, n)
-	for w, v := range vecs {
-		signs[w] = make([]float64, d)
-		tensor.SignVec(signs[w], v)
-		scales[w] = tensor.Norm1(v) / float64(d)
-	}
-	return signs, scales
-}
-
-// sumsOut encodes a sign-sum result (consensus sums + total scale) as a
-// single comparison vector.
-func sumsOut(sums []int64, total float64) []tensor.Vec {
-	v := make(tensor.Vec, len(sums)+1)
-	for i, s := range sums {
-		v[i] = float64(s)
-	}
-	v[len(sums)] = total
-	return []tensor.Vec{v}
-}
-
-// ssdmStreams derives the per-worker SSDM streams both legs share.
-func ssdmStreams(seed uint64, n int) []*rng.PCG {
-	return rng.Streams(seed^0xca5cade, n)
-}
-
-func collectiveSpecs() []equivtest.Spec {
-	specs := []equivtest.Spec{
-		{
-			Name: "rar",
-			Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				collective.RingAllReduce(c, vecs)
-				return vecs
-			},
-			Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				eng.RingAllReduce(c, vecs)
-				return vecs
-			},
-		},
-		{
-			Name:   "tar",
-			Shapes: equivtest.TorusShapes(),
-			Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				collective.TorusAllReduce(c, sh.Torus, vecs)
-				return vecs
-			},
-			Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				eng.TorusAllReduce(c, sh.Torus, vecs)
-				return vecs
-			},
-		},
-		{
-			Name: "cascading",
-			Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				collective.CascadingRing(c, vecs, ssdmStreams(seed, sh.Workers))
-				return vecs
-			},
-			Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				eng.CascadingRing(c, vecs, ssdmStreams(seed, sh.Workers))
-				return vecs
-			},
-		},
-		{
-			Name: "ps-allreduce",
-			Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				collective.PSAllReduce(c, vecs)
-				return vecs
-			},
-			Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				eng.PSAllReduce(c, vecs)
-				return vecs
-			},
-		},
-		{
-			Name: "ps-signmajority",
-			Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				collective.SignMajorityPS(c, vecs)
-				return vecs
-			},
-			Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				eng.SignMajorityPS(c, vecs)
-				return vecs
-			},
-		},
-		{
-			Name: "ps-ssdm",
-			Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				collective.SSDMPS(c, vecs, ssdmStreams(seed, sh.Workers))
-				return vecs
-			},
-			Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				vecs := equivtest.RandVecs(seed, sh.Workers, d)
-				eng.SSDMPS(c, vecs, ssdmStreams(seed, sh.Workers))
-				return vecs
-			},
-		},
-		{
-			Name: "ps-scaledsign",
-			Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				// The train layer's PS sign exchange: norm-weighted mean at
-				// the virtual hub, signs+scale up, dense mean down.
-				n := sh.Workers
-				signs, scales := signScaleInputs(seed, n, d)
-				update := make(tensor.Vec, d)
-				for w := 0; w < n; w++ {
-					for i := 0; i < d; i++ {
-						update[i] += scales[w] * signs[w][i]
-					}
-				}
-				tensor.Scale(update, 1/float64(n))
-				up := make([]int, n)
-				down := make([]int, n)
-				for w := range up {
-					up[w] = collective.SignWireBytes(d)
-					down[w] = collective.DenseWireBytes(d)
-				}
-				collective.HubPushPull(c, up, down)
-				return []tensor.Vec{update}
-			},
-			Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-				signs, scales := signScaleInputs(seed, sh.Workers, d)
-				return []tensor.Vec{eng.ScaledSignPS(c, signs, scales)}
-			},
-		},
-	}
-
-	// Sign-sum ring/torus with and without Elias compaction.
-	for _, useElias := range []bool{false, true} {
-		name := "signsum"
-		if useElias {
-			name = "signsum-elias"
-		}
-		elias := useElias
-		specs = append(specs,
-			equivtest.Spec{
-				Name: name,
-				Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-					signs, scales := signScaleInputs(seed, sh.Workers, d)
-					sums, total := collective.SignSumRing(c, signs, scales, elias)
-					return sumsOut(sums, total)
-				},
-				Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-					signs, scales := signScaleInputs(seed, sh.Workers, d)
-					sums, total := eng.SignSumRing(c, signs, scales, elias)
-					return sumsOut(sums, total)
-				},
-			},
-			equivtest.Spec{
-				Name:   name + "-torus",
-				Shapes: equivtest.TorusShapes(),
-				Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-					signs, scales := signScaleInputs(seed, sh.Workers, d)
-					sums, total := collective.SignSumTorus(c, sh.Torus, signs, scales, elias)
-					return sumsOut(sums, total)
-				},
-				Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-					signs, scales := signScaleInputs(seed, sh.Workers, d)
-					sums, total := eng.SignSumTorus(c, sh.Torus, signs, scales, elias)
-					return sumsOut(sums, total)
-				},
-			},
-			equivtest.Spec{
-				Name: "overflow" + map[bool]string{true: "-elias"}[elias],
-				Seq: func(c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-					vecs := equivtest.RandVecs(seed, sh.Workers, d)
-					collective.OverflowRing(c, vecs, ssdmStreams(seed, sh.Workers), elias)
-					return vecs
-				},
-				Par: func(eng *runtime.Engine, c *netsim.Cluster, sh equivtest.Shape, d int, seed uint64) []tensor.Vec {
-					vecs := equivtest.RandVecs(seed, sh.Workers, d)
-					eng.OverflowRing(c, vecs, ssdmStreams(seed, sh.Workers), elias)
-					return vecs
-				},
-			},
-		)
-	}
-	return specs
+	equivtest.RunRegistry(t)
 }

@@ -27,6 +27,7 @@ import (
 	"math"
 	"testing"
 
+	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
 	"marsit/internal/rng"
 	"marsit/internal/runtime"
@@ -246,4 +247,110 @@ func CloneVecs(vecs []tensor.Vec) []tensor.Vec {
 		out[i] = tensor.Clone(v)
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Registry-driven matrix
+
+// The fixed schedule parameters the generated matrix uses for
+// K-periodic collectives: three rounds with K = 3 cover the
+// full-precision round (t = 0) and two one-bit rounds.
+const (
+	registryK        = 3
+	registryGlobalLR = 0.01
+)
+
+// RunRegistry executes the full cross-engine acceptance matrix for
+// every collective registered in internal/collective/registry: each
+// descriptor's sequential and per-rank legs run over
+// {loopback, tcp} × shapes × dims (plus an Elias variant and a torus
+// variant where the descriptor's caps allow them) and must agree bit
+// for bit. The caller must import the registering packages
+// (internal/runtime, internal/core) so the registry is populated — a
+// descriptor registered after this harness runs is not covered.
+func RunRegistry(t *testing.T) {
+	Run(t, RegistrySpecs())
+}
+
+// RegistrySpecs generates one equivalence Spec per registered
+// collective variant: the base spec, an "-elias" spec for Caps.Elias
+// descriptors, and a "-torus" spec (over the torus shape set) for
+// ring descriptors with Caps.Torus. Torus-based descriptors run over
+// the torus shape set directly.
+func RegistrySpecs() []Spec {
+	var specs []Spec
+	for _, d := range registry.All() {
+		eliases := []bool{false}
+		if d.Caps.Elias {
+			eliases = append(eliases, true)
+		}
+		for _, elias := range eliases {
+			specs = append(specs, registrySpec(d, elias, false))
+			if d.Caps.Torus {
+				specs = append(specs, registrySpec(d, elias, true))
+			}
+		}
+	}
+	return specs
+}
+
+// registrySpec builds the Spec for one descriptor variant. Both legs
+// derive identical Opts and per-round inputs from the case seed; the
+// runners are created once per case so stateful collectives carry
+// their state across the EquivRounds rounds.
+func registrySpec(d *registry.Descriptor, elias, torus bool) Spec {
+	name := d.Name
+	if elias {
+		name += "-elias"
+	}
+	var shapes []Shape
+	if torus {
+		name += "-torus"
+	}
+	if torus || d.Topology == registry.Torus {
+		shapes = TorusShapes()
+	}
+	rounds := d.EquivRounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	opts := func(sh Shape, dim int, seed uint64) *registry.Opts {
+		return &registry.Opts{
+			Workers: sh.Workers, Dim: dim, Torus: sh.Torus, Elias: elias,
+			Seed: seed, K: registryK, GlobalLR: registryGlobalLR,
+		}
+	}
+	return Spec{
+		Name:   name,
+		Shapes: shapes,
+		Seq: func(c *netsim.Cluster, sh Shape, dim int, seed uint64) []tensor.Vec {
+			run, err := d.Seq(opts(sh, dim, seed))
+			if err != nil {
+				panic(fmt.Sprintf("equivtest: %s seq leg: %v", name, err))
+			}
+			var outs []tensor.Vec
+			for r := 0; r < rounds; r++ {
+				outs = run(c, RoundVecs(seed, r, sh.Workers, dim))
+			}
+			return outs
+		},
+		Par: func(eng *runtime.Engine, c *netsim.Cluster, sh Shape, dim int, seed uint64) []tensor.Vec {
+			cl, err := eng.Open(d, opts(sh, dim, seed))
+			if err != nil {
+				panic(fmt.Sprintf("equivtest: %s par leg: %v", name, err))
+			}
+			var outs []tensor.Vec
+			for r := 0; r < rounds; r++ {
+				outs = cl.Run(c, RoundVecs(seed, r, sh.Workers, dim))
+			}
+			return outs
+		},
+	}
+}
+
+// RoundVecs derives round r's per-rank input vectors from the case
+// seed — the same mixing on both legs, so a multi-round spec feeds
+// identical fresh gradients to each engine every round.
+func RoundVecs(seed uint64, round, n, d int) []tensor.Vec {
+	return RandVecs(seed^(0x9e3779b97f4a7c15*uint64(round+1)), n, d)
 }

@@ -19,48 +19,79 @@ import (
 // single-threaded engine would.
 type MergeFunc func(rank int, agg, local *bitvec.Vec, aggWeight, localWeight int)
 
-// OneBitRingAllReduce runs the Marsit one-bit ring schedule concurrently:
-// reduce-scatter with merge at every hop, then all-gather of the final
-// segments. bits[rank] enters holding rank's packed signs and leaves
-// holding the group-wide consensus, identical on every rank and
-// bit-identical to the sequential core schedule.
-func (e *Engine) OneBitRingAllReduce(c *netsim.Cluster, bits []*bitvec.Vec, merge MergeFunc) {
-	e.checkBits(c, bits)
-	if e.n < 2 {
-		return
-	}
-	e.run(func(rank int, ep transport.Endpoint) {
-		OneBitRingAllReduceRank(c, ep, bits[rank], merge)
-	})
-}
-
-// OneBitTorusAllReduce runs the hierarchical one-bit schedule: row rings
-// first (each aggregate then covers a full row), then column rings with
-// the row width as the base merge weight.
-func (e *Engine) OneBitTorusAllReduce(c *netsim.Cluster, tor *topology.Torus, bits []*bitvec.Vec, merge MergeFunc) {
-	d := e.checkBits(c, bits)
-	if tor.Size() != e.n {
+// OneBitTorusAllReduceRank executes one rank's share of the hierarchical
+// one-bit torus schedule: the row ring first (the rank's aggregate then
+// covers its full row), then the column ring with the row width as the
+// base merge weight. bits enters holding the rank's packed signs and
+// leaves holding the group-wide consensus; merge is invoked in the
+// sequential schedule's order for this rank.
+//
+// On a torus with both dimensions >= 2, the column rings resolve
+// disagreeing bits with per-column transient draws, so ranks in
+// different columns can end with slightly different aggregates — the
+// exact per-rank semantics of the sequential schedule. An algorithm
+// layer that needs one cluster-wide aggregate (core.Marsit takes
+// worker 0's) aligns afterwards with AlignBitsToRank0.
+func OneBitTorusAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.Torus, bits *bitvec.Vec, merge MergeFunc) {
+	checkRankCluster(c, ep)
+	rank, n := ep.Rank(), ep.Size()
+	if tor.Size() != n {
 		panic("runtime: torus size mismatch")
 	}
-	if e.n < 2 {
+	if n < 2 {
 		return
 	}
 	rows, cols := tor.Rows(), tor.Cols()
-	rowSegs := tensor.Partition(d, cols)
-	colSegs := tensor.Partition(d, rows)
-	e.run(func(rank int, ep transport.Endpoint) {
-		rk := newRankCtx(c, ep, rank)
-		r, p := tor.Coord(rank)
-		if cols >= 2 {
-			next, prev := tor.Rank(r, p+1), tor.Rank(r, p-1)
-			oneBitRingRank(rk, next, prev, p, cols, bits[rank], rowSegs, 1, merge)
+	d := bits.Len()
+	rk := newRankCtx(c, ep, rank)
+	r, p := tor.Coord(rank)
+	if cols >= 2 {
+		rowSegs := tensor.Partition(d, cols)
+		next, prev := tor.Rank(r, p+1), tor.Rank(r, p-1)
+		oneBitRingRank(rk, next, prev, p, cols, bits, rowSegs, 1, merge)
+	}
+	if rows >= 2 {
+		colSegs := tensor.Partition(d, rows)
+		next, prev := tor.Rank(r+1, p), tor.Rank(r-1, p)
+		oneBitRingRank(rk, next, prev, r, rows, bits, colSegs, cols, merge)
+	}
+	rk.finish()
+}
+
+// AlignBitsToRank0 overwrites every rank's aggregate with rank 0's over
+// control-plane frames (Wire = 0, no simulated bytes or time): the
+// distributed counterpart of the sequential engine handing bits[0] to
+// the whole cluster (Marsit.Sync's simulation shortcut), exactly like
+// ClockBarrier reproduces the implicit lock step. A flat ring and a
+// degenerate (single-row or single-column) torus reach an exact
+// consensus on their own and do not need it; a torus with both
+// dimensions >= 2 does, because its columns resolve disagreeing bits
+// with independent transient draws.
+func AlignBitsToRank0(ep transport.Endpoint, bits *bitvec.Vec) {
+	rank, n := ep.Rank(), ep.Size()
+	if n < 2 {
+		return
+	}
+	if rank == 0 {
+		for to := 1; to < n; to++ {
+			buf := transport.GetBuffer(bits.MarshalBytes())
+			bits.MarshalInto(buf)
+			if err := ep.Send(to, transport.Packet{Data: buf}); err != nil {
+				panic(fmt.Sprintf("runtime: consensus align to rank %d: %v", to, err))
+			}
 		}
-		if rows >= 2 {
-			next, prev := tor.Rank(r+1, p), tor.Rank(r-1, p)
-			oneBitRingRank(rk, next, prev, r, rows, bits[rank], colSegs, cols, merge)
-		}
-		rk.finish()
-	})
+		return
+	}
+	pkt, err := ep.Recv(0)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: rank %d consensus align: %v", rank, err))
+	}
+	in, err := bitvec.Unmarshal(pkt.Data)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: rank %d consensus align: %v", rank, err))
+	}
+	transport.PutBuffer(pkt.Data)
+	bits.Insert(0, in)
 }
 
 // oneBitRingRank executes the one-bit schedule for one rank at position p

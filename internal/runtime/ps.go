@@ -234,44 +234,6 @@ func decodeSignScale(data []byte, d int) (*bitvec.Vec, float64) {
 	return bits, scale
 }
 
-// PSAllReduce is the concurrent counterpart of collective.PSAllReduce:
-// rank 0's worker goroutine doubles as the hub actor.
-func (e *Engine) PSAllReduce(c *netsim.Cluster, vecs []tensor.Vec) {
-	e.checkShape(c, vecs)
-	e.run(func(rank int, ep transport.Endpoint) {
-		PSAllReduceRank(c, ep, vecs[rank])
-	})
-}
-
-// SignMajorityPS is the concurrent counterpart of
-// collective.SignMajorityPS.
-func (e *Engine) SignMajorityPS(c *netsim.Cluster, vecs []tensor.Vec) {
-	e.checkShape(c, vecs)
-	e.run(func(rank int, ep transport.Endpoint) {
-		SignMajorityPSRank(c, ep, vecs[rank])
-	})
-}
-
-// SSDMPS is the concurrent counterpart of collective.SSDMPS. rs[rank]
-// must be rank's SSDM stream.
-func (e *Engine) SSDMPS(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG) {
-	e.checkShape(c, vecs)
-	if len(rs) != e.n {
-		panic("runtime: need one RNG per worker")
-	}
-	e.run(func(rank int, ep transport.Endpoint) {
-		SSDMPSRank(c, ep, vecs[rank], rs[rank])
-	})
-}
-
-// ScaledSignPS is the concurrent counterpart of the train layer's PS
-// sign exchange: it returns the consensus dense update
-// (1/M)·Σ scale_m·sign_m.
-func (e *Engine) ScaledSignPS(c *netsim.Cluster, signs [][]float64, scales []float64) tensor.Vec {
-	e.checkSignShape(c, signs, scales)
-	updates := make([]tensor.Vec, e.n)
-	e.run(func(rank int, ep transport.Endpoint) {
-		updates[rank] = ScaledSignPSRank(c, ep, signs[rank], scales[rank])
-	})
-	return updates[0]
-}
+// The Engine wrappers for the PS family (PSAllReduce, SignMajorityPS,
+// SSDMPS, ScaledSignPS) live in deprecated.go; new code goes through
+// the registry dispatcher (Engine.Run).

@@ -1,0 +1,278 @@
+package runtime
+
+import (
+	"marsit/internal/collective"
+	"marsit/internal/collective/registry"
+	"marsit/internal/netsim"
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+)
+
+// This file registers every collective this package implements with the
+// collective registry: both execution legs of each descriptor — the
+// sequential reference from internal/collective and the per-rank runner
+// from this package — plus topology, capability and wire-model
+// metadata. Adding a collective means implementing the two legs in its
+// own file and adding one registry.Register call here (the Marsit
+// one-bit schedule registers from internal/core, which owns its
+// sequential state). Everything else — Engine.Run dispatch, the marsit
+// facade, marsit-node, marsit-train's method resolution, CLI help text
+// and the cross-engine equivalence matrix — derives from these entries.
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:     "rar",
+		Summary:  "full-precision ring all-reduce (PSGD baseline)",
+		Topology: registry.Ring,
+		Wire:     "4 B/elem float32",
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.RingAllReduce(c, grads)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				RingAllReduceRank(c, ep, grad)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "tar",
+		Summary:  "full-precision hierarchical 2D-torus all-reduce",
+		Topology: registry.Torus,
+		Wire:     "4 B/elem float32",
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.TorusAllReduce(c, o.Torus, grads)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				TorusAllReduceRank(c, ep, o.Torus, grad)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "signsum",
+		Summary:  "majority-vote signSGD over the sign-sum ring or torus",
+		Topology: registry.Ring,
+		Wire:     "ceil(log2 m)+1 bits/elem, optionally Elias-coded",
+		Caps:     registry.Caps{Elias: true, Torus: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				n, d := len(grads), len(grads[0])
+				signs := make([][]float64, n)
+				scales := make([]float64, n)
+				for w, g := range grads {
+					signs[w], scales[w] = signScale(g)
+					c.AddCompress(w, d)
+				}
+				var sums []int64
+				var total float64
+				if o.Torus != nil {
+					sums, total = collective.SignSumTorus(c, o.Torus, signs, scales, o.Elias)
+				} else {
+					sums, total = collective.SignSumRing(c, signs, scales, o.Elias)
+				}
+				update := collective.MajorityDecode(sums, total, n)
+				outs := make([]tensor.Vec, n)
+				for w := 0; w < n; w++ {
+					outs[w] = update
+					c.AddDecompress(w, d)
+				}
+				c.Barrier()
+				return outs
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				d := len(grad)
+				signs, scale := signScale(grad)
+				c.AddCompress(rank, d)
+				var sums []int64
+				var total float64
+				if o.Torus != nil {
+					sums, total = SignSumTorusRank(c, ep, o.Torus, signs, scale, o.Elias)
+				} else {
+					sums, total = SignSumRingRank(c, ep, signs, scale, o.Elias)
+				}
+				update := collective.MajorityDecode(sums, total, ep.Size())
+				c.AddDecompress(rank, d)
+				ClockBarrier(c, ep)
+				return update
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "ssdm",
+		Summary:  "SSDM (Overflow): stochastic signs with bit-width expansion",
+		Topology: registry.Ring,
+		Wire:     "ceil(log2 m)+1 bits/elem, optionally Elias-coded",
+		Caps:     registry.Caps{Elias: true, Streams: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			streams := o.AllStreams()
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.OverflowRing(c, grads, streams, o.Elias)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			stream := o.Stream(rank)
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				OverflowRingRank(c, ep, grad, stream, o.Elias)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "cascading",
+		Summary:  "cascading SSDM: decompress-add-recompress at every ring hop",
+		Topology: registry.Ring,
+		Wire:     "1 bit/elem + norm per hop",
+		Caps:     registry.Caps{Streams: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			streams := o.AllStreams()
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.CascadingRing(c, grads, streams)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			stream := o.Stream(rank)
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				CascadingRingRank(c, ep, grad, stream)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "ps",
+		Summary:  "full-precision parameter-server push-pull (hub at rank 0)",
+		Topology: registry.PS,
+		Wire:     "4 B/elem float32 both ways",
+		Caps:     registry.Caps{PSFamily: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.PSAllReduce(c, grads)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				PSAllReduceRank(c, ep, grad)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "ps-sign",
+		Summary:  "signSGD with majority vote at the parameter server",
+		Topology: registry.PS,
+		Wire:     "1 bit/elem + norm both ways",
+		Caps:     registry.Caps{PSFamily: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.SignMajorityPS(c, grads)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				SignMajorityPSRank(c, ep, grad)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "ps-ssdm",
+		Summary:  "SSDM under PS: stochastic signs up, dense mean down",
+		Topology: registry.PS,
+		Wire:     "1 bit/elem up, 4 B/elem down",
+		Caps:     registry.Caps{PSFamily: true, Streams: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			streams := o.AllStreams()
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.SSDMPS(c, grads, streams)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			stream := o.Stream(rank)
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				SSDMPSRank(c, ep, grad, stream)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "ps-scaledsign",
+		Summary:  "norm-weighted sign push-pull under PS (train-layer exchange)",
+		Topology: registry.PS,
+		Wire:     "1 bit/elem up, 4 B/elem down",
+		Caps:     registry.Caps{PSFamily: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				n, d := len(grads), len(grads[0])
+				update := make(tensor.Vec, d)
+				for _, g := range grads {
+					signs, scale := signScale(g)
+					for i := 0; i < d; i++ {
+						update[i] += scale * signs[i]
+					}
+				}
+				tensor.Scale(update, 1/float64(n))
+				up := make([]int, n)
+				down := make([]int, n)
+				for w := range up {
+					up[w] = collective.SignWireBytes(d)
+					down[w] = collective.DenseWireBytes(d)
+				}
+				collective.HubPushPull(c, up, down)
+				outs := make([]tensor.Vec, n)
+				for w := range outs {
+					outs[w] = update
+				}
+				return outs
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				signs, scale := signScale(grad)
+				return ScaledSignPSRank(c, ep, signs, scale)
+			}, nil
+		},
+	})
+}
+
+// signScale is the deterministic signSGD compression every sign
+// transport shares: the ±1 sign vector and the ℓ1/D magnitude.
+func signScale(g tensor.Vec) ([]float64, float64) {
+	signs := make([]float64, len(g))
+	tensor.SignVec(signs, g)
+	return signs, tensor.Norm1(g) / float64(len(g))
+}
+
+// Streams derives n canonical per-rank compression streams for a seed —
+// a convenience re-export of the registry derivation for callers that
+// manage streams themselves.
+func Streams(seed uint64, n int) []*rng.PCG {
+	o := registry.Opts{Workers: n, Seed: seed}
+	return o.AllStreams()
+}

@@ -259,61 +259,6 @@ func OverflowRingRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, 
 	c.AddDecompress(rank, d)
 }
 
-// checkSignShape validates one sign vector and scale per rank.
-func (e *Engine) checkSignShape(c *netsim.Cluster, signs [][]float64, scales []float64) {
-	if c.Size() != e.n {
-		panic(fmt.Sprintf("runtime: cluster size %d != engine workers %d", c.Size(), e.n))
-	}
-	if len(signs) != e.n || len(scales) != e.n {
-		panic("runtime: need one sign vector and scale per worker")
-	}
-	d := len(signs[0])
-	for w, s := range signs {
-		if len(s) != d {
-			panic(fmt.Sprintf("runtime: worker %d has dim %d, want %d", w, len(s), d))
-		}
-	}
-}
-
-// SignSumRing is the concurrent counterpart of collective.SignSumRing:
-// every rank circulates its integer sign sums on its own goroutine. It
-// returns the consensus sums and total scale (identical on every rank).
-func (e *Engine) SignSumRing(c *netsim.Cluster, signs [][]float64, scales []float64, useElias bool) ([]int64, float64) {
-	e.checkSignShape(c, signs, scales)
-	sums := make([][]int64, e.n)
-	totals := make([]float64, e.n)
-	e.run(func(rank int, ep transport.Endpoint) {
-		sums[rank], totals[rank] = SignSumRingRank(c, ep, signs[rank], scales[rank], useElias)
-	})
-	return sums[0], totals[0]
-}
-
-// SignSumTorus is the concurrent counterpart of collective.SignSumTorus.
-func (e *Engine) SignSumTorus(c *netsim.Cluster, tor *topology.Torus, signs [][]float64, scales []float64, useElias bool) ([]int64, float64) {
-	e.checkSignShape(c, signs, scales)
-	if tor.Size() != e.n {
-		panic("runtime: torus size mismatch")
-	}
-	sums := make([][]int64, e.n)
-	totals := make([]float64, e.n)
-	e.run(func(rank int, ep transport.Endpoint) {
-		sums[rank], totals[rank] = SignSumTorusRank(c, ep, tor, signs[rank], scales[rank], useElias)
-	})
-	return sums[0], totals[0]
-}
-
-// OverflowRing is the concurrent counterpart of collective.OverflowRing,
-// including its closing barrier. rs[rank] must be rank's SSDM stream.
-func (e *Engine) OverflowRing(c *netsim.Cluster, vecs []tensor.Vec, rs []*rng.PCG, useElias bool) {
-	e.checkShape(c, vecs)
-	if len(rs) != e.n {
-		panic("runtime: need one RNG per worker")
-	}
-	if e.n == 1 {
-		return
-	}
-	e.run(func(rank int, ep transport.Endpoint) {
-		OverflowRingRank(c, ep, vecs[rank], rs[rank], useElias)
-	})
-	c.Barrier()
-}
+// The Engine wrappers for the sign-sum family (SignSumRing,
+// SignSumTorus, OverflowRing) live in deprecated.go; new code goes
+// through the registry dispatcher (Engine.Run).

@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"marsit/internal/collective"
+	"marsit/internal/collective/registry"
 	"marsit/internal/core"
 	"marsit/internal/data"
 	"marsit/internal/netsim"
@@ -40,7 +41,11 @@ import (
 	"marsit/internal/topology"
 )
 
-// Method selects the synchronization scheme.
+// Method selects the synchronization scheme: one of the paper's six
+// methods below, or the name of any registered collective
+// (registry.Names) — a raw-collective method synchronizes the cloned
+// gradients through that schedule each round, exactly how psgd and
+// cascading are implemented.
 type Method string
 
 // The synchronization methods of the paper's evaluation.
@@ -196,6 +201,88 @@ func MethodNames() []Method {
 	return []Method{MethodPSGD, MethodSignSGD, MethodEFSignSGD, MethodSSDM, MethodCascading, MethodMarsit}
 }
 
+// CollectiveFor maps a paper method and topology to the registry
+// collective that carries its exchange — the single source the trainer
+// dispatches and validates from (and the conformance tests audit). The
+// sign-vote family layers compression and error feedback above its
+// exchange collective; psgd and cascading are their collectives
+// one-to-one.
+func CollectiveFor(m Method, t Topo) (string, bool) {
+	if t == "" {
+		t = TopoRing
+	}
+	switch m {
+	case MethodPSGD:
+		switch t {
+		case TopoRing:
+			return "rar", true
+		case TopoTorus:
+			return "tar", true
+		case TopoPS:
+			return "ps", true
+		}
+	case MethodSignSGD, MethodEFSignSGD:
+		switch t {
+		case TopoRing, TopoTorus:
+			return "signsum", true
+		case TopoPS:
+			return "ps-scaledsign", true
+		}
+	case MethodSSDM:
+		switch t {
+		case TopoRing:
+			return "ssdm", true
+		case TopoTorus:
+			return "signsum", true
+		case TopoPS:
+			return "ps-ssdm", true
+		}
+	case MethodCascading:
+		if t == TopoRing {
+			return "cascading", true
+		}
+	case MethodMarsit:
+		switch t {
+		case TopoRing, TopoTorus:
+			return "marsit", true
+		}
+	default:
+		// A raw registry method is its own collective on any topology
+		// its descriptor supports (validated at resolution time).
+		if _, err := registry.Get(string(m)); err == nil {
+			return string(m), true
+		}
+	}
+	return "", false
+}
+
+// MethodHelp renders the -method flag help: the paper methods plus the
+// registered collective names.
+func MethodHelp() string {
+	names := ""
+	for i, m := range MethodNames() {
+		if i > 0 {
+			names += " | "
+		}
+		names += string(m)
+	}
+	return names + ", or a raw collective: " + registry.FlagHelp()
+}
+
+// dispatchCollective reports the registry collective Run drives
+// generically for a method: psgd and cascading (one-to-one with their
+// collectives) and every raw registry method. The sign-vote family and
+// marsit return false — they layer compression state and schedule
+// decisions around their exchange collectives.
+func dispatchCollective(m Method, t Topo) (string, bool) {
+	switch m {
+	case MethodSignSGD, MethodEFSignSGD, MethodSSDM, MethodMarsit:
+		return "", false
+	default:
+		return CollectiveFor(m, t)
+	}
+}
+
 func (cfg *Config) validate() error {
 	if cfg.Workers < 1 {
 		return fmt.Errorf("train: Workers = %d", cfg.Workers)
@@ -215,11 +302,6 @@ func (cfg *Config) validate() error {
 	if cfg.Train.Len() < cfg.Workers {
 		return fmt.Errorf("train: %d samples for %d workers", cfg.Train.Len(), cfg.Workers)
 	}
-	switch cfg.Method {
-	case MethodPSGD, MethodSignSGD, MethodEFSignSGD, MethodSSDM, MethodCascading, MethodMarsit:
-	default:
-		return fmt.Errorf("train: unknown method %q", cfg.Method)
-	}
 	switch cfg.Topo {
 	case TopoRing, TopoTorus, TopoPS:
 	case "":
@@ -227,11 +309,30 @@ func (cfg *Config) validate() error {
 	default:
 		return fmt.Errorf("train: unknown topology %q", cfg.Topo)
 	}
-	if cfg.Method == MethodCascading && cfg.Topo != TopoRing {
-		return fmt.Errorf("train: cascading is defined on the ring only")
-	}
-	if cfg.Method == MethodMarsit && cfg.Topo == TopoPS {
-		return fmt.Errorf("train: marsit is a MAR method (ring or torus)")
+	switch cfg.Method {
+	case MethodPSGD, MethodSignSGD, MethodEFSignSGD, MethodSSDM, MethodCascading, MethodMarsit:
+		if _, ok := CollectiveFor(cfg.Method, cfg.Topo); !ok {
+			if cfg.Method == MethodCascading {
+				return fmt.Errorf("train: cascading is defined on the ring only")
+			}
+			return fmt.Errorf("train: marsit is a MAR method (ring or torus)")
+		}
+	default:
+		// A raw registry collective run as a method: validate the name
+		// and the topology hint against the descriptor's capabilities.
+		desc, err := registry.Get(string(cfg.Method))
+		if err != nil {
+			return fmt.Errorf("train: unknown method %q (want %s)", cfg.Method, MethodHelp())
+		}
+		if cfg.Topo == TopoPS && desc.Topology != registry.PS {
+			return fmt.Errorf("train: collective %q is not a PS schedule", cfg.Method)
+		}
+		if cfg.Topo == TopoTorus && desc.Topology != registry.Torus && !desc.Caps.Torus {
+			return fmt.Errorf("train: collective %q does not support a torus", cfg.Method)
+		}
+		if desc.Caps.NeedsK && cfg.GlobalLR <= 0 {
+			return fmt.Errorf("train: collective %q needs GlobalLR > 0", cfg.Method)
+		}
 	}
 	if cfg.Method == MethodMarsit && cfg.GlobalLR <= 0 {
 		return fmt.Errorf("train: marsit needs GlobalLR > 0")
@@ -315,6 +416,37 @@ func Run(cfg Config) (*Result, error) {
 		defer rtEngine.Close()
 	}
 
+	// psgd, cascading and raw registry methods dispatch through the
+	// collective registry: one runner opened up front carries any
+	// per-round state (SSDM streams, compensation) across rounds. The
+	// sign-vote family and marsit keep their layered paths below.
+	var collSeq registry.SeqRunner
+	var collPar *runtime.Collective
+	if name, ok := dispatchCollective(cfg.Method, cfg.Topo); ok {
+		desc, derr := registry.Get(name)
+		if derr != nil {
+			return nil, derr
+		}
+		o := &registry.Opts{
+			Workers: cfg.Workers, Dim: d, Seed: cfg.Seed,
+			K: cfg.K, GlobalLR: cfg.GlobalLR, Streams: ssdmRNGs,
+			// Elias applies only where the descriptor supports it, the
+			// trainer's historical leniency for full-precision methods.
+			Elias: cfg.UseElias && desc.Caps.Elias,
+		}
+		if cfg.Topo == TopoTorus {
+			o.Torus = tor
+		}
+		if rtEngine != nil {
+			collPar, err = rtEngine.Open(desc, o)
+		} else {
+			collSeq, err = desc.Seq(o)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var marsit *core.Marsit
 	if cfg.Method == MethodMarsit {
 		marsit, err = core.New(core.Config{
@@ -384,37 +516,12 @@ func Run(cfg Config) (*Result, error) {
 		var update tensor.Vec
 		fullSync := false
 		switch cfg.Method {
-		case MethodPSGD:
-			work := cloneAll(grads)
-			switch {
-			case cfg.Topo == TopoRing && rtEngine != nil:
-				rtEngine.RingAllReduce(cluster, work)
-			case cfg.Topo == TopoRing:
-				collective.RingAllReduce(cluster, work)
-			case cfg.Topo == TopoTorus && rtEngine != nil:
-				rtEngine.TorusAllReduce(cluster, tor, work)
-			case cfg.Topo == TopoTorus:
-				collective.TorusAllReduce(cluster, tor, work)
-			case cfg.Topo == TopoPS && rtEngine != nil:
-				rtEngine.PSAllReduce(cluster, work)
-			case cfg.Topo == TopoPS:
-				collective.PSAllReduce(cluster, work)
-			}
-			update = work[0]
 		case MethodSignSGD:
 			update = signVoteSync(cluster, cfg, tor, rtEngine, grads, ssdmRNGs, false, nil)
 		case MethodEFSignSGD:
 			update = signVoteSync(cluster, cfg, tor, rtEngine, grads, ssdmRNGs, false, efState)
 		case MethodSSDM:
 			update = signVoteSync(cluster, cfg, tor, rtEngine, grads, ssdmRNGs, true, nil)
-		case MethodCascading:
-			work := cloneAll(grads)
-			if rtEngine != nil {
-				rtEngine.CascadingRing(cluster, work, ssdmRNGs)
-			} else {
-				collective.CascadingRing(cluster, work, ssdmRNGs)
-			}
-			update = work[0]
 		case MethodMarsit:
 			fullSync = marsit.FullPrecisionNext()
 			scaled := make([]tensor.Vec, cfg.Workers)
@@ -423,6 +530,17 @@ func Run(cfg Config) (*Result, error) {
 				tensor.Scale(scaled[w], cfg.LocalLR)
 			}
 			update = marsit.Sync(cluster, scaled)
+		default:
+			// psgd, cascading and raw registry methods: synchronize the
+			// cloned gradients through the opened collective.
+			work := cloneAll(grads)
+			var outs []tensor.Vec
+			if collPar != nil {
+				outs = collPar.Run(cluster, work)
+			} else {
+				outs = collSeq(cluster, work)
+			}
+			update = outs[0]
 		}
 
 		match := tensor.MatchRate(update, trueMean)
@@ -545,22 +663,17 @@ func signVoteSync(cluster *netsim.Cluster, cfg Config, tor *topology.Torus, eng 
 		default:
 			sums, totalScale = collective.SignSumRing(cluster, signs, scales, cfg.UseElias)
 		}
-		update = tensor.New(d)
-		meanScale := totalScale / float64(n)
 		if ssdm || efState != nil {
 			// Linear decode: mean scale × mean sign sum.
+			update = tensor.New(d)
+			meanScale := totalScale / float64(n)
 			for i := 0; i < d; i++ {
 				update[i] = meanScale * float64(sums[i]) / float64(n)
 			}
 		} else {
-			// Majority vote: sign of the sum.
-			for i := 0; i < d; i++ {
-				if sums[i] >= 0 {
-					update[i] = meanScale
-				} else {
-					update[i] = -meanScale
-				}
-			}
+			// Majority vote: sign of the sum, scaled by the mean
+			// magnitude.
+			update = collective.MajorityDecode(sums, totalScale, n)
 		}
 	}
 	for w := 0; w < n; w++ {

@@ -3,18 +3,38 @@
 // (ring or 2D-torus) with exactly one bit per gradient element
 // ("Sign Bit is Enough", DAC 2022).
 //
-// The facade re-exports the pieces a downstream user composes:
+// # One call, every collective
 //
-//	sim  := marsit.NewCluster(8)                 // simulated workers
-//	sync := marsit.MustNew(marsit.Config{        // the framework
-//	    Workers: 8, Dim: d, K: 100, GlobalLR: 0.005,
-//	})
-//	gt := sync.Sync(sim, scaledGrads)            // one-bit all-reduce
+// Every collective the repository implements — the one-bit Marsit
+// schedules, full-precision RAR/TAR/PS, the sign-sum transports with
+// bit-width expansion ± Elias coding, cascading SSDM, and the
+// parameter-server family — registers once in a central registry and is
+// invoked through one facade:
 //
-// Training loops, baselines and the experiment harness live in
-// internal/train and internal/experiments; the runnable entry points
-// are cmd/marsit-bench and cmd/marsit-train, and the examples/ tree
-// shows end-to-end usage.
+//	grads := ... // one gradient vector per worker
+//	outs, err := marsit.Run("marsit", grads,
+//	    marsit.WithGlobalLR(0.01),
+//	    marsit.WithSeed(7),
+//	)
+//
+// Options select the execution engine and fabric, the topology, and the
+// schedule parameters:
+//
+//	marsit.Run("signsum", grads,
+//	    marsit.WithEngine(marsit.EnginePar), // goroutine-per-worker engine
+//	    marsit.WithTransport(marsit.TransportTCP),
+//	    marsit.WithTorus(2, 4),
+//	    marsit.WithElias(),
+//	    marsit.WithSeed(3),
+//	)
+//
+// marsit.Collectives returns the registered schedules with their
+// topology, capability and wire-model metadata — the same listing the
+// CLIs print and validate against. Every registered collective is
+// covered by a generated cross-engine equivalence matrix
+// (internal/runtime/equivtest): sequential and per-rank legs must agree
+// bit for bit on results, wire bytes and α–β virtual clocks over both
+// fabric backends.
 //
 // # Execution engines
 //
@@ -23,33 +43,42 @@
 //   - Sequential (the default): a single-threaded lock-step loop mutates
 //     all workers' vectors over the netsim substrate. Deterministic
 //     virtual time; the mode the paper figures use.
-//   - Parallel (Config.Parallel, or marsit.NewEngine for direct
-//     collective access): the concurrent execution engine of
+//   - Parallel (EnginePar, Config.Parallel, or marsit.NewEngine for
+//     direct engine access): the concurrent execution engine of
 //     internal/runtime runs one goroutine per worker, each owning its
 //     shard and exchanging messages through a pluggable Transport
 //     (internal/transport). Two fabric backends exist: the in-process
-//     loopback (Config.Transport = TransportLoopback, the default) and
-//     real TCP sockets (TransportTCP, backed by internal/transport/tcp
-//     on the loopback interface). The collectives are written against
-//     the Endpoint contract only — FIFO per rank pair, byte payloads, a
-//     frame header of wire size and virtual clock — so both backends
-//     produce bit-identical results; cmd/marsit-node stretches the same
-//     TCP fabric across processes and machines.
+//     loopback (the default) and real TCP sockets (TransportTCP);
+//     cmd/marsit-node stretches the same TCP fabric across processes
+//     and machines.
 //
 // The parallel engine charges the same α–β costs as the sequential one
 // (each packet carries the sender's virtual clock, reproducing netsim's
 // cut-through arithmetic), so synchronization results, wire bytes and
-// simulated clocks are bit-identical between engines for a fixed Seed —
-// only wall-clock behaviour changes. A Parallel Marsit owns M worker
-// goroutines; call Close when done:
+// simulated clocks are bit-identical between engines for a fixed seed —
+// only wall-clock behaviour changes.
+//
+// # Stateful training
+//
+// Run executes stateless one-shot rounds. For the paper's full
+// Algorithm 1 across rounds (global compensation, the K-periodic
+// full-precision schedule), use the stateful Marsit type:
 //
 //	sync := marsit.MustNew(marsit.Config{
-//	    Workers: 8, Dim: d, K: 100, GlobalLR: 0.005, Parallel: true,
+//	    Workers: 8, Dim: d, K: 100, GlobalLR: 0.005,
 //	})
-//	defer sync.Close()
+//	gt := sync.Sync(cluster, scaledGrads)
+//
+// Training loops, baselines and the experiment harness live in
+// internal/train and internal/experiments; the runnable entry points
+// are cmd/marsit-bench, cmd/marsit-train and cmd/marsit-node, and the
+// examples/ tree shows end-to-end usage.
 package marsit
 
 import (
+	"fmt"
+
+	"marsit/internal/collective/registry"
 	"marsit/internal/core"
 	"marsit/internal/netsim"
 	"marsit/internal/runtime"
@@ -78,17 +107,12 @@ type CostModel = netsim.CostModel
 type Vec = tensor.Vec
 
 // Engine is the concurrent execution engine: one goroutine per worker,
-// exchanging messages over a pluggable transport, exposing the ported
-// collectives — full-precision RingAllReduce/TorusAllReduce, the
-// one-bit Marsit paths, the compressed sign-sum transports
-// (SignSumRing, SignSumTorus, OverflowRing, CascadingRing, with
-// optional Elias coding on the wire), and the parameter-server family
-// (PSAllReduce, SignMajorityPS, SSDMPS, ScaledSignPS) served by a hub
-// actor hosted on rank 0 — plus ParallelFor for shard-local work. Every
-// ported collective reproduces the sequential engine's results, wire
+// exchanging messages over a pluggable transport. Engine.Run executes
+// any registered collective (resolve a descriptor through
+// internal/collective/registry); ParallelFor runs shard-local work.
+// Every collective reproduces the sequential engine's results, wire
 // bytes and α–β virtual clocks bit for bit over both fabric backends
-// (the cross-engine matrix in internal/runtime/equivtest enforces
-// this).
+// (the generated matrix in internal/runtime/equivtest enforces this).
 type Engine = runtime.Engine
 
 // NewEngine starts a concurrent engine of workers goroutines connected
@@ -113,6 +137,162 @@ const (
 // rank pair). Close it when done; the sockets are released with it.
 func NewEngineTCP(workers int) (*Engine, error) {
 	return core.NewParallelEngine(workers, core.TransportTCP)
+}
+
+// EngineKind selects the execution engine Run uses.
+type EngineKind string
+
+// The execution engines.
+const (
+	// EngineSeq is the single-threaded lock-step engine (the default;
+	// the mode the paper figures use).
+	EngineSeq EngineKind = "seq"
+	// EnginePar is the concurrent engine: one goroutine per worker over
+	// a pluggable fabric, bit-identical to EngineSeq.
+	EnginePar EngineKind = "par"
+)
+
+// RunOption configures one Run invocation.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	engine               EngineKind
+	transport            Transport
+	torusRows, torusCols int
+	elias                bool
+	seed                 uint64
+	k                    int
+	globalLR             float64
+	cluster              *Cluster
+}
+
+// WithEngine selects the execution engine (EngineSeq or EnginePar).
+func WithEngine(e EngineKind) RunOption { return func(rc *runConfig) { rc.engine = e } }
+
+// WithTransport selects the parallel engine's fabric backend
+// (TransportLoopback or TransportTCP); it implies EnginePar semantics
+// only when WithEngine(EnginePar) is also given.
+func WithTransport(t Transport) RunOption { return func(rc *runConfig) { rc.transport = t } }
+
+// WithTorus lays the workers out as a rows×cols 2D torus (collectives
+// with torus support).
+func WithTorus(rows, cols int) RunOption {
+	return func(rc *runConfig) { rc.torusRows, rc.torusCols = rows, cols }
+}
+
+// WithElias enables Elias-gamma compaction of the wire payloads
+// (Elias-capable collectives).
+func WithElias() RunOption { return func(rc *runConfig) { rc.elias = true } }
+
+// WithSeed sets the seed deriving every per-rank stream the collective
+// needs (stochastic compression, one-bit merge transients).
+func WithSeed(s uint64) RunOption { return func(rc *runConfig) { rc.seed = s } }
+
+// WithK sets the Marsit full-precision period (0 = one-bit forever).
+func WithK(k int) RunOption { return func(rc *runConfig) { rc.k = k } }
+
+// WithGlobalLR sets the Marsit global step η_s (default 0.01 for
+// collectives that need it).
+func WithGlobalLR(lr float64) RunOption { return func(rc *runConfig) { rc.globalLR = lr } }
+
+// WithCluster charges the run to an existing simulated cluster instead
+// of a fresh default one — inspect it afterwards for clocks, wire bytes
+// and phase breakdowns.
+func WithCluster(c *Cluster) RunOption { return func(rc *runConfig) { rc.cluster = c } }
+
+// Run executes one round of the named collective over the workers'
+// gradient vectors (one per worker; collectives may mutate them in
+// place) and returns the per-worker synchronized outputs. The name is a
+// registry name — see Collectives for discovery. Scheduling state does
+// not persist across calls; use the Marsit type for stateful training.
+func Run(name string, grads []Vec, opts ...RunOption) ([]Vec, error) {
+	desc, err := registry.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(grads) == 0 {
+		return nil, fmt.Errorf("marsit: no gradient vectors")
+	}
+	rc := runConfig{engine: EngineSeq, globalLR: 0.01}
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	n, d := len(grads), len(grads[0])
+	for w, g := range grads {
+		if len(g) != d {
+			return nil, fmt.Errorf("marsit: worker %d gradient dim %d, want %d", w, len(g), d)
+		}
+	}
+	var tor *topology.Torus
+	if rc.torusRows != 0 || rc.torusCols != 0 {
+		if rc.torusRows < 1 || rc.torusCols < 1 {
+			return nil, fmt.Errorf("marsit: bad torus %dx%d", rc.torusRows, rc.torusCols)
+		}
+		tor = topology.NewTorus(rc.torusRows, rc.torusCols)
+	}
+	o := &registry.Opts{
+		Workers: n, Dim: d, Torus: tor, Elias: rc.elias,
+		Seed: rc.seed, K: rc.k, GlobalLR: rc.globalLR,
+	}
+	c := rc.cluster
+	if c == nil {
+		c = NewCluster(n)
+	} else if c.Size() != n {
+		return nil, fmt.Errorf("marsit: cluster of %d workers for %d gradient vectors", c.Size(), n)
+	}
+	switch rc.engine {
+	case EngineSeq, "":
+		run, err := desc.Seq(o)
+		if err != nil {
+			return nil, err
+		}
+		return run(c, grads), nil
+	case EnginePar:
+		eng, err := core.NewParallelEngine(n, rc.transport)
+		if err != nil {
+			return nil, err
+		}
+		defer eng.Close()
+		return eng.Run(c, desc, o, grads)
+	default:
+		return nil, fmt.Errorf("marsit: unknown engine %q", rc.engine)
+	}
+}
+
+// CollectiveInfo describes one registered collective.
+type CollectiveInfo struct {
+	// Name is the registry key (the value Run and the CLIs accept).
+	Name string
+	// Summary is the one-line description.
+	Summary string
+	// Topology is the base interconnect: "ring", "torus" or "ps".
+	Topology string
+	// Wire describes the simulated wire model.
+	Wire string
+	// Capability flags: Elias coding, optional torus layout, PS hub
+	// family, K-periodic schedule (needs a global step).
+	SupportsElias, SupportsTorus, PSFamily, NeedsK bool
+}
+
+// Collectives lists every registered collective in name order — the
+// discovery half of the facade (the CLIs' -collective flags and help
+// text validate against the same registry).
+func Collectives() []CollectiveInfo {
+	all := registry.All()
+	out := make([]CollectiveInfo, 0, len(all))
+	for _, d := range all {
+		out = append(out, CollectiveInfo{
+			Name:          d.Name,
+			Summary:       d.Summary,
+			Topology:      string(d.Topology),
+			Wire:          d.Wire,
+			SupportsElias: d.Caps.Elias,
+			SupportsTorus: d.Caps.Torus || d.Topology == registry.Torus,
+			PSFamily:      d.Caps.PSFamily,
+			NeedsK:        d.Caps.NeedsK,
+		})
+	}
+	return out
 }
 
 // New validates cfg and returns a fresh Marsit with zero compensation.
