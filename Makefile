@@ -5,7 +5,14 @@
 #   make race              race-detector pass over the concurrency-bearing
 #                          packages
 #   make bench             engine benchmarks (sequential vs parallel speedup)
-#   make fuzz-smoke        short fuzz pass over the Elias wire coder
+#   make bench-json        perf record: seq-vs-par ns/op, B/op, allocs/op per
+#                          collective × fabric, written to BENCH_5.json
+#                          (see docs/performance.md for the format)
+#   make bench-smoke       every benchmark once (-benchtime=1x) so perf-path
+#                          code is compiled and executed on every PR
+#   make fuzz-smoke        short fuzz pass over the Elias wire coder and the
+#                          word-parallel bitvec/Elias kernels vs their scalar
+#                          oracles
 #   make list-collectives  golden check: the CLIs' collective listing must
 #                          match docs/collectives.golden, so help text cannot
 #                          drift from the registry
@@ -14,7 +21,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke list-collectives tcp-demo
+.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo
 
 check: fmt vet build test list-collectives
 
@@ -41,6 +48,24 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
 
+# bench-json emits the machine-readable perf record every future perf PR
+# is judged against: wall-clock ns/op, B/op and allocs/op for the
+# sequential engine vs the parallel engine over loopback and TCP, per
+# collective, with the parallel outputs cross-checked bit for bit
+# against the sequential engine before timing. A failing sub-run exits
+# non-zero — it is never dropped from the record.
+BENCH_JSON ?= BENCH_5.json
+
+bench-json:
+	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 5"
+
+# bench-smoke runs every benchmark exactly once: cheap enough for CI,
+# and it proves the perf-path code (engine benches, chunk-pipelined
+# hops, word-parallel kernels) still compiles and executes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/bitvec ./internal/compress
+
 # fuzz-smoke gives the wire-facing Elias coder a short adversarial pass:
 # its payloads genuinely travel TCP frames in the distributed sign-sum
 # collectives, so the decoder must never panic on hostile bytes.
@@ -49,6 +74,9 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzEliasIntsRoundTrip' -fuzztime $(FUZZTIME) ./internal/compress
 	$(GO) test -run '^$$' -fuzz 'FuzzEliasDecodeRobust' -fuzztime $(FUZZTIME) ./internal/compress
+	$(GO) test -run '^$$' -fuzz 'FuzzEliasIntsIntoAgainstScalar' -fuzztime $(FUZZTIME) ./internal/compress
+	$(GO) test -run '^$$' -fuzz 'FuzzPackUnpackSigns' -fuzztime $(FUZZTIME) ./internal/bitvec
+	$(GO) test -run '^$$' -fuzz 'FuzzExtractInsert' -fuzztime $(FUZZTIME) ./internal/bitvec
 
 # list-collectives pins the registry-generated discovery listing (the
 # same lines marsit-node/marsit-bench print for -list-collectives) to

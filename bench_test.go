@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"marsit/internal/collective"
+	"marsit/internal/collective/registry"
 	"marsit/internal/experiments"
 	"marsit/internal/rng"
 	"marsit/internal/tensor"
@@ -332,6 +333,44 @@ func BenchmarkEnginePS(b *testing.B) {
 			}
 			reportSeqBaseline(b, time.Since(start), iters)
 		})
+	}
+}
+
+// BenchmarkEngineRARChunks measures chunk-pipelined ring hops on the
+// full-precision ring all-reduce: S = 1 is the classic one-frame-per-
+// hop schedule, larger S overlaps a hop's merge with the next chunk's
+// transfer (results, wire bytes and virtual clocks are bit-identical
+// for every S — the equivalence matrix pins it — so this benchmark is
+// purely about wall clock). Speedups need real cores; on a single-CPU
+// container the interesting signal is that S > 1 costs nothing.
+func BenchmarkEngineRARChunks(b *testing.B) {
+	const workers, dim = 4, 1_000_000
+	desc, err := registry.Get("rar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tr := range benchTransports {
+		for _, chunks := range []int{1, 8} {
+			b.Run(fmt.Sprintf("M=%d/D=%d/%s/S=%d", workers, dim, tr, chunks), func(b *testing.B) {
+				r := rng.New(53)
+				work := make([]Vec, workers)
+				for w := range work {
+					work[w] = r.NormVec(make(Vec, dim), 0, 1)
+				}
+				cluster := NewCluster(workers)
+				eng := newBenchEngine(b, tr, workers)
+				defer eng.Close()
+				cl, err := eng.Open(desc, &registry.Opts{Workers: workers, Dim: dim, Chunks: chunks})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cl.Run(cluster, work)
+				}
+			})
+		}
 	}
 }
 

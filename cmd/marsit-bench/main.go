@@ -1,4 +1,5 @@
-// Command marsit-bench regenerates the paper's tables and figures.
+// Command marsit-bench regenerates the paper's tables and figures, and
+// records the machine-readable performance trajectory of the hot paths.
 //
 // Usage:
 //
@@ -11,6 +12,12 @@
 //	marsit-bench -exp fig5 -engine par  # concurrent execution engine
 //	marsit-bench -exp fig5 -engine par -transport tcp
 //
+//	marsit-bench -json BENCH_5.json     # perf record: seq-vs-par ns/op,
+//	                                    # B/op, allocs/op per collective
+//	                                    # × fabric (make bench-json)
+//	marsit-bench -json out.json -chunks 8 -benchtime 1s
+//	marsit-bench -exp fig5 -cpuprofile cpu.out -memprofile mem.out
+//
 // -engine selects the execution engine: seq is the single-threaded
 // virtual-time loop; par runs one goroutine per simulated worker. Every
 // training method runs on the parallel engine — full-precision RAR/TAR
@@ -22,44 +29,118 @@
 // messages through in-process channels, tcp through real sockets on the
 // loopback interface (the wire backend that cmd/marsit-node stretches
 // across machines). Results are bit-identical either way.
+//
+// -json runs the perfbench harness instead of an experiment: every
+// requested collective is timed on the sequential engine and on the
+// parallel engine over each fabric (after a bit-exactness cross-check),
+// and the JSON perf record is written to the given path. A failing
+// sub-run — a diverging result, a dead fabric, a panicking collective —
+// aborts the whole run with a non-zero exit; failures are never
+// silently dropped from the record. -cpuprofile and -memprofile write
+// pprof profiles for any mode (see docs/performance.md for the
+// profiling recipe).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/experiments"
+	"marsit/internal/perfbench"
 	"marsit/internal/train"
 )
 
 func main() {
+	err := run()
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "marsit-bench: %v\n", err)
+	if _, ok := err.(usageErr); ok {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// usageErr distinguishes flag misuse (exit 2) from run failures
+// (exit 1). Both travel back through run() as ordinary errors so the
+// deferred profile writers flush before the process exits.
+type usageErr string
+
+func (e usageErr) Error() string { return string(e) }
+
+func run() error {
 	var (
-		exp       = flag.String("exp", "", "experiment id (or 'all')")
-		scale     = flag.String("scale", "quick", "quick | full")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		listColl  = flag.Bool("list-collectives", false, "list the registered collectives and exit")
-		csvPath   = flag.String("csv", "", "write result tables as CSV to this file")
-		engine    = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
-		transport = flag.String("transport", "loopback", "parallel engine fabric: loopback (in-process channels) | tcp (real sockets)")
+		exp        = flag.String("exp", "", "experiment id (or 'all')")
+		scale      = flag.String("scale", "quick", "quick | full")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		listColl   = flag.Bool("list-collectives", false, "list the registered collectives and exit")
+		csvPath    = flag.String("csv", "", "write result tables as CSV to this file")
+		engine     = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
+		transport  = flag.String("transport", "loopback", "parallel engine fabric: loopback (in-process channels) | tcp (real sockets)")
+		jsonPath   = flag.String("json", "", "run the perf harness and write the BENCH_*.json record to this file")
+		benchColl  = flag.String("bench-collectives", "", "comma-separated registry names for -json (default: "+strings.Join(perfbench.DefaultCollectives, ",")+")")
+		benchDim   = flag.Int("bench-dim", 0, "gradient dimension for -json (default 100000)")
+		benchM     = flag.Int("bench-workers", 0, "worker count for -json (default 4)")
+		chunks     = flag.Int("chunks", 0, "pipelined frames per ring hop for -json (chunk-capable collectives; 0 = off)")
+		benchTime  = flag.Duration("benchtime", 0, "minimum measuring time per case for -json (default 300ms)")
+		label      = flag.String("label", "", "free-form label recorded in the -json report")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
 	if *listColl {
 		fmt.Print(registry.FormatList())
-		return
+		return nil
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "marsit-bench: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
+	// Flag validation runs before either mode so misuse always exits 2,
+	// json mode included.
 	switch *engine {
 	case "seq":
 		train.DefaultEngine = train.EngineSeq
 	case "par":
 		train.DefaultEngine = train.EnginePar
 	default:
-		fmt.Fprintf(os.Stderr, "marsit-bench: unknown engine %q (want seq or par)\n", *engine)
-		os.Exit(2)
+		return badUsage(fmt.Sprintf("unknown engine %q (want seq or par)", *engine))
 	}
 	switch *transport {
 	case "loopback":
@@ -67,19 +148,31 @@ func main() {
 	case "tcp":
 		train.DefaultTransport = train.TransportTCP
 	default:
-		fmt.Fprintf(os.Stderr, "marsit-bench: unknown transport %q (want loopback or tcp)\n", *transport)
-		os.Exit(2)
+		return badUsage(fmt.Sprintf("unknown transport %q (want loopback or tcp)", *transport))
 	}
 
-	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+	if *jsonPath != "" {
+		if *exp != "" {
+			return badUsage("-exp and -json are different modes; run them separately")
 		}
-		return
+		var colls []string
+		if *benchColl != "" {
+			for _, c := range strings.Split(*benchColl, ",") {
+				colls = append(colls, strings.TrimSpace(c))
+			}
+		}
+		return runBenchJSON(*jsonPath, perfbench.Config{
+			Collectives: colls,
+			Workers:     *benchM,
+			Dim:         *benchDim,
+			Chunks:      *chunks,
+			MinTime:     *benchTime,
+			Label:       *label,
+		})
 	}
+
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "marsit-bench: -exp is required (try -list)")
-		os.Exit(2)
+		return badUsage("-exp is required (try -list), or -json for the perf harness")
 	}
 	var s experiments.Scale
 	switch *scale {
@@ -88,8 +181,7 @@ func main() {
 	case "full":
 		s = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "marsit-bench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return badUsage(fmt.Sprintf("unknown scale %q", *scale))
 	}
 
 	var outs []*experiments.Output
@@ -97,14 +189,12 @@ func main() {
 		var err error
 		outs, err = experiments.RunAll(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "marsit-bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	} else {
 		o, err := experiments.Run(*exp, s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "marsit-bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		outs = []*experiments.Output{o}
 	}
@@ -120,9 +210,40 @@ func main() {
 	}
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "marsit-bench: writing csv: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("writing csv: %w", err)
 		}
 		fmt.Printf("tables written to %s\n", *csvPath)
 	}
+	return nil
+}
+
+// badUsage reports flag misuse; main turns it into exit status 2 after
+// the deferred cleanups (profile writers) have run.
+func badUsage(msg string) error {
+	return usageErr(msg)
+}
+
+// runBenchJSON executes the perf harness and writes the record. Every
+// case is echoed to stderr as it completes so long runs show progress.
+func runBenchJSON(path string, cfg perfbench.Config) error {
+	start := time.Now()
+	cfg.Progress = func(r perfbench.Result) {
+		fmt.Fprintf(os.Stderr, "  %-10s %-8s seq %8.1fms  par %8.1fms  speedup %.2f  par B/op %.1fMB  allocs/op %d\n",
+			r.Collective, r.Fabric, r.Seq.NsOp/1e6, r.Par.NsOp/1e6, r.Speedup,
+			float64(r.Par.BOp)/1e6, r.Par.AllocsOp)
+	}
+	rep, err := perfbench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("perf record (%d cases, %.1fs) written to %s\n",
+		len(rep.Results), time.Since(start).Seconds(), path)
+	return nil
 }

@@ -52,6 +52,7 @@ func main() {
 		globalLR = flag.Float64("global-lr", 0.004, "Marsit global step η_s")
 		seed     = flag.Uint64("seed", 1, "shared root seed (must match on every rank)")
 		elias    = flag.Bool("elias", false, "Elias-gamma compaction of sign-sum payloads (Elias-capable collectives)")
+		chunks   = flag.Int("chunks", 0, "pipelined frames per ring hop (chunk-capable collectives; 0/1 = off; clock-invariant)")
 		check    = flag.Bool("check", false, "rank 0 verifies the fabric against the sequential engine and prints the per-phase table")
 		dieAfter = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
 		timeout  = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
@@ -91,6 +92,7 @@ func main() {
 		GlobalLR:       *globalLR,
 		Seed:           *seed,
 		UseElias:       *elias,
+		Chunks:         *chunks,
 		Check:          *check,
 		DieAfterRounds: *dieAfter,
 		DialTimeout:    *timeout,

@@ -154,55 +154,78 @@ func (v *Vec) FillBernoulli(r *rng.PCG, p float64) {
 // FromSigns packs the signs of src (non-negative → 1) into a new Vec.
 func FromSigns(src []float64) *Vec {
 	v := New(len(src))
-	for i, x := range src {
-		if x >= 0 {
-			v.words[i>>6] |= 1 << uint(i&63)
-		}
-	}
+	packSignWords(v.words, src)
 	return v
 }
 
 // PackSigns is FromSigns into an existing vector (length must equal
-// len(src)); it avoids allocation on hot paths.
+// len(src)); it avoids allocation on hot paths. The loop is word-
+// parallel: each 64-bit output word is assembled in a register and
+// stored once. The sign test stays the `x >= 0` comparison (not the
+// IEEE sign bit), preserving the repository-wide convention that −0.0
+// packs as +1 and a NaN as −1.
 func (v *Vec) PackSigns(src []float64) {
 	if len(src) != v.n {
 		panic(fmt.Sprintf("bitvec: PackSigns length mismatch %d != %d", len(src), v.n))
 	}
-	for i := range v.words {
-		v.words[i] = 0
-	}
-	for i, x := range src {
-		if x >= 0 {
-			v.words[i>>6] |= 1 << uint(i&63)
+	packSignWords(v.words, src)
+}
+
+// packSignWords packs up to 64 elements of src per output word.
+func packSignWords(words []uint64, src []float64) {
+	for wi := range words {
+		lo := wi << 6
+		hi := lo + 64
+		if hi > len(src) {
+			hi = len(src)
 		}
+		var w uint64
+		for j, x := range src[lo:hi] {
+			if x >= 0 {
+				w |= 1 << uint(j)
+			}
+		}
+		words[wi] = w
 	}
 }
 
 // UnpackSigns writes ±1 into dst (bit 1 → +1, bit 0 → −1).
-// dst must have length Len.
+// dst must have length Len. Word-parallel and branch-free: each word is
+// loaded once and its bits mapped to ±1 via 2·bit − 1.
 func (v *Vec) UnpackSigns(dst []float64) {
 	if len(dst) != v.n {
 		panic(fmt.Sprintf("bitvec: UnpackSigns length mismatch %d != %d", len(dst), v.n))
 	}
-	for i := range dst {
-		if v.words[i>>6]&(1<<uint(i&63)) != 0 {
-			dst[i] = 1
-		} else {
-			dst[i] = -1
+	for wi, w := range v.words {
+		lo := wi << 6
+		hi := lo + 64
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		out := dst[lo:hi]
+		for j := range out {
+			out[j] = float64(int64(w&1)<<1 - 1)
+			w >>= 1
 		}
 	}
 }
 
-// AddSignsInto accumulates ±1 per bit into dst (dst[i] += ±1).
+// AddSignsInto accumulates ±1 per bit into dst (dst[i] += ±1), with the
+// same word-at-a-time, branch-free mapping as UnpackSigns.
 func (v *Vec) AddSignsInto(dst []float64) {
 	if len(dst) != v.n {
 		panic("bitvec: AddSignsInto length mismatch")
 	}
-	for i := range dst {
-		if v.words[i>>6]&(1<<uint(i&63)) != 0 {
-			dst[i]++
-		} else {
-			dst[i]--
+	for wi, w := range v.words {
+		lo := wi << 6
+		hi := lo + 64
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		out := dst[lo:hi]
+		for j := range out {
+			out[j] += float64(int64(w&1)<<1 - 1)
+			w >>= 1
 		}
 	}
 }
@@ -224,19 +247,27 @@ func (v *Vec) Marshal() []byte {
 }
 
 // MarshalInto is Marshal into a caller-provided buffer of exactly
-// MarshalBytes() length (e.g. one drawn from a payload pool).
+// MarshalBytes() length (e.g. one drawn from a payload pool). Whole
+// words are stored with one 8-byte write each; only the tail of the
+// last word goes byte by byte.
 func (v *Vec) MarshalInto(out []byte) {
 	if len(out) != v.MarshalBytes() {
 		panic(fmt.Sprintf("bitvec: MarshalInto buffer of %d bytes, want %d", len(out), v.MarshalBytes()))
 	}
 	binary.LittleEndian.PutUint32(out, uint32(v.n))
-	for i := 0; i < v.WireBytes(); i++ {
-		word := v.words[i>>3]
-		out[4+i] = byte(word >> uint((i&7)*8))
+	payload := out[4:]
+	nb := v.WireBytes()
+	full := nb >> 3
+	for i := 0; i < full; i++ {
+		binary.LittleEndian.PutUint64(payload[8*i:], v.words[i])
+	}
+	for i := full << 3; i < nb; i++ {
+		payload[i] = byte(v.words[i>>3] >> uint((i&7)*8))
 	}
 }
 
-// Unmarshal parses data produced by Marshal.
+// Unmarshal parses data produced by Marshal, loading whole words with
+// one 8-byte read each.
 func Unmarshal(data []byte) (*Vec, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("bitvec: short header (%d bytes)", len(data))
@@ -248,7 +279,11 @@ func Unmarshal(data []byte) (*Vec, error) {
 		return nil, fmt.Errorf("bitvec: want %d payload bytes, have %d", want, len(payload))
 	}
 	v := New(n)
-	for i := 0; i < want; i++ {
+	full := want >> 3
+	for i := 0; i < full; i++ {
+		v.words[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	for i := full << 3; i < want; i++ {
 		v.words[i>>3] |= uint64(payload[i]) << uint((i&7)*8)
 	}
 	v.clearTail()
@@ -272,27 +307,65 @@ func (v *Vec) Merge3(local, transient *Vec) {
 	}
 }
 
-// Extract returns a new vector holding bits [lo, hi) of v.
+// Extract returns a new vector holding bits [lo, hi) of v. It runs a
+// word at a time: each output word is assembled from at most two source
+// words with a funnel shift (this is a per-hop operation of the one-bit
+// ring schedule, so the per-bit version dominated profiles).
 func (v *Vec) Extract(lo, hi int) *Vec {
 	if lo < 0 || hi < lo || hi > v.n {
 		panic(fmt.Sprintf("bitvec: Extract[%d,%d) of length %d", lo, hi, v.n))
 	}
 	out := New(hi - lo)
-	for i := lo; i < hi; i++ {
-		if v.Get(i) {
-			out.Set(i-lo, true)
+	if hi == lo {
+		return out
+	}
+	wi, off := lo>>6, uint(lo&63)
+	if off == 0 {
+		copy(out.words, v.words[wi:wi+len(out.words)])
+	} else {
+		for k := range out.words {
+			w := v.words[wi+k] >> off
+			if wi+k+1 < len(v.words) {
+				w |= v.words[wi+k+1] << (64 - off)
+			}
+			out.words[k] = w
 		}
 	}
+	out.clearTail()
 	return out
 }
 
-// Insert writes src into v starting at bit lo.
+// Insert writes src into v starting at bit lo, a word at a time: each
+// source word lands in at most two destination words through a masked
+// read-modify-write.
 func (v *Vec) Insert(lo int, src *Vec) {
 	if lo < 0 || lo+src.n > v.n {
 		panic(fmt.Sprintf("bitvec: Insert of %d bits at %d into length %d", src.n, lo, v.n))
 	}
-	for i := 0; i < src.n; i++ {
-		v.Set(lo+i, src.Get(i))
+	for k := range src.words {
+		m := 64
+		if k == len(src.words)-1 {
+			if r := src.n & 63; r != 0 {
+				m = r
+			}
+		}
+		setBitRange(v.words, lo+(k<<6), src.words[k], m)
+	}
+}
+
+// setBitRange overwrites the m ≤ 64 bits at bit position pos with the
+// low m bits of w (src words keep their tail clear, but w is masked
+// anyway so a stray high bit cannot leak).
+func setBitRange(words []uint64, pos int, w uint64, m int) {
+	if m <= 0 {
+		return
+	}
+	wi, off := pos>>6, uint(pos&63)
+	mask := ^uint64(0) >> (64 - uint(m))
+	w &= mask
+	words[wi] = words[wi]&^(mask<<off) | w<<off
+	if int(off)+m > 64 {
+		words[wi+1] = words[wi+1]&^(mask>>(64-off)) | w>>(64-off)
 	}
 }
 

@@ -520,9 +520,27 @@ func GossipAverage(c *netsim.Cluster, vecs []tensor.Vec) {
 // ssdmCompressSeg compresses seg with SSDM semantics using r: returns
 // the stochastic sign (+1/−1 per element) and the ℓ2 norm.
 func ssdmCompressSeg(seg tensor.Vec, r *rng.PCG) (signs []float64, norm float64) {
-	norm = tensor.Norm2(seg)
 	signs = make([]float64, len(seg))
-	for i, x := range seg {
+	norm = SSDMSignsInto(signs, seg, r)
+	return signs, norm
+}
+
+// SSDMSigns compresses v with SSDM semantics using r: it returns the
+// stochastic ±1 sign vector and the ℓ2 norm scaling constant.
+func SSDMSigns(v tensor.Vec, r *rng.PCG) ([]float64, float64) {
+	return ssdmCompressSeg(v, r)
+}
+
+// SSDMSignsInto is SSDMSigns writing the sign vector into dst (length
+// must equal len(v)) — the allocation-free form the concurrent engine's
+// pooled per-hop scratch uses. The stochastic draws from r are
+// identical to SSDMSigns.
+func SSDMSignsInto(dst []float64, v tensor.Vec, r *rng.PCG) float64 {
+	if len(dst) != len(v) {
+		panic("collective: SSDMSignsInto length mismatch")
+	}
+	norm := tensor.Norm2(v)
+	for i, x := range v {
 		pKeep := 0.5
 		if norm > 0 {
 			pKeep = 0.5 + math.Abs(x)/(2*norm)
@@ -531,15 +549,9 @@ func ssdmCompressSeg(seg tensor.Vec, r *rng.PCG) (signs []float64, norm float64)
 		if !r.Bernoulli(pKeep) {
 			s = -s
 		}
-		signs[i] = s
+		dst[i] = s
 	}
-	return signs, norm
-}
-
-// SSDMSigns compresses v with SSDM semantics using r: it returns the
-// stochastic ±1 sign vector and the ℓ2 norm scaling constant.
-func SSDMSigns(v tensor.Vec, r *rng.PCG) ([]float64, float64) {
-	return ssdmCompressSeg(v, r)
+	return norm
 }
 
 // HubPushPull exposes the virtual parameter-server exchange: every

@@ -29,10 +29,46 @@ func (w *BitWriter) WriteBit(b uint) {
 	w.nbit++
 }
 
-// WriteBits appends the low n bits of v, most significant first.
+// WriteBits appends the low n bits of v, most significant first. It
+// works a byte at a time — up to 8 bits land per iteration instead of
+// one — and is bit-exact with a WriteBit loop (the scalar oracle the
+// fuzz tests compare against).
 func (w *BitWriter) WriteBits(v uint64, n int) {
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(uint(v>>uint(i)) & 1)
+	for n > 0 {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := 8 - w.nbit%8
+		take := free
+		if n < take {
+			take = n
+		}
+		chunk := byte(v>>uint(n-take)) & (1<<uint(take) - 1)
+		w.buf[len(w.buf)-1] |= chunk << uint(free-take)
+		w.nbit += take
+		n -= take
+	}
+}
+
+// writeZeros appends n zero bits: the current partial byte is skipped
+// over and whole zero bytes are appended directly.
+func (w *BitWriter) writeZeros(n int) {
+	if rem := w.nbit % 8; rem != 0 {
+		take := 8 - rem
+		if n < take {
+			take = n
+		}
+		w.nbit += take
+		n -= take
+	}
+	for n > 0 {
+		w.buf = append(w.buf, 0)
+		take := 8
+		if n < take {
+			take = n
+		}
+		w.nbit += take
+		n -= take
 	}
 }
 
@@ -61,15 +97,27 @@ func (r *BitReader) ReadBit() (uint, error) {
 	return uint(b), nil
 }
 
-// ReadBits reads n bits MSB-first.
+// ReadBits reads n bits MSB-first, a byte at a time (bit-exact with a
+// ReadBit loop, the scalar oracle of the fuzz tests).
 func (r *BitReader) ReadBits(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if r.pos+n > 8*len(r.buf) {
+		r.pos = 8 * len(r.buf)
+		return 0, fmt.Errorf("compress: bit stream exhausted at %d", r.pos)
+	}
 	var v uint64
-	for i := 0; i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+	for n > 0 {
+		rem := 8 - r.pos%8
+		take := rem
+		if n < take {
+			take = n
 		}
-		v = v<<1 | uint64(b)
+		chunk := uint64(r.buf[r.pos/8]>>uint(rem-take)) & (1<<uint(take) - 1)
+		v = v<<uint(take) | chunk
+		r.pos += take
+		n -= take
 	}
 	return v, nil
 }
@@ -81,33 +129,52 @@ func EliasGammaEncode(w *BitWriter, v uint64) {
 		panic("compress: Elias gamma undefined for 0")
 	}
 	n := bits.Len64(v) // position of the highest set bit, 1-based
-	for i := 0; i < n-1; i++ {
-		w.WriteBit(0)
-	}
+	w.writeZeros(n - 1)
 	w.WriteBits(v, n)
 }
 
-// EliasGammaDecode reads one gamma-coded value.
+// GammaBitLen returns the bit length of the gamma code of v ≥ 1
+// (2·⌊log2 v⌋ + 1) without producing it — the sizing half of the
+// encoder, so a caller can charge a payload's exact wire size before
+// (or without) materializing the code.
+func GammaBitLen(v uint64) int {
+	if v == 0 {
+		panic("compress: Elias gamma undefined for 0")
+	}
+	return 2*bits.Len64(v) - 1
+}
+
+// EliasGammaDecode reads one gamma-coded value. The zero-run prefix is
+// scanned a byte at a time with a leading-zero count instead of bit by
+// bit; behaviour (values, error cases) matches the scalar ReadBit loop.
 func EliasGammaDecode(r *BitReader) (uint64, error) {
 	zeros := 0
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		if r.pos >= 8*len(r.buf) {
+			return 0, fmt.Errorf("compress: bit stream exhausted at %d", r.pos)
 		}
-		if b == 1 {
-			break
+		rem := 8 - r.pos%8
+		b := uint(r.buf[r.pos/8]) & (1<<uint(rem) - 1)
+		if b == 0 {
+			zeros += rem
+			r.pos += rem
+			if zeros > 64 {
+				return 0, fmt.Errorf("compress: gamma prefix too long")
+			}
+			continue
 		}
-		zeros++
+		lead := rem - bits.Len(b)
+		zeros += lead
+		r.pos += lead + 1 // the zero run and its terminating 1
 		if zeros > 64 {
 			return 0, fmt.Errorf("compress: gamma prefix too long")
 		}
+		rest, err := r.ReadBits(zeros)
+		if err != nil {
+			return 0, err
+		}
+		return 1<<uint(zeros) | rest, nil
 	}
-	rest, err := r.ReadBits(zeros)
-	if err != nil {
-		return 0, err
-	}
-	return 1<<uint(zeros) | rest, nil
 }
 
 // EliasDeltaEncode appends the Elias delta code of v (v ≥ 1): the gamma
@@ -158,23 +225,130 @@ func UnZigZag(u uint64) int64 {
 // per-coordinate sign sums of the overflow baseline) and returns the
 // packed bytes plus the exact bit length.
 func EliasEncodeInts(vals []int64) ([]byte, int) {
-	w := &BitWriter{}
+	return EliasEncodeIntsBuf(vals, nil)
+}
+
+// EliasEncodeIntsBuf is EliasEncodeInts writing into scratch's backing
+// array (growing it as needed), so a hot loop can recycle one buffer
+// across hops instead of allocating per encode.
+//
+// This is the wire path's encode kernel: instead of per-bit BitWriter
+// calls it runs a 64-bit accumulator — a gamma code is its value in a
+// (2·⌊log2 v⌋+1)-bit big-endian field, so each value lands with at most
+// three shift-or pushes. The output stream is bit-identical to a
+// EliasGammaEncode loop (the fuzz tests pin this).
+func EliasEncodeIntsBuf(vals []int64, scratch []byte) ([]byte, int) {
+	buf := scratch[:0]
+	var acc uint64 // pending bits, right-aligned in the low nacc positions
+	nacc := 0
+	total := 0
 	for _, v := range vals {
-		EliasGammaEncode(w, ZigZag(v))
+		u := ZigZag(v)
+		n := bits.Len64(u)
+		total += 2*n - 1
+		// Prefix: n−1 zeros, pushed ≤ 32 bits at a time so the
+		// accumulator (≤ 7 pending bits after draining) never overflows.
+		for zeros := n - 1; zeros > 0; {
+			take := zeros
+			if take > 32 {
+				take = 32
+			}
+			acc <<= uint(take)
+			nacc += take
+			zeros -= take
+			for nacc >= 8 {
+				nacc -= 8
+				buf = append(buf, byte(acc>>uint(nacc)))
+			}
+		}
+		// Mantissa: u in n ≤ 64 bits, as two ≤ 32-bit pushes.
+		if n > 32 {
+			hi := n - 32
+			acc = acc<<uint(hi) | u>>32
+			nacc += hi
+			for nacc >= 8 {
+				nacc -= 8
+				buf = append(buf, byte(acc>>uint(nacc)))
+			}
+			n = 32
+		}
+		acc = acc<<uint(n) | u&(1<<uint(n)-1)
+		nacc += n
+		for nacc >= 8 {
+			nacc -= 8
+			buf = append(buf, byte(acc>>uint(nacc)))
+		}
 	}
-	return w.Bytes(), w.Len()
+	if nacc > 0 {
+		buf = append(buf, byte(acc<<uint(8-nacc)))
+	}
+	return buf, total
+}
+
+// EliasIntsBitLen returns the exact bit length EliasEncodeInts would
+// produce for vals, without materializing the code — one bits.Len64 per
+// value. Callers that must size a message before encoding it (the
+// chunk-pipelined sign-sum hops put the wire size on the first chunk)
+// use this instead of encoding twice.
+func EliasIntsBitLen(vals []int64) int {
+	n := 0
+	for _, v := range vals {
+		n += GammaBitLen(ZigZag(v))
+	}
+	return n
 }
 
 // EliasDecodeInts decodes n signed integers from data.
 func EliasDecodeInts(data []byte, n int) ([]int64, error) {
-	r := NewBitReader(data)
 	out := make([]int64, n)
-	for i := range out {
-		u, err := EliasGammaDecode(r)
-		if err != nil {
-			return nil, fmt.Errorf("compress: value %d: %w", i, err)
-		}
-		out[i] = UnZigZag(u)
+	if err := EliasDecodeIntsInto(data, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// EliasDecodeIntsInto decodes len(out) signed integers from data into
+// out — the allocation-free form used by pooled per-hop scratch.
+//
+// This is the wire path's decode kernel: a 64-bit window holds the next
+// bits MSB-aligned, so a whole gamma code (prefix, terminator and
+// mantissa) resolves with one LeadingZeros64 and one shift when it fits
+// the window — the common case, since sign sums are bounded by the
+// worker count. Codes longer than the window, zero runs crossing it and
+// stream exhaustion fall back to the scalar reader at the current bit
+// position (the oracle the fuzz tests compare against).
+func EliasDecodeIntsInto(data []byte, out []int64) error {
+	var acc uint64 // next bits, MSB-aligned; bits below the top nacc are zero
+	nacc := 0
+	byteIdx := 0
+	for i := range out {
+		for nacc <= 56 && byteIdx < len(data) {
+			acc |= uint64(data[byteIdx]) << uint(56-nacc)
+			byteIdx++
+			nacc += 8
+		}
+		lz := bits.LeadingZeros64(acc)
+		if w := 2*lz + 1; w <= nacc {
+			u := acc >> uint(64-w)
+			acc <<= uint(w)
+			nacc -= w
+			out[i] = UnZigZag(u)
+			continue
+		}
+		// Slow path: long prefix, wide mantissa, or end of stream.
+		r := &BitReader{buf: data, pos: byteIdx<<3 - nacc}
+		u, err := EliasGammaDecode(r)
+		if err != nil {
+			return fmt.Errorf("compress: value %d: %w", i, err)
+		}
+		out[i] = UnZigZag(u)
+		byteIdx = r.pos >> 3
+		acc, nacc = 0, 0
+		if rem := r.pos & 7; rem != 0 {
+			acc = uint64(data[byteIdx]&(0xff>>uint(rem))) << uint(56+rem)
+			nacc = 8 - rem
+			byteIdx++
+		}
+	}
+	return nil
 }

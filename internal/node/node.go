@@ -108,6 +108,11 @@ type Config struct {
 	// UseElias enables Elias-gamma compaction of the sign-sum payloads
 	// (Elias-capable collectives); all ranks must agree.
 	UseElias bool
+	// Chunks splits every ring-hop payload into this many pipelined
+	// frames (chunk-capable collectives; 0/1 = off). Wire bytes and
+	// virtual clocks are invariant — the -check replay against the
+	// sequential engine holds for any value — and all ranks must agree.
+	Chunks int
 	// Check makes rank 0 verify every rank's result, clock, byte count
 	// and phase breakdown against the sequential engine and broadcast
 	// the verdict. Every rank of a fabric must agree on it: the check
@@ -194,7 +199,7 @@ func (cfg *Config) opts(n int) *registry.Opts {
 	}
 	return &registry.Opts{
 		Workers: n, Dim: cfg.Dim, Torus: tor, Elias: cfg.UseElias,
-		Seed: cfg.Seed, K: cfg.K, GlobalLR: cfg.GlobalLR,
+		Seed: cfg.Seed, K: cfg.K, GlobalLR: cfg.GlobalLR, Chunks: cfg.Chunks,
 	}
 }
 

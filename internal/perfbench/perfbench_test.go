@@ -1,0 +1,86 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	// Populate the collective registry (core pulls in runtime's
+	// registrations too).
+	_ "marsit/internal/core"
+)
+
+// quickCfg keeps the harness test cheap: tiny dim, one measured
+// iteration, no minimum time.
+func quickCfg() Config {
+	return Config{
+		Collectives: []string{"rar", "cascading"},
+		Fabrics:     []string{"loopback", "tcp"},
+		Workers:     4,
+		Dim:         2048,
+		Chunks:      3,
+		MinTime:     time.Millisecond,
+		MinIters:    1,
+		Label:       "test",
+	}
+}
+
+// TestRunProducesFullRecord runs the harness end to end (including the
+// per-case bit-exactness verification and real TCP sockets) and checks
+// the record is complete and well-formed JSON.
+func TestRunProducesFullRecord(t *testing.T) {
+	rep, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "marsit-bench/1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Results) != 4 { // 2 collectives × 2 fabrics
+		t.Fatalf("%d results, want 4", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Seq.NsOp <= 0 || r.Par.NsOp <= 0 || r.Seq.Iters < 1 || r.Par.Iters < 1 {
+			t.Fatalf("%s/%s: degenerate metrics %+v", r.Collective, r.Fabric, r)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("%s/%s: speedup %v", r.Collective, r.Fabric, r.Speedup)
+		}
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("record does not round-trip: %v", err)
+	}
+	if back.Label != "test" || back.Chunks != 3 || back.Dim != 2048 {
+		t.Fatalf("round-tripped header diverges: %+v", back)
+	}
+}
+
+// TestRunPropagatesSubRunFailures pins the no-silent-failures contract:
+// an unknown collective (and any other sub-run error) must abort the
+// harness with an error, not vanish from the record.
+func TestRunPropagatesSubRunFailures(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Collectives = []string{"rar", "no-such-collective"}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "no-such-collective") {
+		t.Fatalf("want unknown-collective error, got %v", err)
+	}
+
+	// A config error on a sub-run (chunks on a non-chunk-capable
+	// collective) must surface too.
+	cfg = quickCfg()
+	cfg.Collectives = []string{"ps"}
+	cfg.Chunks = 4 // ps is not chunk-capable; opts() masks it off
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chunk masking for non-capable collectives broke: %v", err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(rep.Results))
+	}
+}

@@ -1,0 +1,129 @@
+package runtime_test
+
+import (
+	"fmt"
+	"testing"
+
+	"marsit/internal/collective/registry"
+	"marsit/internal/netsim"
+	"marsit/internal/runtime"
+	"marsit/internal/runtime/equivtest"
+	"marsit/internal/tensor"
+	"marsit/internal/transport"
+
+	_ "marsit/internal/core"
+)
+
+// This file pins the hot collective loops' allocation behaviour: the
+// per-hop scratch of the cascading and sign-sum schedules cycles
+// through the shared transport pools (transport.GetBuffer/GetFloats/
+// GetInt64s), so a steady-state round must not allocate per element —
+// reintroducing a fresh per-hop slice would multiply the figures below
+// by the segment size and fail these assertions.
+
+// allocRun opens desc on a loopback engine and returns a closure
+// running one steady-state round (after a pooling warm-up), plus the
+// teardown.
+func allocRun(t *testing.T, name string, workers, dim int) (func(), func()) {
+	t.Helper()
+	desc, err := registry.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runtime.New(workers)
+	c := netsim.NewCluster(workers, netsim.DefaultCostModel())
+	o := &registry.Opts{Workers: workers, Dim: dim, Seed: 11, K: 3, GlobalLR: 0.01}
+	cl, err := eng.Open(desc, o)
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	grads := equivtest.RandVecs(17, workers, dim)
+	work := make([]tensor.Vec, workers)
+	run := func() {
+		for w := range work {
+			work[w] = grads[w] // collectives may mutate; content is irrelevant here
+		}
+		cl.Run(c, work)
+	}
+	for i := 0; i < 3; i++ {
+		run() // settle the buffer pools
+	}
+	return run, func() { eng.Close() }
+}
+
+// maxSteadyStateAllocs bounds the malloc count of one round of a
+// ring collective on the loopback engine at M=4: engine dispatch, the
+// per-rank output bookkeeping and a handful of pooled-buffer cache
+// misses. It is independent of the dimension — the property under
+// test — and sits far below the hop count × segment size that a
+// per-hop scratch slice would reintroduce.
+const maxSteadyStateAllocs = 200
+
+func testSteadyStateAllocs(t *testing.T, name string, dim int) {
+	t.Helper()
+	run, done := allocRun(t, name, 4, dim)
+	defer done()
+	allocs := testing.AllocsPerRun(10, run)
+	t.Logf("%s M=4 D=%d: %.1f allocs/round", name, dim, allocs)
+	if allocs > maxSteadyStateAllocs {
+		t.Fatalf("%s allocates %.1f times per round (cap %d): per-hop scratch is no longer pooled",
+			name, allocs, maxSteadyStateAllocs)
+	}
+}
+
+// TestCascadingSteadyStateAllocs pins the cascading SSDM ring: every
+// hop's decompress-add-recompress runs on pooled scratch, so the
+// allocation count must not scale with the dimension.
+func TestCascadingSteadyStateAllocs(t *testing.T) {
+	for _, dim := range []int{1 << 12, 1 << 14} {
+		t.Run(fmt.Sprintf("D=%d", dim), func(t *testing.T) {
+			testSteadyStateAllocs(t, "cascading", dim)
+		})
+	}
+}
+
+// TestSignSumSteadyStateAllocs pins the sign-sum ring (ssdm descriptor,
+// which layers SSDM compression over it): received sums accumulate
+// straight from the payload bytes.
+func TestSignSumSteadyStateAllocs(t *testing.T) {
+	testSteadyStateAllocs(t, "ssdm", 1<<14)
+}
+
+// TestRARSteadyStateAllocs pins the full-precision ring all-reduce —
+// the PR 2 pooling baseline (~42 KB/op at M=4, D=1e5) must not regress
+// into per-hop payload allocation.
+func TestRARSteadyStateAllocs(t *testing.T) {
+	testSteadyStateAllocs(t, "rar", 1<<14)
+}
+
+// TestChunkedHopsDepthOneFabric pins the chunk loop's deadlock-freedom
+// contract: the send window is one frame, so even a pathological
+// depth-1 fabric (one buffered packet per link) must complete a
+// chunk-pipelined collective at the maximum degree rather than fill
+// every queue and stall. A regression here hangs, which the go test
+// timeout converts into a failure.
+func TestChunkedHopsDepthOneFabric(t *testing.T) {
+	const workers, dim, chunks = 4, 1 << 10, 16
+	desc, err := registry.Get("rar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runtime.NewWithOwnedTransport(transport.NewLoopbackDepth(workers, 1))
+	defer eng.Close()
+	cl, err := eng.Open(desc, &registry.Opts{Workers: workers, Dim: dim, Chunks: chunks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parC := netsim.NewCluster(workers, netsim.DefaultCostModel())
+	parOut := cl.Run(parC, equivtest.RandVecs(31, workers, dim))
+
+	seqRun, err := desc.Seq(&registry.Opts{Workers: workers, Dim: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqC := netsim.NewCluster(workers, netsim.DefaultCostModel())
+	seqOut := seqRun(seqC, equivtest.RandVecs(31, workers, dim))
+	equivtest.RequireSameVecs(t, seqOut, parOut)
+	equivtest.RequireSameClusters(t, seqC, parC)
+}

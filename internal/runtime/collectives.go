@@ -14,12 +14,15 @@ func mod(i, m int) int { return ((i % m) + m) % m }
 // one rank at ring position p of an m-ring: at step s it sends segment
 // (p−s) mod m downstream and accumulates the received segment
 // (p−s−1) mod m. Encoding the outgoing segment before receiving snapshots
-// it exactly like the sequential schedule.
+// it exactly like the sequential schedule (out and in segments are
+// disjoint, so chunked interleaving preserves the snapshot semantics).
 func ringReduceScatter(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []tensor.Segment) {
 	for s := 0; s < m-1; s++ {
-		out := segs[mod(p-s, m)]
-		in := rk.exchange(next, encodeFloats(out.Of(vec)), out.Len()*floatWireBytes, prev)
-		addFloats(segs[mod(p-s-1, m)].Of(vec), in)
+		outV := segs[mod(p-s, m)].Of(vec)
+		inV := segs[mod(p-s-1, m)].Of(vec)
+		rk.exchangeChunked(next, prev, len(outV), len(inV), len(outV)*floatWireBytes,
+			func(_, lo, hi int) []byte { return encodeFloats(outV[lo:hi]) },
+			func(_, lo, hi int, data []byte) { addFloats(inV[lo:hi], data) })
 	}
 }
 
@@ -28,9 +31,11 @@ func ringReduceScatter(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs [
 // the received one.
 func ringAllGather(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []tensor.Segment) {
 	for s := 0; s < m-1; s++ {
-		out := segs[mod(p+1-s, m)]
-		in := rk.exchange(next, encodeFloats(out.Of(vec)), out.Len()*floatWireBytes, prev)
-		copyFloats(segs[mod(p-s, m)].Of(vec), in)
+		outV := segs[mod(p+1-s, m)].Of(vec)
+		inV := segs[mod(p-s, m)].Of(vec)
+		rk.exchangeChunked(next, prev, len(outV), len(inV), len(outV)*floatWireBytes,
+			func(_, lo, hi int) []byte { return encodeFloats(outV[lo:hi]) },
+			func(_, lo, hi int, data []byte) { copyFloats(inV[lo:hi], data) })
 	}
 }
 
@@ -42,13 +47,19 @@ func ringAllGather(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []ten
 // caller owns the closing barrier (the Engine uses the coordinator's
 // c.Barrier(); distributed ranks use ClockBarrier).
 func TorusAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.Torus, vec tensor.Vec) {
+	torusAllReduceRank(c, ep, tor, vec, 1)
+}
+
+// torusAllReduceRank is TorusAllReduceRank with a hop-pipelining degree
+// (the registry leg passes Opts.Chunks).
+func torusAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.Torus, vec tensor.Vec, chunks int) {
 	checkRankCluster(c, ep)
 	rank, n := ep.Rank(), ep.Size()
 	if tor.Size() != n {
 		panic("runtime: torus size mismatch")
 	}
 	rows, cols := tor.Rows(), tor.Cols()
-	rk := newRankCtx(c, ep, rank)
+	rk := newRankCtxChunks(c, ep, rank, chunks)
 	r, p := tor.Coord(rank)
 
 	if cols == 1 {

@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"fmt"
 	"testing"
 
 	"marsit/internal/runtime/equivtest"
@@ -22,4 +23,20 @@ import (
 // this matrix with no other change.
 func TestCollectiveEquivalence(t *testing.T) {
 	equivtest.RunRegistry(t)
+}
+
+// TestCollectiveEquivalenceChunked proves chunk-pipelined hops are
+// purely a wall-clock optimization: every chunk-capable descriptor
+// (RAR, TAR, sign-sum ring/torus ± Elias, SSDM overflow, cascading)
+// re-runs the full acceptance matrix with each hop payload split into
+// 3 and then 8 pipelined frames, and must stay bit-identical to the
+// sequential engine on results, wire bytes, clocks and phase splits.
+// Together with the base matrix (Chunks ∈ {0, 1}) this pins the
+// clock-invariance contract at Chunks ∈ {1, 3, 8}.
+func TestCollectiveEquivalenceChunked(t *testing.T) {
+	for _, chunks := range []int{3, 8} {
+		t.Run(fmt.Sprintf("S=%d", chunks), func(t *testing.T) {
+			equivtest.RunRegistryChunked(t, chunks)
+		})
+	}
 }

@@ -285,9 +285,42 @@ func RegistrySpecs() []Spec {
 			eliases = append(eliases, true)
 		}
 		for _, elias := range eliases {
-			specs = append(specs, registrySpec(d, elias, false))
+			specs = append(specs, registrySpec(d, elias, false, 0))
 			if d.Caps.Torus {
-				specs = append(specs, registrySpec(d, elias, true))
+				specs = append(specs, registrySpec(d, elias, true, 0))
+			}
+		}
+	}
+	return specs
+}
+
+// RunRegistryChunked re-runs the acceptance matrix for every
+// Caps.Chunked descriptor with the given hop-pipelining degree: the
+// parallel legs split each ring-hop payload into `chunks` frames and
+// must still reproduce the sequential engine bit for bit — results,
+// wire bytes, clocks and phase splits. With the base matrix (chunks
+// ≤ 1) this proves chunking is purely a wall-clock knob.
+func RunRegistryChunked(t *testing.T, chunks int) {
+	Run(t, RegistryChunkSpecs(chunks))
+}
+
+// RegistryChunkSpecs generates the chunked variants of every
+// Caps.Chunked descriptor (base, Elias, torus, and Elias-torus where
+// the caps allow), named with a "-chunksS" suffix.
+func RegistryChunkSpecs(chunks int) []Spec {
+	var specs []Spec
+	for _, d := range registry.All() {
+		if !d.Caps.Chunked {
+			continue
+		}
+		eliases := []bool{false}
+		if d.Caps.Elias {
+			eliases = append(eliases, true)
+		}
+		for _, elias := range eliases {
+			specs = append(specs, registrySpec(d, elias, false, chunks))
+			if d.Caps.Torus {
+				specs = append(specs, registrySpec(d, elias, true, chunks))
 			}
 		}
 	}
@@ -297,8 +330,10 @@ func RegistrySpecs() []Spec {
 // registrySpec builds the Spec for one descriptor variant. Both legs
 // derive identical Opts and per-round inputs from the case seed; the
 // runners are created once per case so stateful collectives carry
-// their state across the EquivRounds rounds.
-func registrySpec(d *registry.Descriptor, elias, torus bool) Spec {
+// their state across the EquivRounds rounds. chunks > 1 runs the
+// parallel leg with chunk-pipelined hops (the sequential leg ignores
+// it by construction).
+func registrySpec(d *registry.Descriptor, elias, torus bool, chunks int) Spec {
 	name := d.Name
 	if elias {
 		name += "-elias"
@@ -306,6 +341,9 @@ func registrySpec(d *registry.Descriptor, elias, torus bool) Spec {
 	var shapes []Shape
 	if torus {
 		name += "-torus"
+	}
+	if chunks > 1 {
+		name += fmt.Sprintf("-chunks%d", chunks)
 	}
 	if torus || d.Topology == registry.Torus {
 		shapes = TorusShapes()
@@ -317,7 +355,7 @@ func registrySpec(d *registry.Descriptor, elias, torus bool) Spec {
 	opts := func(sh Shape, dim int, seed uint64) *registry.Opts {
 		return &registry.Opts{
 			Workers: sh.Workers, Dim: dim, Torus: sh.Torus, Elias: elias,
-			Seed: seed, K: registryK, GlobalLR: registryGlobalLR,
+			Seed: seed, K: registryK, GlobalLR: registryGlobalLR, Chunks: chunks,
 		}
 	}
 	return Spec{

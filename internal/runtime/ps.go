@@ -179,12 +179,13 @@ func ScaledSignPSRank(c *netsim.Cluster, ep transport.Endpoint, signs []float64,
 	if rank == hubRank {
 		mean = tensor.New(d)
 	}
-	down := runHub(c, ep, encodeCascade(scale, signs), collective.SignWireBytes(d), collective.DenseWireBytes(d),
+	down := runHub(c, ep, encodeCascadeChunk(scale, signs, true), collective.SignWireBytes(d), collective.DenseWireBytes(d),
 		func(_ int, payload []byte) {
-			s, sg := decodeCascade(payload, d)
+			s, body := cascadeChunkBody(payload, d, true)
 			for i := range mean {
-				mean[i] += s * sg[i]
+				mean[i] += s * math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
 			}
+			transport.PutBuffer(payload)
 		},
 		func() []byte {
 			tensor.Scale(mean, 1/float64(n))

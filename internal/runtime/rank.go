@@ -31,9 +31,15 @@ func checkRankCluster(c *netsim.Cluster, ep transport.Endpoint) {
 // Engine uses the coordinator's c.Barrier(); distributed ranks use
 // ClockBarrier).
 func RingAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec) {
+	ringAllReduceRank(c, ep, vec, 1)
+}
+
+// ringAllReduceRank is RingAllReduceRank with a hop-pipelining degree
+// (the registry leg passes Opts.Chunks).
+func ringAllReduceRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, chunks int) {
 	checkRankCluster(c, ep)
 	rank, n := ep.Rank(), ep.Size()
-	rk := newRankCtx(c, ep, rank)
+	rk := newRankCtxChunks(c, ep, rank, chunks)
 	if n >= 2 {
 		segs := tensor.Partition(len(vec), n)
 		next, prev := mod(rank+1, n), mod(rank-1, n)

@@ -26,6 +26,7 @@ func init() {
 		Summary:  "full-precision ring all-reduce (PSGD baseline)",
 		Topology: registry.Ring,
 		Wire:     "4 B/elem float32",
+		Caps:     registry.Caps{Chunked: true},
 		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
 			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
 				collective.RingAllReduce(c, grads)
@@ -34,7 +35,7 @@ func init() {
 		},
 		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
 			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
-				RingAllReduceRank(c, ep, grad)
+				ringAllReduceRank(c, ep, grad, o.Chunks)
 				ClockBarrier(c, ep)
 				return grad
 			}, nil
@@ -46,6 +47,7 @@ func init() {
 		Summary:  "full-precision hierarchical 2D-torus all-reduce",
 		Topology: registry.Torus,
 		Wire:     "4 B/elem float32",
+		Caps:     registry.Caps{Chunked: true},
 		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
 			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
 				collective.TorusAllReduce(c, o.Torus, grads)
@@ -54,7 +56,7 @@ func init() {
 		},
 		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
 			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
-				TorusAllReduceRank(c, ep, o.Torus, grad)
+				torusAllReduceRank(c, ep, o.Torus, grad, o.Chunks)
 				ClockBarrier(c, ep)
 				return grad
 			}, nil
@@ -66,7 +68,7 @@ func init() {
 		Summary:  "majority-vote signSGD over the sign-sum ring or torus",
 		Topology: registry.Ring,
 		Wire:     "ceil(log2 m)+1 bits/elem, optionally Elias-coded",
-		Caps:     registry.Caps{Elias: true, Torus: true},
+		Caps:     registry.Caps{Elias: true, Torus: true, Chunked: true},
 		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
 			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
 				n, d := len(grads), len(grads[0])
@@ -101,9 +103,9 @@ func init() {
 				var sums []int64
 				var total float64
 				if o.Torus != nil {
-					sums, total = SignSumTorusRank(c, ep, o.Torus, signs, scale, o.Elias)
+					sums, total = signSumTorusRank(c, ep, o.Torus, signs, scale, o.Elias, o.Chunks)
 				} else {
-					sums, total = SignSumRingRank(c, ep, signs, scale, o.Elias)
+					sums, total = signSumRingRank(c, ep, signs, scale, o.Elias, o.Chunks)
 				}
 				update := collective.MajorityDecode(sums, total, ep.Size())
 				c.AddDecompress(rank, d)
@@ -118,7 +120,7 @@ func init() {
 		Summary:  "SSDM (Overflow): stochastic signs with bit-width expansion",
 		Topology: registry.Ring,
 		Wire:     "ceil(log2 m)+1 bits/elem, optionally Elias-coded",
-		Caps:     registry.Caps{Elias: true, Streams: true},
+		Caps:     registry.Caps{Elias: true, Streams: true, Chunked: true},
 		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
 			streams := o.AllStreams()
 			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
@@ -129,7 +131,7 @@ func init() {
 		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
 			stream := o.Stream(rank)
 			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
-				OverflowRingRank(c, ep, grad, stream, o.Elias)
+				overflowRingRank(c, ep, grad, stream, o.Elias, o.Chunks)
 				ClockBarrier(c, ep)
 				return grad
 			}, nil
@@ -141,7 +143,7 @@ func init() {
 		Summary:  "cascading SSDM: decompress-add-recompress at every ring hop",
 		Topology: registry.Ring,
 		Wire:     "1 bit/elem + norm per hop",
-		Caps:     registry.Caps{Streams: true},
+		Caps:     registry.Caps{Streams: true, Chunked: true},
 		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
 			streams := o.AllStreams()
 			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
@@ -152,7 +154,7 @@ func init() {
 		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
 			stream := o.Stream(rank)
 			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
-				CascadingRingRank(c, ep, grad, stream)
+				cascadingRingRank(c, ep, grad, stream, o.Chunks)
 				ClockBarrier(c, ep)
 				return grad
 			}, nil

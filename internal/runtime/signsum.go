@@ -44,19 +44,22 @@ func signsToSums(signs []float64) []int64 {
 	return out
 }
 
-// encodeSignSum serializes one sign-sum hop: the scale payload riding
-// along (a small float64 vector) followed by the integer sums — raw
-// little-endian int64s, or the exact Elias-gamma bytes when useElias is
-// set (the paper's compaction, actually on the wire). The buffer comes
-// from the shared payload pool. eliasBits reports the coded bit length
-// (0 without Elias) so the caller sizes the simulated message from this
-// single encode.
-func encodeSignSum(vals []int64, scales []float64, useElias bool) (data []byte, eliasBits int) {
-	var eliasBytes []byte
+// encodeSignSumChunk serializes one sign-sum chunk: the scale payload
+// riding along (a small float64 vector, empty on trailing chunks)
+// followed by the chunk's integer sums — raw little-endian int64s, or
+// the exact Elias-gamma bytes when useElias is set (the paper's
+// compaction, actually on the wire, encoded straight into the pooled
+// payload). eliasBits sizes the coded chunk; pass a negative value to
+// have it computed here (callers that already sized the whole hop —
+// the unchunked common case — hand it down instead of re-scanning).
+// The buffer comes from the shared payload pool.
+func encodeSignSumChunk(vals []int64, scales []float64, useElias bool, eliasBits int) []byte {
 	sumBytes := 8 * len(vals)
 	if useElias {
-		eliasBytes, eliasBits = compress.EliasEncodeInts(vals)
-		sumBytes = len(eliasBytes)
+		if eliasBits < 0 {
+			eliasBits = compress.EliasIntsBitLen(vals)
+		}
+		sumBytes = (eliasBits + 7) / 8
 	}
 	out := transport.GetBuffer(4 + 8*len(scales) + sumBytes)
 	binary.LittleEndian.PutUint32(out, uint32(len(scales)))
@@ -66,29 +69,33 @@ func encodeSignSum(vals []int64, scales []float64, useElias bool) (data []byte, 
 		off += 8
 	}
 	if useElias {
-		copy(out[off:], eliasBytes)
+		compress.EliasEncodeIntsBuf(vals, out[off:off])
 	} else {
 		for _, v := range vals {
 			binary.LittleEndian.PutUint64(out[off:], uint64(v))
 			off += 8
 		}
 	}
-	return out, eliasBits
+	return out
 }
 
-// signSumWire sizes one hop from a completed encode: the Elias bit
-// length when coded, the bit-width-expansion formula otherwise — the
-// same shared formulas collective.SignSumSegBytes charges sequentially.
-func signSumWire(workers int, vals []int64, useElias bool, eliasBits int) int {
+// signSumHopWire sizes one hop's whole logical message: the exact Elias
+// bit length when coded (computed once, without materializing the
+// stream, and returned so the single-chunk encoder can reuse it), the
+// bit-width-expansion formula otherwise — the same shared formulas
+// collective.SignSumSegBytes charges sequentially. eliasBits is -1
+// without Elias.
+func signSumHopWire(workers int, vals []int64, useElias bool) (wire, eliasBits int) {
 	if useElias {
-		return collective.EliasWireBytes(eliasBits)
+		bits := compress.EliasIntsBitLen(vals)
+		return collective.EliasWireBytes(bits), bits
 	}
-	return collective.SignSumSegBytes(workers, vals, false)
+	return collective.SignSumSegBytes(workers, vals, false), -1
 }
 
-// decodeSignSum parses an encodeSignSum payload of nVals sums and
-// recycles it.
-func decodeSignSum(data []byte, nVals int, useElias bool) ([]int64, []float64) {
+// parseSignSumScales reads a chunk's scale header and returns the
+// scales (nil when the header is empty) and the sums offset.
+func parseSignSumScales(data []byte) ([]float64, int) {
 	if len(data) < 4 {
 		panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes", len(data)))
 	}
@@ -97,30 +104,61 @@ func decodeSignSum(data []byte, nVals int, useElias bool) ([]int64, []float64) {
 	if len(data) < off+8*nScales {
 		panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes for %d scales", len(data), nScales))
 	}
+	if nScales == 0 {
+		return nil, off
+	}
 	scales := make([]float64, nScales)
 	for i := range scales {
 		scales[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
 	}
-	var vals []int64
+	return scales, off
+}
+
+// addSignSumChunk merges a received chunk into dst (dst[i] += v_i)
+// straight from the payload bytes — no decoded slice materializes on
+// the raw path, and the Elias path decodes into pooled scratch. The
+// payload is recycled; the chunk's scales (usually nil) are returned.
+func addSignSumChunk(dst []int64, data []byte, useElias bool) []float64 {
+	scales, off := parseSignSumScales(data)
 	if useElias {
-		var err error
-		vals, err = compress.EliasDecodeInts(data[off:], nVals)
-		if err != nil {
+		tmp := transport.GetInt64s(len(dst))
+		if err := compress.EliasDecodeIntsInto(data[off:], tmp); err != nil {
 			panic(fmt.Sprintf("runtime: sign-sum elias payload: %v", err))
 		}
-	} else {
-		if len(data) != off+8*nVals {
-			panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes for %d sums", len(data), nVals))
+		for i := range dst {
+			dst[i] += tmp[i]
 		}
-		vals = make([]int64, nVals)
-		for i := range vals {
-			vals[i] = int64(binary.LittleEndian.Uint64(data[off:]))
-			off += 8
+		transport.PutInt64s(tmp)
+	} else {
+		if len(data) != off+8*len(dst) {
+			panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes for %d sums", len(data), len(dst)))
+		}
+		for i := range dst {
+			dst[i] += int64(binary.LittleEndian.Uint64(data[off+8*i:]))
 		}
 	}
 	transport.PutBuffer(data)
-	return vals, scales
+	return scales
+}
+
+// copySignSumChunk overwrites dst with a received chunk's sums (the
+// all-gather combine); the Elias path decodes directly into dst.
+func copySignSumChunk(dst []int64, data []byte, useElias bool) {
+	_, off := parseSignSumScales(data)
+	if useElias {
+		if err := compress.EliasDecodeIntsInto(data[off:], dst); err != nil {
+			panic(fmt.Sprintf("runtime: sign-sum elias payload: %v", err))
+		}
+	} else {
+		if len(data) != off+8*len(dst) {
+			panic(fmt.Sprintf("runtime: sign-sum payload of %d bytes for %d sums", len(data), len(dst)))
+		}
+		for i := range dst {
+			dst[i] = int64(binary.LittleEndian.Uint64(data[off+8*i:]))
+		}
+	}
+	transport.PutBuffer(data)
 }
 
 // signSumPhase runs one ring phase of the integer-sum schedule for this
@@ -140,20 +178,35 @@ func signSumPhase(rk *rankCtx, next, prev, p, m int, sums []int64, baseCount int
 	segs := tensor.Partition(len(sums), m)
 
 	// Reduce-scatter: at step s send segment (p−s) mod m downstream with
-	// the scale payload that originated at position (p−s) mod m, and
-	// accumulate the received segment (p−s−1) mod m.
+	// the scale payload that originated at position (p−s) mod m (riding
+	// the hop's first chunk), and accumulate the received segment
+	// (p−s−1) mod m straight from the payload bytes.
 	for s := 0; s < m-1; s++ {
 		out := segs[mod(p-s, m)]
 		outVals := sums[out.Lo:out.Hi]
-		payload, eliasBits := encodeSignSum(outVals, scalesByPos[mod(p-s, m)], useElias)
-		wire := signSumWire((s+1)*baseCount, outVals, useElias, eliasBits)
-		data := rk.exchange(next, payload, wire, prev)
+		outScales := scalesByPos[mod(p-s, m)]
+		wire, hopBits := signSumHopWire((s+1)*baseCount, outVals, useElias)
 		in := segs[mod(p-s-1, m)]
-		vals, scales := decodeSignSum(data, in.Len(), useElias)
-		for i := in.Lo; i < in.Hi; i++ {
-			sums[i] += vals[i-in.Lo]
-		}
-		scalesByPos[mod(p-1-s, m)] = scales
+		var gotScales []float64
+		rk.exchangeChunked(next, prev, out.Len(), in.Len(), wire,
+			func(ci, lo, hi int) []byte {
+				var sc []float64
+				if ci == 0 {
+					sc = outScales
+				}
+				bits := hopBits
+				if hi-lo != len(outVals) {
+					bits = -1 // partial chunk: size it locally
+				}
+				return encodeSignSumChunk(outVals[lo:hi], sc, useElias, bits)
+			},
+			func(ci, lo, hi int, data []byte) {
+				sc := addSignSumChunk(sums[in.Lo+lo:in.Lo+hi], data, useElias)
+				if ci == 0 {
+					gotScales = sc
+				}
+			})
+		scalesByPos[mod(p-1-s, m)] = gotScales
 	}
 
 	// All-gather: position p now owns the consensus of segment
@@ -162,12 +215,19 @@ func signSumPhase(rk *rankCtx, next, prev, p, m int, sums []int64, baseCount int
 	for s := 0; s < m-1; s++ {
 		out := segs[mod(p+1-s, m)]
 		outVals := sums[out.Lo:out.Hi]
-		payload, eliasBits := encodeSignSum(outVals, nil, useElias)
-		wire := signSumWire(m*baseCount, outVals, useElias, eliasBits)
-		data := rk.exchange(next, payload, wire, prev)
+		wire, hopBits := signSumHopWire(m*baseCount, outVals, useElias)
 		in := segs[mod(p-s, m)]
-		vals, _ := decodeSignSum(data, in.Len(), useElias)
-		copy(sums[in.Lo:in.Hi], vals)
+		rk.exchangeChunked(next, prev, out.Len(), in.Len(), wire,
+			func(_, lo, hi int) []byte {
+				bits := hopBits
+				if hi-lo != len(outVals) {
+					bits = -1
+				}
+				return encodeSignSumChunk(outVals[lo:hi], nil, useElias, bits)
+			},
+			func(_, lo, hi int, data []byte) {
+				copySignSumChunk(sums[in.Lo+lo:in.Lo+hi], data, useElias)
+			})
 	}
 	return scalesByPos
 }
@@ -179,13 +239,19 @@ func signSumPhase(rk *rankCtx, next, prev, p, m int, sums []int64, baseCount int
 // and bit-identical to collective.SignSumRing. The caller owns any
 // closing barrier.
 func SignSumRingRank(c *netsim.Cluster, ep transport.Endpoint, signs []float64, scale float64, useElias bool) ([]int64, float64) {
+	return signSumRingRank(c, ep, signs, scale, useElias, 1)
+}
+
+// signSumRingRank is SignSumRingRank with a hop-pipelining degree (the
+// registry leg passes Opts.Chunks).
+func signSumRingRank(c *netsim.Cluster, ep transport.Endpoint, signs []float64, scale float64, useElias bool, chunks int) ([]int64, float64) {
 	checkRankCluster(c, ep)
 	rank, n := ep.Rank(), ep.Size()
 	sums := signsToSums(signs)
 	if n == 1 {
 		return sums, scale
 	}
-	rk := newRankCtx(c, ep, rank)
+	rk := newRankCtxChunks(c, ep, rank, chunks)
 	scalesByPos := signSumPhase(rk, mod(rank+1, n), mod(rank-1, n), rank, n, sums, 1, useElias, []float64{scale})
 	rk.finish()
 	// Total in rank order 0..n−1: the sequential engine's exact float
@@ -201,6 +267,12 @@ func SignSumRingRank(c *netsim.Cluster, ep transport.Endpoint, signs []float64, 
 // first, then a column-ring phase whose payload width starts at the row
 // width — exactly the hierarchical schedule of collective.SignSumTorus.
 func SignSumTorusRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.Torus, signs []float64, scale float64, useElias bool) ([]int64, float64) {
+	return signSumTorusRank(c, ep, tor, signs, scale, useElias, 1)
+}
+
+// signSumTorusRank is SignSumTorusRank with a hop-pipelining degree
+// (the registry leg passes Opts.Chunks).
+func signSumTorusRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.Torus, signs []float64, scale float64, useElias bool, chunks int) ([]int64, float64) {
 	checkRankCluster(c, ep)
 	rank, n := ep.Rank(), ep.Size()
 	if tor.Size() != n {
@@ -212,7 +284,7 @@ func SignSumTorusRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.To
 	}
 	rows, cols := tor.Rows(), tor.Cols()
 	r, p := tor.Coord(rank)
-	rk := newRankCtx(c, ep, rank)
+	rk := newRankCtxChunks(c, ep, rank, chunks)
 
 	// Row phase: each member contributes its own constant; afterwards
 	// the rank knows its whole row's constants by row position.
@@ -243,6 +315,12 @@ func SignSumTorusRank(c *netsim.Cluster, ep transport.Endpoint, tor *topology.To
 // sequential engine would. The caller owns the closing barrier
 // (sequential collective.OverflowRing ends in c.Barrier()).
 func OverflowRingRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, r *rng.PCG, useElias bool) {
+	overflowRingRank(c, ep, vec, r, useElias, 1)
+}
+
+// overflowRingRank is OverflowRingRank with a hop-pipelining degree
+// (the registry leg passes Opts.Chunks).
+func overflowRingRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, r *rng.PCG, useElias bool, chunks int) {
 	checkRankCluster(c, ep)
 	rank, n := ep.Rank(), ep.Size()
 	if n == 1 {
@@ -251,7 +329,7 @@ func OverflowRingRank(c *netsim.Cluster, ep transport.Endpoint, vec tensor.Vec, 
 	d := len(vec)
 	signs, norm := collective.SSDMSigns(vec, r)
 	c.AddCompress(rank, d)
-	sums, totalNorm := SignSumRingRank(c, ep, signs, norm, useElias)
+	sums, totalNorm := signSumRingRank(c, ep, signs, norm, useElias, chunks)
 	meanNorm := totalNorm / float64(n)
 	for i := 0; i < d; i++ {
 		vec[i] = meanNorm * float64(sums[i]) / float64(n)

@@ -42,3 +42,51 @@ func PutBuffer(b []byte) {
 	b = b[:0]
 	bufPool.Put(&b)
 }
+
+// The typed pools below extend the same recycling discipline to the
+// decoded-element scratch of the hot collective loops (cascading's
+// per-hop sum/sign buffers, the Elias decode scratch of the sign-sum
+// ring): without them every hop allocates a fresh []float64/[]int64
+// that dies as soon as the segment is merged. Same cooperative
+// contract as GetBuffer/PutBuffer — contents unspecified, exactly one
+// Put per Get, dropping a buffer is always safe.
+
+var floatPool = sync.Pool{New: func() any { b := make([]float64, 0, 64); return &b }}
+
+// GetFloats returns a float64 scratch slice of length n from the pool.
+func GetFloats(n int) []float64 {
+	p := floatPool.Get().(*[]float64)
+	if cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+// PutFloats recycles a GetFloats slice.
+func PutFloats(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	floatPool.Put(&b)
+}
+
+var int64Pool = sync.Pool{New: func() any { b := make([]int64, 0, 64); return &b }}
+
+// GetInt64s returns an int64 scratch slice of length n from the pool.
+func GetInt64s(n int) []int64 {
+	p := int64Pool.Get().(*[]int64)
+	if cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int64, n)
+}
+
+// PutInt64s recycles a GetInt64s slice.
+func PutInt64s(b []int64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	int64Pool.Put(&b)
+}

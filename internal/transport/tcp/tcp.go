@@ -48,6 +48,7 @@
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -474,15 +475,24 @@ func acceptHello(conn net.Conn, rank int, deadline time.Time) (int, error) {
 	return from, nil
 }
 
+// readBufBytes sizes the per-connection read buffer: one kernel read
+// can deliver many back-to-back frames (chunk-pipelined hops produce
+// trains of small ones), so headers and small payloads parse out of
+// the buffer instead of costing a syscall each.
+const readBufBytes = 64 << 10
+
 // readLoop parses frames off conn into lk.recvq until the fabric closes.
 // Any other read failure means a peer died mid-run: the whole fabric is
-// poisoned so blocked collectives fail fast with ErrClosed.
+// poisoned so blocked collectives fail fast with ErrClosed. Frames are
+// read through a buffered reader; bytes already buffered keep parsing
+// after a close, matching the pre-buffering drain semantics.
 func (f *Fabric) readLoop(conn net.Conn, lk *link) {
 	defer f.wg.Done()
 	defer close(lk.eof)
+	br := bufio.NewReaderSize(conn, readBufBytes)
 	var hdr [headerBytes]byte
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			f.poison()
 			return
 		}
@@ -493,7 +503,7 @@ func (f *Fabric) readLoop(conn net.Conn, lk *link) {
 		}
 		if size > 0 {
 			p.Data = transport.GetBuffer(size)
-			if _, err := io.ReadFull(conn, p.Data); err != nil {
+			if _, err := io.ReadFull(br, p.Data); err != nil {
 				f.poison()
 				return
 			}
@@ -514,19 +524,95 @@ func (f *Fabric) readLoop(conn net.Conn, lk *link) {
 	}
 }
 
-// writeLoop drains lk.sendq onto conn. Sent payload buffers are recycled:
-// the sender gave them up at Send and the bytes are on the socket. After
+// writeBatch bounds how many queued frames one writev coalesces. A
+// chunk-pipelined hop enqueues a train of frames back to back; draining
+// them into a single vectored write turns S syscalls into one.
+const writeBatch = 16
+
+// frameWriter coalesces queued frames into vectored writes: frame
+// headers come from a fixed per-connection slab (no per-frame
+// allocation) and each flush is one writev covering every pending
+// header and payload. Payload buffers are recycled once their bytes
+// are on the socket.
+type frameWriter struct {
+	conn net.Conn
+	hdrs [writeBatch][headerBytes]byte
+	pend []transport.Packet
+	vecs net.Buffers
+}
+
+func newFrameWriter(conn net.Conn) *frameWriter {
+	return &frameWriter{
+		conn: conn,
+		pend: make([]transport.Packet, 0, writeBatch),
+		vecs: make(net.Buffers, 0, 2*writeBatch),
+	}
+}
+
+// add queues p for the next flush; full reports a mandatory flush.
+func (w *frameWriter) add(p transport.Packet) (full bool) {
+	w.pend = append(w.pend, p)
+	return len(w.pend) == writeBatch
+}
+
+// flush writes every pending frame with one vectored write and recycles
+// the payloads. It reports success; a short or failed write poisons the
+// connection's fabric at the caller.
+func (w *frameWriter) flush() bool {
+	if len(w.pend) == 0 {
+		return true
+	}
+	w.vecs = w.vecs[:0]
+	for i := range w.pend {
+		p := &w.pend[i]
+		hdr := &w.hdrs[i]
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p.Data)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(p.Wire))
+		binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(p.Clock))
+		w.vecs = append(w.vecs, hdr[:])
+		if len(p.Data) > 0 {
+			w.vecs = append(w.vecs, p.Data)
+		}
+	}
+	// WriteTo consumes the slice it is called on; hand it a copy so
+	// w.vecs keeps its backing array for the next flush.
+	out := w.vecs
+	if _, err := out.WriteTo(w.conn); err != nil {
+		return false
+	}
+	for _, p := range w.pend {
+		transport.PutBuffer(p.Data)
+	}
+	w.pend = w.pend[:0]
+	return true
+}
+
+// writeLoop drains lk.sendq onto conn. Each wakeup opportunistically
+// batches every frame already queued (bounded by writeBatch) into one
+// vectored write, so a pipelined train of chunks costs one syscall
+// instead of one per frame. Sent payload buffers are recycled: the
+// sender gave them up at Send and the bytes are on the socket. After
 // Close the queue's remaining frames are still flushed (Close holds the
 // sockets open for the flush window), so farewell messages enqueued
 // right before a graceful shutdown reach the peer.
 func (f *Fabric) writeLoop(conn net.Conn, lk *link) {
 	defer f.writerWG.Done()
 	defer f.wg.Done()
-	var hdr [headerBytes]byte
+	w := newFrameWriter(conn)
 	for {
 		select {
 		case p := <-lk.sendq:
-			if !writeFrame(conn, &hdr, p) {
+			full := w.add(p)
+			for !full {
+				select {
+				case q := <-lk.sendq:
+					full = w.add(q)
+					continue
+				default:
+				}
+				break
+			}
+			if !w.flush() {
 				f.poison()
 				return
 			}
@@ -534,31 +620,16 @@ func (f *Fabric) writeLoop(conn net.Conn, lk *link) {
 			for {
 				select {
 				case p := <-lk.sendq:
-					if !writeFrame(conn, &hdr, p) {
+					if w.add(p) && !w.flush() {
 						return
 					}
 				default:
+					w.flush()
 					return
 				}
 			}
 		}
 	}
-}
-
-// writeFrame puts one frame on the socket and recycles its payload.
-func writeFrame(conn net.Conn, hdr *[headerBytes]byte, p transport.Packet) bool {
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p.Data)))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(p.Wire))
-	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(p.Clock))
-	bufs := net.Buffers{hdr[:], p.Data}
-	if len(p.Data) == 0 {
-		bufs = bufs[:1]
-	}
-	if _, err := bufs.WriteTo(conn); err != nil {
-		return false
-	}
-	transport.PutBuffer(p.Data)
-	return true
 }
 
 // poison closes the fabric in response to an unexpected socket failure.

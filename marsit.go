@@ -163,6 +163,7 @@ type runConfig struct {
 	seed                 uint64
 	k                    int
 	globalLR             float64
+	chunks               int
 	cluster              *Cluster
 }
 
@@ -194,6 +195,14 @@ func WithK(k int) RunOption { return func(rc *runConfig) { rc.k = k } }
 // WithGlobalLR sets the Marsit global step η_s (default 0.01 for
 // collectives that need it).
 func WithGlobalLR(lr float64) RunOption { return func(rc *runConfig) { rc.globalLR = lr } }
+
+// WithChunks splits every ring-hop payload into n pipelined frames on
+// the parallel engine (chunk-capable collectives), overlapping one
+// hop's merge with the next chunk's transfer. Results, wire bytes and
+// simulated clocks are unaffected — the equivalence matrix pins them
+// bit-identical for every chunk count — only wall-clock behaviour
+// changes; the sequential engine ignores it.
+func WithChunks(n int) RunOption { return func(rc *runConfig) { rc.chunks = n } }
 
 // WithCluster charges the run to an existing simulated cluster instead
 // of a fresh default one — inspect it afterwards for clocks, wire bytes
@@ -232,7 +241,7 @@ func Run(name string, grads []Vec, opts ...RunOption) ([]Vec, error) {
 	}
 	o := &registry.Opts{
 		Workers: n, Dim: d, Torus: tor, Elias: rc.elias,
-		Seed: rc.seed, K: rc.k, GlobalLR: rc.globalLR,
+		Seed: rc.seed, K: rc.k, GlobalLR: rc.globalLR, Chunks: rc.chunks,
 	}
 	c := rc.cluster
 	if c == nil {
