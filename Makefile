@@ -6,7 +6,7 @@
 #                          packages
 #   make bench             engine benchmarks (sequential vs parallel speedup)
 #   make bench-json        perf record: seq-vs-par ns/op, B/op, allocs/op per
-#                          collective × fabric, written to BENCH_5.json
+#                          collective × fabric, written to BENCH_6.json
 #                          (see docs/performance.md for the format)
 #   make bench-smoke       every benchmark once (-benchtime=1x) so perf-path
 #                          code is compiled and executed on every PR
@@ -18,10 +18,13 @@
 #                          drift from the registry
 #   make tcp-demo          4-rank multi-process Marsit run over local TCP,
 #                          verified bit-for-bit against the sequential engine
+#   make trace-demo        the tcp-demo fleet with telemetry on: per-rank
+#                          Chrome traces validated, /metrics scraped live
+#                          (see docs/observability.md)
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo
+.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo trace-demo
 
 check: fmt vet build test list-collectives
 
@@ -43,7 +46,8 @@ test:
 race:
 	$(GO) test -race . ./internal/runtime/... ./internal/transport/... \
 		./internal/core/... ./internal/rng/... ./internal/train/... \
-		./internal/node/... ./internal/collective/registry/...
+		./internal/node/... ./internal/collective/registry/... \
+		./internal/obs/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
@@ -54,10 +58,10 @@ bench:
 # collective, with the parallel outputs cross-checked bit for bit
 # against the sequential engine before timing. A failing sub-run exits
 # non-zero — it is never dropped from the record.
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 
 bench-json:
-	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 5"
+	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 6"
 
 # bench-smoke runs every benchmark exactly once: cheap enough for CI,
 # and it proves the perf-path code (engine benches, chunk-pipelined
@@ -110,3 +114,42 @@ tcp-demo:
 	for p in $$pids; do wait $$p || status=$$?; done; \
 	if [ $$status -ne 0 ]; then echo "tcp-demo: FAILED"; exit $$status; fi; \
 	echo "tcp-demo: 4-rank TCP fabric matches the sequential engine"
+
+# trace-demo is the telemetry acceptance run: the tcp-demo fleet with
+# per-rank Chrome traces and rank 0 serving /metrics, which a poller
+# scrapes over real HTTP while the fleet runs (-metrics-linger keeps the
+# endpoint up long enough). The run must still verify bit-for-bit
+# against the sequential engine, every trace file must parse as
+# non-empty trace_event JSON (-validate-trace), and the scrape must
+# carry the per-peer transport counters.
+TRACE_DEMO_PEERS := 127.0.0.1:7761,127.0.0.1:7762,127.0.0.1:7763,127.0.0.1:7764
+TRACE_DEMO_METRICS := 127.0.0.1:9696
+
+trace-demo:
+	$(GO) build -o bin/marsit-node ./cmd/marsit-node
+	@rm -f bin/trace-demo-rank*.json bin/trace-demo-metrics.txt; \
+	pids=""; \
+	for r in 1 2 3; do \
+		./bin/marsit-node -rank $$r -peers $(TRACE_DEMO_PEERS) \
+			-collective marsit -dim 4096 -rounds 8 -k 4 -check -quiet \
+			-trace bin/trace-demo-rank$$r.json & \
+		pids="$$pids $$!"; \
+	done; \
+	( i=0; while [ $$i -lt 100 ]; do \
+		curl -sf http://$(TRACE_DEMO_METRICS)/metrics -o bin/trace-demo-metrics.txt \
+			&& exit 0; i=$$((i+1)); sleep 0.1; \
+	  done; echo "trace-demo: /metrics never answered"; exit 1 ) & poller=$$!; \
+	status=0; \
+	./bin/marsit-node -rank 0 -peers $(TRACE_DEMO_PEERS) \
+		-collective marsit -dim 4096 -rounds 8 -k 4 -check -quiet \
+		-trace bin/trace-demo-rank0.json \
+		-metrics-addr $(TRACE_DEMO_METRICS) -metrics-linger 3s || status=$$?; \
+	for p in $$pids; do wait $$p || status=$$?; done; \
+	wait $$poller || status=$$?; \
+	if [ $$status -ne 0 ]; then echo "trace-demo: FAILED"; exit $$status; fi; \
+	./bin/marsit-node -validate-trace \
+		bin/trace-demo-rank0.json bin/trace-demo-rank1.json \
+		bin/trace-demo-rank2.json bin/trace-demo-rank3.json || exit 1; \
+	grep -q marsit_transport_wire_sent_bytes_total bin/trace-demo-metrics.txt \
+		|| { echo "trace-demo: scrape is missing transport counters"; exit 1; }; \
+	echo "trace-demo: traces valid, /metrics served the transport counters"

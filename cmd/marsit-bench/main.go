@@ -52,6 +52,7 @@ import (
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/experiments"
+	"marsit/internal/obs"
 	"marsit/internal/perfbench"
 	"marsit/internal/train"
 )
@@ -91,6 +92,7 @@ func run() error {
 		chunks     = flag.Int("chunks", 0, "pipelined frames per ring hop for -json (chunk-capable collectives; 0 = off)")
 		benchTime  = flag.Duration("benchtime", 0, "minimum measuring time per case for -json (default 300ms)")
 		label      = flag.String("label", "", "free-form label recorded in the -json report")
+		tracePath  = flag.String("trace", "", "with -json: write a Chrome trace_event timeline of the benchmarked hops to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -161,7 +163,7 @@ func run() error {
 				colls = append(colls, strings.TrimSpace(c))
 			}
 		}
-		return runBenchJSON(*jsonPath, perfbench.Config{
+		return runBenchJSON(*jsonPath, *tracePath, perfbench.Config{
 			Collectives: colls,
 			Workers:     *benchM,
 			Dim:         *benchDim,
@@ -169,6 +171,9 @@ func run() error {
 			MinTime:     *benchTime,
 			Label:       *label,
 		})
+	}
+	if *tracePath != "" {
+		return badUsage("-trace needs -json (the perf harness is the traced run)")
 	}
 
 	if *exp == "" {
@@ -225,16 +230,46 @@ func badUsage(msg string) error {
 
 // runBenchJSON executes the perf harness and writes the record. Every
 // case is echoed to stderr as it completes so long runs show progress.
-func runBenchJSON(path string, cfg perfbench.Config) error {
+// With tracePath the harness runs under an attached tracer and the
+// captured hop timeline is written as Chrome trace_event JSON.
+func runBenchJSON(path, tracePath string, cfg perfbench.Config) error {
 	start := time.Now()
 	cfg.Progress = func(r perfbench.Result) {
 		fmt.Fprintf(os.Stderr, "  %-10s %-8s seq %8.1fms  par %8.1fms  speedup %.2f  par B/op %.1fMB  allocs/op %d\n",
 			r.Collective, r.Fabric, r.Seq.NsOp/1e6, r.Par.NsOp/1e6, r.Speedup,
 			float64(r.Par.BOp)/1e6, r.Par.AllocsOp)
 	}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		workers := cfg.Workers
+		if workers == 0 {
+			workers = 4 // perfbench's default
+		}
+		tracer = obs.NewTracer(workers, 1<<16)
+		obs.Enable().AttachTracer(tracer)
+	}
 	rep, err := perfbench.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace %s: %w", tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		var dropped int64
+		for rank := 0; rank < tracer.Ranks(); rank++ {
+			dropped += tracer.Dropped(rank)
+		}
+		fmt.Printf("trace (%d events, %d dropped) written to %s\n",
+			tracer.TotalEvents(), dropped, tracePath)
 	}
 	out, err := rep.JSON()
 	if err != nil {

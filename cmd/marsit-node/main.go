@@ -26,11 +26,23 @@
 // take -torus R,C; Elias-capable ones (signsum, ssdm) take -elias. A
 // newly registered collective is runnable here with no changes to this
 // binary.
+//
+// Telemetry: -trace out.json captures one Chrome trace_event timeline
+// per hosted rank (open in chrome://tracing or Perfetto), -metrics-addr
+// :9090 serves /metrics (Prometheus text) and /debug/trace live while
+// the node runs (-metrics-linger keeps it up afterwards so a scraper or
+// curl can catch a short run), and both also print the rank's per-peer
+// transport table. -v raises logging to Debug, including the TCP
+// fabric's rendezvous/link/teardown events. -validate-trace parses
+// trace files written by -trace and exits non-zero on malformed JSON —
+// the CI hook for `make trace-demo`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -38,6 +50,8 @@ import (
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/node"
+	"marsit/internal/obs"
+	"marsit/internal/transport/tcp"
 )
 
 func main() {
@@ -57,13 +71,22 @@ func main() {
 		dieAfter = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
 		timeout  = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		verbose  = flag.Bool("v", false, "debug-level logging (includes TCP fabric internals)")
 		list     = flag.Bool("list-collectives", false, "list the registered collectives and exit")
+
+		tracePath     = flag.String("trace", "", "write a Chrome trace_event JSON timeline of this rank's hops to the given file")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this address (e.g. :9090)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run (lets scrapers catch short runs)")
+		validateTrace = flag.Bool("validate-trace", false, "parse the trace files given as arguments and exit (CI helper)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(registry.FormatList())
 		return
+	}
+	if *validateTrace {
+		os.Exit(validateTraceFiles(flag.Args()))
 	}
 
 	addrs := strings.Split(*peers, ",")
@@ -98,11 +121,53 @@ func main() {
 		DialTimeout:    *timeout,
 	}
 	if !*quiet {
-		cfg.Log = os.Stderr
+		level := slog.LevelInfo
+		if *verbose {
+			level = slog.LevelDebug
+		}
+		logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+		cfg.Logger = logger
+		if *verbose {
+			tcp.SetLogger(logger)
+		}
 	}
-	s, err := node.Run(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "marsit-node: rank %d: %v\n", *rank, err)
+
+	// Telemetry: enable the registry before the fabric assembles so the
+	// transport constructors attach their counters.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *tracePath != "" || *metricsAddr != "" {
+		reg = obs.Enable()
+	}
+	if *tracePath != "" {
+		tracer = obs.NewTracer(len(addrs), 1<<16)
+		reg.AttachTracer(tracer)
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var err error
+		if srv, err = obs.Serve(*metricsAddr, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "marsit-node: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "marsit-node: metrics at http://%s/metrics\n", srv.Addr())
+	}
+
+	s, runErr := node.Run(cfg)
+
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "marsit-node: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if srv != nil && *metricsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "marsit-node: metrics lingering %v at http://%s/metrics\n", *metricsLinger, srv.Addr())
+		time.Sleep(*metricsLinger)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "marsit-node: rank %d: %v\n", *rank, runErr)
 		os.Exit(1)
 	}
 	status := ""
@@ -114,6 +179,64 @@ func main() {
 	if s.PhaseTable != "" {
 		fmt.Print(s.PhaseTable)
 	}
+	if s.TransportTable != "" {
+		fmt.Print(s.TransportTable)
+	}
+}
+
+// writeTrace dumps the tracer's timelines as Chrome trace_event JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// validateTraceFiles parses each file as a trace_event document and
+// reports how many events it holds; any parse failure is fatal.
+func validateTraceFiles(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "marsit-node: -validate-trace needs trace files as arguments")
+		return 2
+	}
+	code := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marsit-node: %v\n", err)
+			code = 1
+			continue
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph   string `json:"ph"`
+				Name string `json:"name"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "marsit-node: %s: malformed trace JSON: %v\n", path, err)
+			code = 1
+			continue
+		}
+		slices := 0
+		for _, e := range doc.TraceEvents {
+			if e.Ph == "X" {
+				slices++
+			}
+		}
+		if slices == 0 {
+			fmt.Fprintf(os.Stderr, "marsit-node: %s: trace holds no complete events\n", path)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: ok (%d events, %d slices)\n", path, len(doc.TraceEvents), slices)
+	}
+	return code
 }
 
 // parseTorus parses the -torus "R,C" layout ("" means none).

@@ -39,12 +39,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"math"
 	"time"
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
+	"marsit/internal/obs"
 	"marsit/internal/report"
 	"marsit/internal/rng"
 	"marsit/internal/tensor"
@@ -128,11 +129,15 @@ type Config struct {
 	DialTimeout time.Duration
 	// Cost overrides the default netsim cost model when non-nil.
 	Cost *netsim.CostModel
-	// Log receives progress lines when non-nil.
-	Log io.Writer
+	// Logger receives progress as structured log records when non-nil;
+	// the node tags every record with its rank. cmd/marsit-node wires a
+	// text handler at Info (Debug with -v); nil is silent.
+	Logger *slog.Logger
 
 	// desc is the resolved registry descriptor (set by validate).
 	desc *registry.Descriptor
+	// log is Logger with the rank attribute attached (set by validate).
+	log *slog.Logger
 }
 
 // Summary is one rank's view of a completed run.
@@ -152,6 +157,9 @@ type Summary struct {
 	// PhaseTable is the Figure-5-style per-rank breakdown table rank 0
 	// renders from the gathered reports in check mode ("" elsewhere).
 	PhaseTable string
+	// TransportTable is this rank's per-peer transport-metrics table,
+	// rendered when telemetry was active for the run ("" otherwise).
+	TransportTable string
 }
 
 func (cfg *Config) validate() error {
@@ -187,6 +195,9 @@ func (cfg *Config) validate() error {
 	if err := registry.Prepare(desc, cfg.opts(n)); err != nil {
 		return fmt.Errorf("node: %w", err)
 	}
+	if cfg.Logger != nil {
+		cfg.log = cfg.Logger.With("rank", cfg.Rank)
+	}
 	return nil
 }
 
@@ -204,8 +215,8 @@ func (cfg *Config) opts(n int) *registry.Opts {
 }
 
 func (cfg *Config) logf(format string, args ...any) {
-	if cfg.Log != nil {
-		fmt.Fprintf(cfg.Log, "rank %d: "+format+"\n", append([]any{cfg.Rank}, args...)...)
+	if cfg.log != nil {
+		cfg.log.Info(fmt.Sprintf(format, args...))
 	}
 }
 
@@ -267,6 +278,7 @@ func Run(cfg Config) (*Summary, error) {
 		if err := orderlyShutdown(&cfg, ep); err != nil {
 			return nil, err
 		}
+		s.TransportTable = transportTable(&cfg, fabric.FabricMetrics())
 		cfg.logf("done: t=%.6fs wire=%dB", s.Clock, s.Bytes)
 		return s, nil
 	}
@@ -280,7 +292,37 @@ func Run(cfg Config) (*Summary, error) {
 		}
 	}
 	s.Checked = true
+	s.TransportTable = transportTable(&cfg, fabric.FabricMetrics())
 	return s, nil
+}
+
+// transportTable renders this rank's per-peer transport counters when
+// telemetry was active for the run ("" otherwise). Collective wire
+// bytes ride the frames the rank itself posts, so for ring and torus
+// schedules the WireOut column sums to the cost model's per-rank byte
+// account (control-plane frames — barriers, reports, verdicts — carry
+// Wire = 0 and add only frames and payload bytes).
+func transportTable(cfg *Config, fm *obs.FabricMetrics) string {
+	if fm == nil {
+		return ""
+	}
+	rank, n := cfg.Rank, fm.Size()
+	tb := report.NewTable(
+		fmt.Sprintf("Transport metrics — rank %d of %d (tcp)", rank, n),
+		"Peer", "FramesOut", "FramesIn", "WireOut(B)", "WireIn(B)", "PayloadOut(B)", "PayloadIn(B)")
+	for peer := 0; peer < n; peer++ {
+		if peer == rank {
+			continue
+		}
+		tb.AddRow(fmt.Sprint(peer),
+			fmt.Sprint(fm.FramesSent(rank, peer)),
+			fmt.Sprint(fm.FramesRecv(peer, rank)),
+			fmt.Sprint(fm.WireSent(rank, peer)),
+			fmt.Sprint(fm.WireRecv(peer, rank)),
+			fmt.Sprint(fm.BytesSent(rank, peer)),
+			fmt.Sprint(fm.BytesRecv(peer, rank)))
+	}
+	return tb.Render()
 }
 
 // ErrRankDied is returned by a rank whose DieAfterRounds crash-fault
@@ -306,12 +348,25 @@ func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (result te
 	}
 	grads := gradStream(cfg.Seed, rank)
 
+	// Telemetry: label this rank's trace timeline (we are its goroutine)
+	// and count completed rounds on the active registry.
+	var rounds *obs.Counter
+	if reg := obs.Active(); reg != nil {
+		rounds = reg.Counter("marsit_rounds_total", "rank", fmt.Sprint(rank))
+		if t := reg.Tracer(); t != nil {
+			t.SetLabel(rank, cfg.Collective)
+		}
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		if cfg.DieAfterRounds > 0 && round == cfg.DieAfterRounds {
 			cfg.logf("simulated death after %d rounds", round)
 			return nil, ErrRankDied
 		}
 		result = step(c, ep, grads.NormVec(make(tensor.Vec, d), 0, 1))
+		if rounds != nil {
+			rounds.Inc()
+		}
 	}
 	return result, nil
 }

@@ -1,0 +1,133 @@
+package node_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"marsit/internal/node"
+	"marsit/internal/obs"
+)
+
+// TestFleetTelemetry is the ISSUE's fleet-level acceptance check: a
+// 4-rank full-precision ring fleet runs with telemetry active, and the
+// transport-side counters must reconcile exactly with the cost model —
+// each rank's wire-stamped sends, summed over its peers, equal the
+// rank's simulated byte account (control-plane frames carry Wire = 0
+// and cannot inflate it). The live /metrics endpoint must serve those
+// same per-peer counters, so the test scrapes it over real HTTP and
+// re-derives the per-rank sums from the Prometheus text.
+//
+// The ring collective is the right probe: its every wire byte rides a
+// frame the charged rank itself posts. The PS hub is deliberately not
+// reconciled this way — a worker is charged up- and down-link bytes but
+// only posts the up-link frame (the hub posts the reply) — which is why
+// this test pins rar, not ps.
+func TestFleetTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	defer obs.SetActive(reg)()
+
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 4
+	sums, errs := launch(t, n, func(_ int, cfg *node.Config) {
+		cfg.Collective = node.CollectiveRAR
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	// Every rank's fabric registered its own metrics (the in-process
+	// fleet builds one single-rank-hosted TCP fabric per rank); a fabric
+	// only counts sends from ranks it hosts, so summing across fabrics
+	// yields each rank's transport-side wire total exactly once.
+	fabrics := reg.Fabrics()
+	if len(fabrics) != n {
+		t.Fatalf("%d instrumented fabrics, want %d", len(fabrics), n)
+	}
+	for r, s := range sums {
+		var wire int64
+		for _, fm := range fabrics {
+			wire += fm.TotalWireSentFrom(r)
+		}
+		if wire != s.Bytes {
+			t.Fatalf("rank %d: transport counters carry %d wire bytes, cost model charged %d", r, wire, s.Bytes)
+		}
+		if s.TransportTable == "" {
+			t.Fatalf("rank %d summary has no transport table with telemetry active", r)
+		}
+		if !strings.Contains(s.TransportTable, fmt.Sprintf("rank %d of %d", r, n)) {
+			t.Fatalf("rank %d transport table header wrong:\n%s", r, s.TransportTable)
+		}
+	}
+
+	// Scrape the live endpoint and re-derive the same reconciliation
+	// from the exposition text alone — what a real Prometheus would see.
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	scraped, err := sumWireSentByRank(resp.Body, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range sums {
+		if scraped[r] == 0 {
+			t.Fatalf("/metrics has no wire_sent series for rank %d", r)
+		}
+		if scraped[r] != s.Bytes {
+			t.Fatalf("rank %d: /metrics wire_sent sums to %d, cost model charged %d", r, scraped[r], s.Bytes)
+		}
+	}
+}
+
+// sumWireSentByRank folds the marsit_transport_wire_sent_bytes_total
+// series of a Prometheus text exposition into per-from-rank totals.
+func sumWireSentByRank(body io.Reader, n int) ([]int64, error) {
+	sums := make([]int64, n)
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "marsit_transport_wire_sent_bytes_total{") {
+			continue
+		}
+		open := strings.Index(line, "{")
+		close := strings.Index(line, "}")
+		if close < open {
+			return nil, fmt.Errorf("malformed series %q", line)
+		}
+		from := -1
+		for _, kv := range strings.Split(line[open+1:close], ",") {
+			if rest, ok := strings.CutPrefix(kv, `from="`); ok {
+				v, err := strconv.Atoi(strings.TrimSuffix(rest, `"`))
+				if err != nil {
+					return nil, fmt.Errorf("bad from label in %q", line)
+				}
+				from = v
+			}
+		}
+		if from < 0 || from >= n {
+			return nil, fmt.Errorf("series %q has no from rank in [0,%d)", line, n)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(line[close+1:]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q", line)
+		}
+		sums[from] += v
+	}
+	return sums, sc.Err()
+}

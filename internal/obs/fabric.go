@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// FabricMetrics instruments one transport fabric: frame and byte
+// counters per ordered (from, to) rank pair, a writev coalescing
+// histogram, a connection gauge, and an optional queue-depth probe. The
+// transport constructors create one per fabric when a registry is
+// active; every method tolerates being called concurrently from rank
+// goroutines and transport I/O loops.
+//
+// Per-pair counters are flat preallocated arrays indexed from*n+to so
+// OnSend/OnRecv are two atomic adds and never allocate.
+type FabricMetrics struct {
+	kind   string // "loopback" or "tcp"
+	id     int64  // unique within the registry, disambiguates series
+	n      int
+	hosted []bool // ranks whose endpoints live in this process
+
+	framesSent []atomic.Int64 // [from*n+to]
+	framesRecv []atomic.Int64
+	wireSent   []atomic.Int64 // cost-model Wire bytes
+	wireRecv   []atomic.Int64
+	bytesSent  []atomic.Int64 // len(Data) payload bytes
+	bytesRecv  []atomic.Int64
+
+	// WritevBatch observes the number of frames flushed per writev on
+	// the TCP fast path (loopback leaves it empty).
+	WritevBatch *Histogram
+
+	// ConnsUp tracks live per-pair socket connections (TCP only).
+	ConnsUp Gauge
+
+	// queueDepths, when set by the backend, reports instantaneous
+	// (label, depth) samples for its internal queues at scrape time.
+	queueDepths atomic.Value // func() []QueueDepth
+}
+
+// QueueDepth is one instantaneous queue-length sample.
+type QueueDepth struct {
+	Label string
+	Depth int
+}
+
+// NewFabricMetrics registers and returns metrics for a fabric of n
+// ranks on the registry. hosted marks the ranks whose endpoints live in
+// this process (every rank for in-process fabrics; usually one for a
+// marsit-node fleet member); it scopes which per-pair series the
+// Prometheus rendering emits. A nil hosted means all ranks.
+func (r *Registry) NewFabricMetrics(kind string, n int, hosted []bool) *FabricMetrics {
+	fm := &FabricMetrics{
+		kind:        kind,
+		id:          r.nextID.Add(1),
+		n:           n,
+		hosted:      hosted,
+		framesSent:  make([]atomic.Int64, n*n),
+		framesRecv:  make([]atomic.Int64, n*n),
+		wireSent:    make([]atomic.Int64, n*n),
+		wireRecv:    make([]atomic.Int64, n*n),
+		bytesSent:   make([]atomic.Int64, n*n),
+		bytesRecv:   make([]atomic.Int64, n*n),
+		WritevBatch: NewHistogram(LinearBounds(1, 1, 16)...),
+	}
+	r.mu.Lock()
+	r.fabrics = append(r.fabrics, fm)
+	r.mu.Unlock()
+	return fm
+}
+
+// Kind returns the backend name the fabric registered under.
+func (fm *FabricMetrics) Kind() string { return fm.kind }
+
+// Size returns the number of ranks in the fabric.
+func (fm *FabricMetrics) Size() int { return fm.n }
+
+// OnSend records one frame posted from from to to carrying wire
+// simulated bytes and payload real bytes.
+func (fm *FabricMetrics) OnSend(from, to, wire, payload int) {
+	i := from*fm.n + to
+	fm.framesSent[i].Add(1)
+	fm.wireSent[i].Add(int64(wire))
+	fm.bytesSent[i].Add(int64(payload))
+}
+
+// OnRecv records one frame delivered to to from from.
+func (fm *FabricMetrics) OnRecv(from, to, wire, payload int) {
+	i := from*fm.n + to
+	fm.framesRecv[i].Add(1)
+	fm.wireRecv[i].Add(int64(wire))
+	fm.bytesRecv[i].Add(int64(payload))
+}
+
+// SetQueueDepthFunc installs the backend's scrape-time queue probe.
+func (fm *FabricMetrics) SetQueueDepthFunc(f func() []QueueDepth) {
+	fm.queueDepths.Store(f)
+}
+
+// FramesSent returns the frame count for the ordered pair (from, to);
+// FramesRecv, WireSent, WireRecv, BytesSent, BytesRecv mirror it.
+func (fm *FabricMetrics) FramesSent(from, to int) int64 { return fm.framesSent[from*fm.n+to].Load() }
+
+// FramesRecv returns frames delivered to to from from.
+func (fm *FabricMetrics) FramesRecv(from, to int) int64 { return fm.framesRecv[from*fm.n+to].Load() }
+
+// WireSent returns cost-model wire bytes posted from from to to.
+func (fm *FabricMetrics) WireSent(from, to int) int64 { return fm.wireSent[from*fm.n+to].Load() }
+
+// WireRecv returns cost-model wire bytes delivered to to from from.
+func (fm *FabricMetrics) WireRecv(from, to int) int64 { return fm.wireRecv[from*fm.n+to].Load() }
+
+// BytesSent returns payload bytes posted from from to to.
+func (fm *FabricMetrics) BytesSent(from, to int) int64 { return fm.bytesSent[from*fm.n+to].Load() }
+
+// BytesRecv returns payload bytes delivered to to from from.
+func (fm *FabricMetrics) BytesRecv(from, to int) int64 { return fm.bytesRecv[from*fm.n+to].Load() }
+
+// TotalWireSentFrom sums cost-model wire bytes rank from posted to all
+// peers — the transport-side figure the node daemon reconciles against
+// the cluster's AccountBytes total.
+func (fm *FabricMetrics) TotalWireSentFrom(from int) int64 {
+	var sum int64
+	for to := 0; to < fm.n; to++ {
+		sum += fm.wireSent[from*fm.n+to].Load()
+	}
+	return sum
+}
+
+// Totals sums all pairs: frames, wire bytes, payload bytes (sent side).
+func (fm *FabricMetrics) Totals() (frames, wire, payload int64) {
+	for i := range fm.framesSent {
+		frames += fm.framesSent[i].Load()
+		wire += fm.wireSent[i].Load()
+		payload += fm.bytesSent[i].Load()
+	}
+	return
+}
+
+func (fm *FabricMetrics) hosts(rank int) bool {
+	return fm.hosted == nil || fm.hosted[rank]
+}
+
+// writePrometheus emits the fabric's series. Per-pair counters are
+// scoped to hosted ranks (a fleet member only reports its own side);
+// zero-valued pairs are skipped to keep the payload proportional to
+// traffic, not n².
+func (fm *FabricMetrics) writePrometheus(w io.Writer) {
+	lbl := func(from, to int) string {
+		return fmt.Sprintf("{fabric=%q,id=%q,from=%q,to=%q}",
+			fm.kind, fmt.Sprint(fm.id), fmt.Sprint(from), fmt.Sprint(to))
+	}
+	type series struct {
+		name, help string
+		vals       []atomic.Int64
+		sentSide   bool // scoped by the from rank; else by the to rank
+	}
+	families := []series{
+		{"marsit_transport_frames_sent_total", "Frames posted per (from,to) rank pair.", fm.framesSent, true},
+		{"marsit_transport_frames_recv_total", "Frames delivered per (from,to) rank pair.", fm.framesRecv, false},
+		{"marsit_transport_wire_sent_bytes_total", "Cost-model wire bytes posted per (from,to) rank pair.", fm.wireSent, true},
+		{"marsit_transport_wire_recv_bytes_total", "Cost-model wire bytes delivered per (from,to) rank pair.", fm.wireRecv, false},
+		{"marsit_transport_payload_sent_bytes_total", "Payload bytes posted per (from,to) rank pair.", fm.bytesSent, true},
+		{"marsit_transport_payload_recv_bytes_total", "Payload bytes delivered per (from,to) rank pair.", fm.bytesRecv, false},
+	}
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
+		for from := 0; from < fm.n; from++ {
+			for to := 0; to < fm.n; to++ {
+				local := from
+				if !f.sentSide {
+					local = to
+				}
+				if !fm.hosts(local) {
+					continue
+				}
+				if v := f.vals[from*fm.n+to].Load(); v != 0 {
+					fmt.Fprintf(w, "%s%s %d\n", f.name, lbl(from, to), v)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP marsit_transport_conns_up Live per-pair connections.\n")
+	fmt.Fprintf(w, "# TYPE marsit_transport_conns_up gauge\n")
+	fmt.Fprintf(w, "marsit_transport_conns_up{fabric=%q,id=%q} %d\n", fm.kind, fmt.Sprint(fm.id), fm.ConnsUp.Value())
+
+	if h := fm.WritevBatch; h != nil && h.Count() > 0 {
+		name := "marsit_transport_writev_batch_frames"
+		fmt.Fprintf(w, "# HELP %s Frames coalesced per writev flush.\n# TYPE %s histogram\n", name, name)
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{fabric=%q,id=%q,le=%q} %d\n", name, fm.kind, fmt.Sprint(fm.id), fmt.Sprint(b), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{fabric=%q,id=%q,le=\"+Inf\"} %d\n", name, fm.kind, fmt.Sprint(fm.id), cum)
+		fmt.Fprintf(w, "%s_sum{fabric=%q,id=%q} %d\n", name, fm.kind, fmt.Sprint(fm.id), h.Sum())
+		fmt.Fprintf(w, "%s_count{fabric=%q,id=%q} %d\n", name, fm.kind, fmt.Sprint(fm.id), h.Count())
+	}
+
+	if f, ok := fm.queueDepths.Load().(func() []QueueDepth); ok && f != nil {
+		fmt.Fprintf(w, "# HELP marsit_transport_queue_depth Instantaneous internal queue depths.\n")
+		fmt.Fprintf(w, "# TYPE marsit_transport_queue_depth gauge\n")
+		for _, q := range f() {
+			fmt.Fprintf(w, "marsit_transport_queue_depth{fabric=%q,id=%q,queue=%q} %d\n",
+				fm.kind, fmt.Sprint(fm.id), q.Label, q.Depth)
+		}
+	}
+}

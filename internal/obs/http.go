@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the live telemetry endpoint: /metrics in Prometheus text
+// format and /debug/trace as Chrome trace_event JSON, both rendered
+// from the registry on every request so a scrape mid-run sees current
+// counters and the published prefix of each trace ring.
+type Server struct {
+	reg  *Registry
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. ":9090"). It
+// returns once the listener is bound, serving in the background; the
+// caller owns shutdown via Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.http.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	t := s.reg.Tracer()
+	if t == nil {
+		http.Error(w, "tracing not enabled (run with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	t.WriteJSON(w) //nolint:errcheck // client disconnect mid-write
+}

@@ -24,6 +24,7 @@ import (
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
+	"marsit/internal/obs"
 	"marsit/internal/rng"
 	"marsit/internal/runtime"
 	"marsit/internal/tensor"
@@ -71,15 +72,33 @@ type Metrics struct {
 	Iters    int     `json:"iters"`
 }
 
+// TransportStats is the parallel leg's transport-counter delta over the
+// timed iterations (warm-up excluded): total frames, cost-model wire
+// bytes and payload bytes posted across the fabric, the TCP writev
+// coalescing summary (zero on loopback), and the shared payload-pool
+// traffic. Divide by Par.Iters for per-op figures; WritevFrames /
+// WritevFlushes is the mean coalescing batch.
+type TransportStats struct {
+	Frames        int64 `json:"frames"`
+	WireBytes     int64 `json:"wire_bytes"`
+	PayloadBytes  int64 `json:"payload_bytes"`
+	WritevFlushes int64 `json:"writev_flushes,omitempty"`
+	WritevFrames  int64 `json:"writev_frames,omitempty"`
+	PoolGets      int64 `json:"pool_gets"`
+	PoolHits      int64 `json:"pool_hits"`
+	PoolPuts      int64 `json:"pool_puts"`
+}
+
 // Result is one collective × fabric case: the sequential baseline, the
 // parallel engine, and their ratio (> 1 means the parallel engine is
 // faster in wall clock).
 type Result struct {
-	Collective string  `json:"collective"`
-	Fabric     string  `json:"fabric"`
-	Seq        Metrics `json:"seq"`
-	Par        Metrics `json:"par"`
-	Speedup    float64 `json:"speedup"`
+	Collective string          `json:"collective"`
+	Fabric     string          `json:"fabric"`
+	Seq        Metrics         `json:"seq"`
+	Par        Metrics         `json:"par"`
+	Speedup    float64         `json:"speedup"`
+	Transport  *TransportStats `json:"transport,omitempty"`
 }
 
 // Report is the full JSON record.
@@ -118,8 +137,15 @@ func Run(cfg Config) (*Report, error) {
 		cfg.MinIters = 3
 	}
 
+	// The schema-2 record carries a transport-counter snapshot per case,
+	// so the harness always runs with telemetry on: install a registry if
+	// the caller (or the CLI's -trace flag) hasn't already.
+	if obs.Active() == nil {
+		defer obs.SetActive(obs.NewRegistry())()
+	}
+
 	rep := &Report{
-		Schema:     "marsit-bench/1",
+		Schema:     "marsit-bench/2",
 		Label:      cfg.Label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  gort.Version(),
@@ -142,7 +168,7 @@ func Run(cfg Config) (*Report, error) {
 			if err := verifyCase(&cfg, desc, fabric); err != nil {
 				return nil, fmt.Errorf("perfbench: %s/%s verification: %w", name, fabric, err)
 			}
-			par, err := measurePar(&cfg, desc, fabric)
+			par, tstats, err := measurePar(&cfg, desc, fabric)
 			if err != nil {
 				return nil, fmt.Errorf("perfbench: %s/%s par: %w", name, fabric, err)
 			}
@@ -152,6 +178,7 @@ func Run(cfg Config) (*Report, error) {
 				Seq:        seq,
 				Par:        par,
 				Speedup:    seq.NsOp / par.NsOp,
+				Transport:  tstats,
 			}
 			rep.Results = append(rep.Results, res)
 			if cfg.Progress != nil {
@@ -200,12 +227,16 @@ func (cfg *Config) inputs(seed uint64) []tensor.Vec {
 // iterations until both MinTime and MinIters are met, with allocation
 // figures from the runtime's global counters — the whole process works
 // for the op, so worker-goroutine allocations count exactly as they do
-// under `go test -benchmem`.
-func (cfg *Config) measure(f func() error) (Metrics, error) {
+// under `go test -benchmem`. warm, when non-nil, runs between the
+// warm-up and the timed loop (the transport-counter snapshot hook).
+func (cfg *Config) measure(f func() error, warm func()) (Metrics, error) {
 	if err := f(); err != nil {
 		return Metrics{}, err
 	}
 	gort.GC()
+	if warm != nil {
+		warm()
+	}
 	var before, after gort.MemStats
 	gort.ReadMemStats(&before)
 	start := time.Now()
@@ -247,7 +278,7 @@ func measureSeq(cfg *Config, desc *registry.Descriptor) (Metrics, error) {
 	grads := cfg.inputs(23)
 	return cfg.measure(func() error {
 		return guard(func() { run(c, grads) })
-	})
+	}, nil)
 }
 
 // newEngine builds the parallel engine over the named fabric.
@@ -266,21 +297,69 @@ func newEngine(workers int, fabric string) (*runtime.Engine, error) {
 	}
 }
 
-func measurePar(cfg *Config, desc *registry.Descriptor, fabric string) (Metrics, error) {
+func measurePar(cfg *Config, desc *registry.Descriptor, fabric string) (Metrics, *TransportStats, error) {
+	reg := obs.Active()
+	var nFabrics int
+	if reg != nil {
+		nFabrics = len(reg.Fabrics())
+	}
 	eng, err := newEngine(cfg.Workers, fabric)
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, err
 	}
 	defer eng.Close()
 	cl, err := eng.Open(desc, cfg.opts(desc))
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, err
 	}
+
+	// The engine's transport constructor registered this case's fabric
+	// metrics (one new entry) — snapshot its counters after the warm-up
+	// and diff after the timed loop, so the record covers exactly the
+	// measured iterations.
+	var fm *obs.FabricMetrics
+	if reg != nil {
+		if fabrics := reg.Fabrics(); len(fabrics) > nFabrics {
+			fm = fabrics[len(fabrics)-1]
+		}
+	}
+	var base TransportStats
+	snapshot := func() TransportStats {
+		var s TransportStats
+		if fm != nil {
+			s.Frames, s.WireBytes, s.PayloadBytes = fm.Totals()
+			s.WritevFlushes = fm.WritevBatch.Count()
+			s.WritevFrames = fm.WritevBatch.Sum()
+		}
+		s.PoolGets = reg.Pool.Gets.Value()
+		s.PoolHits = reg.Pool.Hits.Value()
+		s.PoolPuts = reg.Pool.Puts.Value()
+		return s
+	}
+
 	c := netsim.NewCluster(cfg.Workers, netsim.DefaultCostModel())
 	grads := cfg.inputs(23)
-	return cfg.measure(func() error {
+	var warm func()
+	if reg != nil {
+		warm = func() { base = snapshot() }
+	}
+	m, err := cfg.measure(func() error {
 		return guard(func() { cl.Run(c, grads) })
-	})
+	}, warm)
+	if err != nil || reg == nil {
+		return m, nil, err
+	}
+	end := snapshot()
+	return m, &TransportStats{
+		Frames:        end.Frames - base.Frames,
+		WireBytes:     end.WireBytes - base.WireBytes,
+		PayloadBytes:  end.PayloadBytes - base.PayloadBytes,
+		WritevFlushes: end.WritevFlushes - base.WritevFlushes,
+		WritevFrames:  end.WritevFrames - base.WritevFrames,
+		PoolGets:      end.PoolGets - base.PoolGets,
+		PoolHits:      end.PoolHits - base.PoolHits,
+		PoolPuts:      end.PoolPuts - base.PoolPuts,
+	}, nil
 }
 
 // verifyCase replays one round on both engines from identical inputs

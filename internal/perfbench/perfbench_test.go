@@ -34,7 +34,7 @@ func TestRunProducesFullRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "marsit-bench/1" {
+	if rep.Schema != "marsit-bench/2" {
 		t.Fatalf("schema %q", rep.Schema)
 	}
 	if len(rep.Results) != 4 { // 2 collectives × 2 fabrics
@@ -46,6 +46,24 @@ func TestRunProducesFullRecord(t *testing.T) {
 		}
 		if r.Speedup <= 0 {
 			t.Fatalf("%s/%s: speedup %v", r.Collective, r.Fabric, r.Speedup)
+		}
+		// Schema 2: every case snapshots the parallel leg's transport
+		// counters over its timed iterations.
+		if r.Transport == nil {
+			t.Fatalf("%s/%s: no transport snapshot", r.Collective, r.Fabric)
+		}
+		if r.Transport.Frames <= 0 || r.Transport.WireBytes <= 0 || r.Transport.PayloadBytes <= 0 {
+			t.Fatalf("%s/%s: degenerate transport snapshot %+v", r.Collective, r.Fabric, *r.Transport)
+		}
+		switch r.Fabric {
+		case "tcp":
+			if r.Transport.WritevFlushes <= 0 || r.Transport.WritevFrames < r.Transport.WritevFlushes {
+				t.Fatalf("%s/tcp: degenerate writev histogram %+v", r.Collective, *r.Transport)
+			}
+		case "loopback":
+			if r.Transport.WritevFlushes != 0 {
+				t.Fatalf("%s/loopback: phantom writev flushes %+v", r.Collective, *r.Transport)
+			}
 		}
 	}
 	out, err := rep.JSON()

@@ -6,6 +6,7 @@ import (
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
+	"marsit/internal/obs"
 	"marsit/internal/runtime"
 	"marsit/internal/runtime/equivtest"
 	"marsit/internal/tensor"
@@ -95,6 +96,51 @@ func TestSignSumSteadyStateAllocs(t *testing.T) {
 // into per-hop payload allocation.
 func TestRARSteadyStateAllocs(t *testing.T) {
 	testSteadyStateAllocs(t, "rar", 1<<14)
+}
+
+// TestSteadyStateAllocsAfterTelemetryCycle pins the disabled fast path:
+// enabling telemetry and disabling it again must restore the exact
+// baseline allocation behaviour — obs.Active() back to nil means every
+// hook is a nil check and nothing more. A leaked registry reference
+// (say, a fabric counting against a stale registry) would show up as
+// extra steady-state allocations or, worse, counters accumulating after
+// disable.
+func TestSteadyStateAllocsAfterTelemetryCycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	restore := obs.SetActive(reg)
+	restore() // enable → disable before the engine exists
+	testSteadyStateAllocs(t, "rar", 1<<14)
+	if frames, _, _ := func() (int64, int64, int64) {
+		fabrics := reg.Fabrics()
+		if len(fabrics) == 0 {
+			return 0, 0, 0
+		}
+		return fabrics[0].Totals()
+	}(); frames != 0 {
+		t.Fatalf("disabled registry accumulated %d frames", frames)
+	}
+}
+
+// TestTelemetryOnAllocsBounded bounds the enabled path: counters are
+// atomics and trace events land in preallocated rings, so a traced
+// round must stay within the same steady-state cap as an untraced one —
+// telemetry that allocates per hop would defeat the pooling work it is
+// supposed to observe.
+func TestTelemetryOnAllocsBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.AttachTracer(obs.NewTracer(4, 1<<16))
+	defer obs.SetActive(reg)() // active before allocRun builds the engine
+	run, done := allocRun(t, "rar", 4, 1<<14)
+	defer done()
+	allocs := testing.AllocsPerRun(10, run)
+	t.Logf("rar M=4 D=%d with telemetry: %.1f allocs/round", 1<<14, allocs)
+	if allocs > maxSteadyStateAllocs {
+		t.Fatalf("telemetry-enabled round allocates %.1f times (cap %d): tracing is allocating per hop",
+			allocs, maxSteadyStateAllocs)
+	}
+	if reg.Tracer().TotalEvents() == 0 {
+		t.Fatal("no trace events captured: the bounded-alloc claim tested nothing")
+	}
 }
 
 // TestChunkedHopsDepthOneFabric pins the chunk loop's deadlock-freedom

@@ -17,6 +17,7 @@ func mod(i, m int) int { return ((i % m) + m) % m }
 // it exactly like the sequential schedule (out and in segments are
 // disjoint, so chunked interleaving preserves the snapshot semantics).
 func ringReduceScatter(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []tensor.Segment) {
+	rk.setPhase("reduce-scatter")
 	for s := 0; s < m-1; s++ {
 		outV := segs[mod(p-s, m)].Of(vec)
 		inV := segs[mod(p-s-1, m)].Of(vec)
@@ -30,6 +31,7 @@ func ringReduceScatter(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs [
 // freshest segment (p+1−s) mod m and overwrites segment (p−s) mod m with
 // the received one.
 func ringAllGather(rk *rankCtx, next, prev, p, m int, vec tensor.Vec, segs []tensor.Segment) {
+	rk.setPhase("all-gather")
 	for s := 0; s < m-1; s++ {
 		outV := segs[mod(p+1-s, m)].Of(vec)
 		inV := segs[mod(p-s, m)].Of(vec)

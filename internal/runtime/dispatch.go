@@ -5,6 +5,7 @@ import (
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
+	"marsit/internal/obs"
 	"marsit/internal/tensor"
 	"marsit/internal/transport"
 )
@@ -59,6 +60,12 @@ func (cl *Collective) Run(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
 	cl.e.checkShape(c, grads)
 	outs := make([]tensor.Vec, cl.e.n)
 	cl.e.run(func(rank int, ep transport.Endpoint) {
+		// Label the rank's trace timeline from its own goroutine (the
+		// tracer's single-writer contract).
+		if t := obs.ActiveTracer(); t != nil {
+			t.SetLabel(rank, cl.desc.Name)
+			t.SetPhase(rank, "")
+		}
 		outs[rank] = cl.runners[rank](c, ep, grads[rank])
 	})
 	return outs

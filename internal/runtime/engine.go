@@ -32,8 +32,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"marsit/internal/netsim"
+	"marsit/internal/obs"
 	"marsit/internal/tensor"
 	"marsit/internal/transport"
 )
@@ -209,6 +211,13 @@ type rankCtx struct {
 	// historical behaviour). Purely a wall-clock knob — the charged
 	// Wire/Clock arithmetic is computed once per hop either way.
 	chunks int
+	// tracer, when non-nil, receives one event per hop (and per chunk)
+	// pairing the virtual α–β clock with wall-clock timing. Resolved once
+	// at context creation so the hot loops pay a nil check, nothing more;
+	// events never influence results, bytes or clocks.
+	tracer *obs.Tracer
+	// hops numbers the rank's exchanges within the current collective.
+	hops int
 }
 
 // maxHopChunks caps the pipelining degree: beyond this the frames are
@@ -219,7 +228,7 @@ type rankCtx struct {
 const maxHopChunks = 16
 
 func newRankCtx(c *netsim.Cluster, ep transport.Endpoint, rank int) *rankCtx {
-	return &rankCtx{c: c, ep: ep, rank: rank, clk: c.Clock(rank), chunks: 1}
+	return &rankCtx{c: c, ep: ep, rank: rank, clk: c.Clock(rank), chunks: 1, tracer: obs.ActiveTracer()}
 }
 
 // newRankCtxChunks is newRankCtx with a hop-pipelining degree; values
@@ -250,6 +259,13 @@ func newRankCtxChunks(c *netsim.Cluster, ep transport.Endpoint, rank, chunks int
 func (r *rankCtx) exchange(next int, data []byte, outWire int, prev int) []byte {
 	model := r.c.Model
 	start := r.clk
+	hop := r.hops
+	r.hops++
+	var t0 time.Time
+	outBytes := len(data)
+	if r.tracer != nil {
+		t0 = time.Now()
+	}
 	err := r.ep.Send(next, transport.Packet{Data: data, Wire: outWire, Clock: start})
 	if err != nil {
 		panic(fmt.Sprintf("runtime: rank %d send to %d: %v", r.rank, next, err))
@@ -270,6 +286,10 @@ func (r *rankCtx) exchange(next int, data []byte, outWire int, prev int) []byte 
 	}
 	if recvDone > r.clk {
 		r.clk = recvDone
+	}
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{Kind: obs.KindHop, Rank: r.rank, Hop: hop, Chunk: -1,
+			Bytes: outBytes, Wire: outWire, VClock: r.clk, Start: t0, Dur: time.Since(t0)})
 	}
 	return p.Data
 }
@@ -311,12 +331,23 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 	}
 	model := r.c.Model
 	start := r.clk
+	hop := r.hops
+	r.hops++
+	var hopT0 time.Time
+	if r.tracer != nil {
+		hopT0 = time.Now()
+	}
+	sentBytes := 0
 	outParts := tensor.Partition(outN, r.chunks)
 	inParts := tensor.Partition(inN, r.chunks)
 	var firstWire int
 	var firstClock float64
 	recvd := 0
 	recvOne := func() {
+		var ct0 time.Time
+		if r.tracer != nil {
+			ct0 = time.Now()
+		}
 		p, err := r.ep.Recv(prev)
 		if err != nil {
 			panic(fmt.Sprintf("runtime: rank %d recv from %d: %v", r.rank, prev, err))
@@ -327,7 +358,12 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 		seg := inParts[recvd]
 		ci := recvd
 		recvd++
+		inBytes := len(p.Data)
 		consume(ci, seg.Lo, seg.Hi, p.Data)
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{Kind: obs.KindChunk, Rank: r.rank, Hop: hop, Chunk: ci,
+				Bytes: inBytes, Wire: p.Wire, VClock: r.clk, Start: ct0, Dur: time.Since(ct0)})
+		}
 	}
 	for ci, seg := range outParts {
 		if ci > 0 {
@@ -337,7 +373,9 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 		if ci == 0 {
 			wire, clock = outWire, start
 		}
-		err := r.ep.Send(next, transport.Packet{Data: enc(ci, seg.Lo, seg.Hi), Wire: wire, Clock: clock})
+		payload := enc(ci, seg.Lo, seg.Hi)
+		sentBytes += len(payload)
+		err := r.ep.Send(next, transport.Packet{Data: payload, Wire: wire, Clock: clock})
 		if err != nil {
 			panic(fmt.Sprintf("runtime: rank %d send to %d: %v", r.rank, next, err))
 		}
@@ -358,6 +396,19 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 	}
 	if recvDone > r.clk {
 		r.clk = recvDone
+	}
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{Kind: obs.KindHop, Rank: r.rank, Hop: hop, Chunk: -1,
+			Bytes: sentBytes, Wire: outWire, VClock: r.clk, Start: hopT0, Dur: time.Since(hopT0)})
+	}
+}
+
+// setPhase stamps the rank's subsequent trace events with the given
+// collective phase ("reduce-scatter", "all-gather", ...). A no-op when
+// tracing is off.
+func (r *rankCtx) setPhase(phase string) {
+	if r.tracer != nil {
+		r.tracer.SetPhase(r.rank, phase)
 	}
 }
 

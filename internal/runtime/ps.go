@@ -4,10 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"marsit/internal/bitvec"
 	"marsit/internal/collective"
 	"marsit/internal/netsim"
+	"marsit/internal/obs"
 	"marsit/internal/rng"
 	"marsit/internal/tensor"
 	"marsit/internal/transport"
@@ -45,9 +47,24 @@ func runHub(c *netsim.Cluster, ep transport.Endpoint, push []byte, upBytes, down
 	fold func(rank int, payload []byte), reply func() []byte) []byte {
 	checkRankCluster(c, ep)
 	rank, n := ep.Rank(), ep.Size()
+	tracer := obs.ActiveTracer()
+	// The Packet.Wire fields below are stamped with the simulated per-
+	// direction sizes so transport metrics attribute PS traffic; the
+	// receivers only consume Clock (arrival arithmetic runs through
+	// collective.HubSchedule), so the stamps cannot perturb results.
 	if rank != hubRank {
-		if err := ep.Send(hubRank, transport.Packet{Data: push, Clock: c.Clock(rank)}); err != nil {
+		var t0 time.Time
+		if tracer != nil {
+			t0 = time.Now()
+		}
+		pushBytes := len(push)
+		if err := ep.Send(hubRank, transport.Packet{Data: push, Wire: upBytes, Clock: c.Clock(rank)}); err != nil {
 			panic(fmt.Sprintf("runtime: rank %d push to hub: %v", rank, err))
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{Kind: obs.KindHubPush, Rank: rank, Hop: -1, Chunk: -1,
+				Bytes: pushBytes, Wire: upBytes, VClock: c.Clock(rank), Start: t0, Dur: time.Since(t0)})
+			t0 = time.Now()
 		}
 		p, err := ep.Recv(hubRank)
 		if err != nil {
@@ -55,7 +72,15 @@ func runHub(c *netsim.Cluster, ep transport.Endpoint, push []byte, upBytes, down
 		}
 		c.AdvanceTransmit(rank, p.Clock)
 		c.AccountBytes(rank, upBytes+downBytes)
+		if tracer != nil {
+			tracer.Emit(obs.Event{Kind: obs.KindHubPull, Rank: rank, Hop: -1, Chunk: -1,
+				Bytes: len(p.Data), Wire: downBytes, VClock: p.Clock, Start: t0, Dur: time.Since(t0)})
+		}
 		return p.Data
+	}
+	var hubT0 time.Time
+	if tracer != nil {
+		hubT0 = time.Now()
 	}
 
 	// Hub side: gather every rank's payload and clock, in rank order.
@@ -86,12 +111,17 @@ func runHub(c *netsim.Cluster, ep transport.Endpoint, push []byte, upBytes, down
 		}
 		buf := transport.GetBuffer(len(down))
 		copy(buf, down)
-		if err := ep.Send(w, transport.Packet{Data: buf, Clock: arrivals[w]}); err != nil {
+		if err := ep.Send(w, transport.Packet{Data: buf, Wire: downBytes, Clock: arrivals[w]}); err != nil {
 			panic(fmt.Sprintf("runtime: hub reply to rank %d: %v", w, err))
 		}
 	}
 	c.AdvanceTransmit(hubRank, arrivals[hubRank])
 	c.AccountBytes(hubRank, upBytes+downBytes)
+	if tracer != nil {
+		tracer.Emit(obs.Event{Kind: obs.KindHub, Rank: hubRank, Hop: -1, Chunk: -1,
+			Bytes: (n - 1) * len(down), Wire: upBytes + downBytes, VClock: arrivals[hubRank],
+			Start: hubT0, Dur: time.Since(hubT0)})
+	}
 	return down
 }
 

@@ -2,9 +2,11 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
 	"marsit/internal/bitvec"
 	"marsit/internal/netsim"
+	"marsit/internal/obs"
 	"marsit/internal/tensor"
 	"marsit/internal/transport"
 )
@@ -79,6 +81,15 @@ func ClockBarrier(c *netsim.Cluster, ep transport.Endpoint) {
 	rank, n := ep.Rank(), ep.Size()
 	if n < 2 {
 		return
+	}
+	tracer := obs.ActiveTracer()
+	var t0 time.Time
+	if tracer != nil {
+		t0 = time.Now()
+		defer func() {
+			tracer.Emit(obs.Event{Kind: obs.KindBarrier, Rank: rank, Hop: -1, Chunk: -1,
+				VClock: c.Clock(rank), Start: t0, Dur: time.Since(t0)})
+		}()
 	}
 	if rank == 0 {
 		t := c.Clock(0)

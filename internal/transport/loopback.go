@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+
+	"marsit/internal/obs"
 )
 
 // DefaultDepth is the per-link buffer depth of a Loopback fabric. Ring
@@ -18,11 +20,12 @@ const DefaultDepth = 32
 // construction and distinct pairs never contend. Payload slices are
 // passed by reference (zero-copy).
 type Loopback struct {
-	n     int
-	links []chan Packet // links[from*n+to]
-	eps   []loopbackEndpoint
-	done  chan struct{}
-	once  sync.Once
+	n       int
+	links   []chan Packet // links[from*n+to]
+	eps     []loopbackEndpoint
+	done    chan struct{}
+	once    sync.Once
+	metrics *obs.FabricMetrics // nil unless telemetry was active at construction
 }
 
 // NewLoopback builds an in-process fabric over n ≥ 1 ranks with
@@ -50,7 +53,28 @@ func NewLoopbackDepth(n, depth int) *Loopback {
 	for r := 0; r < n; r++ {
 		l.eps[r] = loopbackEndpoint{fabric: l, rank: r}
 	}
+	if reg := obs.Active(); reg != nil {
+		l.metrics = reg.NewFabricMetrics("loopback", n, nil)
+		l.metrics.SetQueueDepthFunc(l.queueDepths)
+	}
 	return l
+}
+
+// FabricMetrics returns the fabric's telemetry, nil when telemetry was
+// disabled at construction.
+func (l *Loopback) FabricMetrics() *obs.FabricMetrics { return l.metrics }
+
+// queueDepths samples every non-empty link buffer at scrape time.
+func (l *Loopback) queueDepths() []obs.QueueDepth {
+	var out []obs.QueueDepth
+	for from := 0; from < l.n; from++ {
+		for to := 0; to < l.n; to++ {
+			if d := len(l.links[from*l.n+to]); d > 0 {
+				out = append(out, obs.QueueDepth{Label: fmt.Sprintf("link %d->%d", from, to), Depth: d})
+			}
+		}
+	}
+	return out
 }
 
 // Size implements Transport.
@@ -97,10 +121,21 @@ func (e *loopbackEndpoint) Send(to int, p Packet) error {
 	}
 	select {
 	case l.links[e.rank*l.n+to] <- p:
+		if m := l.metrics; m != nil {
+			m.OnSend(e.rank, to, p.Wire, len(p.Data))
+		}
 		return nil
 	case <-l.done:
 		return ErrClosed
 	}
+}
+
+// delivered counts p against the fabric metrics on its way out of Recv.
+func (e *loopbackEndpoint) delivered(from int, p Packet) (Packet, error) {
+	if m := e.fabric.metrics; m != nil {
+		m.OnRecv(from, e.rank, p.Wire, len(p.Data))
+	}
+	return p, nil
 }
 
 // Recv implements Endpoint.
@@ -111,19 +146,19 @@ func (e *loopbackEndpoint) Recv(from int) (Packet, error) {
 	// must stay observable, so the link channel is preferred over done.
 	select {
 	case p := <-l.links[from*l.n+e.rank]:
-		return p, nil
+		return e.delivered(from, p)
 	default:
 	}
 	select {
 	case p := <-l.links[from*l.n+e.rank]:
-		return p, nil
+		return e.delivered(from, p)
 	case <-l.done:
 		// Both cases may be ready at once and select picks arbitrarily:
 		// re-check the link so a packet delivered before the close is
 		// never masked by it.
 		select {
 		case p := <-l.links[from*l.n+e.rank]:
-			return p, nil
+			return e.delivered(from, p)
 		default:
 		}
 		return Packet{}, ErrClosed

@@ -1,6 +1,10 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+
+	"marsit/internal/obs"
+)
 
 // Payload buffers flow sender → fabric → receiver and are dead once the
 // receiver has decoded them, so the hot collective loops would otherwise
@@ -23,7 +27,14 @@ var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }
 // possible. The contents are unspecified; callers overwrite all n bytes.
 func GetBuffer(n int) []byte {
 	p := bufPool.Get().(*[]byte)
-	if cap(*p) >= n {
+	hit := cap(*p) >= n
+	if reg := obs.Active(); reg != nil {
+		reg.Pool.Gets.Inc()
+		if hit {
+			reg.Pool.Hits.Inc()
+		}
+	}
+	if hit {
 		b := (*p)[:n]
 		return b
 	}
@@ -38,6 +49,9 @@ func GetBuffer(n int) []byte {
 func PutBuffer(b []byte) {
 	if cap(b) == 0 {
 		return
+	}
+	if reg := obs.Active(); reg != nil {
+		reg.Pool.Puts.Inc()
 	}
 	b = b[:0]
 	bufPool.Put(&b)

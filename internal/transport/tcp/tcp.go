@@ -53,13 +53,31 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"marsit/internal/obs"
 	"marsit/internal/transport"
 )
+
+// logger is the package's optional structured logger. The fabric has no
+// construction-time configuration hook in CLIs that only pass addresses,
+// so verbosity is process-global: marsit-node -v installs a Debug-level
+// slog here. Unset (the default) means no logging at all.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs l as the package logger (nil disables logging).
+func SetLogger(l *slog.Logger) { logger.Store(l) }
+
+func logDebug(msg string, args ...any) {
+	if l := logger.Load(); l != nil {
+		l.Debug(msg, args...)
+	}
+}
 
 // magic opens every hello exchange; the trailing digit versions the
 // frame format.
@@ -106,6 +124,7 @@ type Fabric struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 	writerWG  sync.WaitGroup
+	metrics   *obs.FabricMetrics // nil unless telemetry was active at assembly
 	// mu orders startConn against Close: a reader of an early-wired pair
 	// can poison the fabric while later pairs are still being wired, so
 	// conns appends, goroutine Adds and the done check must be atomic
@@ -234,6 +253,15 @@ func assemble(addrs []string, listeners map[int]net.Listener, local []int, depth
 	deadline := time.Now().Add(timeout)
 
 	f := &Fabric{n: n, depth: depth, local: local, eps: make(map[int]*endpoint, len(local)), done: make(chan struct{})}
+	if reg := obs.Active(); reg != nil {
+		hosted := make([]bool, n)
+		for _, r := range local {
+			hosted[r] = true
+		}
+		f.metrics = reg.NewFabricMetrics("tcp", n, hosted)
+		f.metrics.SetQueueDepthFunc(f.queueDepths)
+	}
+	logDebug("tcp: assembling fabric", "ranks", n, "local", local, "depth", depth)
 	isLocal := make(map[int]bool, len(local))
 	for _, r := range local {
 		isLocal[r] = true
@@ -379,7 +407,34 @@ func assemble(addrs []string, listeners map[int]net.Listener, local []int, depth
 			f.startConn(e.accept, hi, lo)
 		}
 	}
+	logDebug("tcp: fabric up", "ranks", n, "local", local)
 	return f, nil
+}
+
+// FabricMetrics returns the fabric's telemetry, nil when telemetry was
+// disabled at assembly.
+func (f *Fabric) FabricMetrics() *obs.FabricMetrics { return f.metrics }
+
+// queueDepths samples every non-empty send and receive queue of the
+// hosted ranks at scrape time.
+func (f *Fabric) queueDepths() []obs.QueueDepth {
+	var out []obs.QueueDepth
+	for _, r := range f.local {
+		ep := f.eps[r]
+		for peer := 0; peer < f.n; peer++ {
+			lk, ok := ep.links[peer]
+			if !ok {
+				continue
+			}
+			if d := len(lk.sendq); d > 0 {
+				out = append(out, obs.QueueDepth{Label: fmt.Sprintf("sendq %d->%d", r, peer), Depth: d})
+			}
+			if d := len(lk.recvq); d > 0 {
+				out = append(out, obs.QueueDepth{Label: fmt.Sprintf("recvq %d<-%d", r, peer), Depth: d})
+			}
+		}
+	}
+	return out
 }
 
 // startConn registers conn as owner rank's end of the pair with peer and
@@ -404,6 +459,11 @@ func (f *Fabric) startConn(conn net.Conn, owner, peer int) {
 	f.wg.Add(2)
 	f.writerWG.Add(1)
 	f.mu.Unlock()
+	if m := f.metrics; m != nil {
+		m.ConnsUp.Add(1)
+	}
+	logDebug("tcp: link up", "owner", owner, "peer", peer,
+		"local", conn.LocalAddr().String(), "remote", conn.RemoteAddr().String())
 	go f.readLoop(conn, lk)
 	go f.writeLoop(conn, lk)
 }
@@ -489,6 +549,9 @@ const readBufBytes = 64 << 10
 func (f *Fabric) readLoop(conn net.Conn, lk *link) {
 	defer f.wg.Done()
 	defer close(lk.eof)
+	if m := f.metrics; m != nil {
+		defer m.ConnsUp.Add(-1)
+	}
 	br := bufio.NewReaderSize(conn, readBufBytes)
 	var hdr [headerBytes]byte
 	for {
@@ -535,17 +598,19 @@ const writeBatch = 16
 // header and payload. Payload buffers are recycled once their bytes
 // are on the socket.
 type frameWriter struct {
-	conn net.Conn
-	hdrs [writeBatch][headerBytes]byte
-	pend []transport.Packet
-	vecs net.Buffers
+	conn    net.Conn
+	hdrs    [writeBatch][headerBytes]byte
+	pend    []transport.Packet
+	vecs    net.Buffers
+	batches *obs.Histogram // frames per flush; nil when telemetry is off
 }
 
-func newFrameWriter(conn net.Conn) *frameWriter {
+func newFrameWriter(conn net.Conn, batches *obs.Histogram) *frameWriter {
 	return &frameWriter{
-		conn: conn,
-		pend: make([]transport.Packet, 0, writeBatch),
-		vecs: make(net.Buffers, 0, 2*writeBatch),
+		conn:    conn,
+		pend:    make([]transport.Packet, 0, writeBatch),
+		vecs:    make(net.Buffers, 0, 2*writeBatch),
+		batches: batches,
 	}
 }
 
@@ -580,6 +645,9 @@ func (w *frameWriter) flush() bool {
 	if _, err := out.WriteTo(w.conn); err != nil {
 		return false
 	}
+	if w.batches != nil {
+		w.batches.Observe(int64(len(w.pend)))
+	}
 	for _, p := range w.pend {
 		transport.PutBuffer(p.Data)
 	}
@@ -598,7 +666,11 @@ func (w *frameWriter) flush() bool {
 func (f *Fabric) writeLoop(conn net.Conn, lk *link) {
 	defer f.writerWG.Done()
 	defer f.wg.Done()
-	w := newFrameWriter(conn)
+	var batches *obs.Histogram
+	if m := f.metrics; m != nil {
+		batches = m.WritevBatch
+	}
+	w := newFrameWriter(conn, batches)
 	for {
 		select {
 		case p := <-lk.sendq:
@@ -638,6 +710,7 @@ func (f *Fabric) poison() {
 	case <-f.done:
 		return // already closing: socket errors are expected teardown
 	default:
+		logDebug("tcp: fabric poisoned by socket failure", "local", f.local)
 		f.Close()
 	}
 }
@@ -668,6 +741,7 @@ func (f *Fabric) Endpoint(rank int) transport.Endpoint {
 // does not truncate the conversation mid-queue. Close is idempotent.
 func (f *Fabric) Close() error {
 	f.closeOnce.Do(func() {
+		logDebug("tcp: closing fabric", "local", f.local)
 		// Closing done under mu fences startConn: afterwards no new
 		// connection is registered and no writerWG.Add races the Wait.
 		f.mu.Lock()
@@ -722,10 +796,21 @@ func (e *endpoint) Send(to int, p transport.Packet) error {
 	}
 	select {
 	case lk.sendq <- p:
+		if m := e.f.metrics; m != nil {
+			m.OnSend(e.rank, to, p.Wire, len(p.Data))
+		}
 		return nil
 	case <-e.f.done:
 		return transport.ErrClosed
 	}
+}
+
+// delivered counts p against the fabric metrics on its way out of Recv.
+func (e *endpoint) delivered(from int, p transport.Packet) (transport.Packet, error) {
+	if m := e.f.metrics; m != nil {
+		m.OnRecv(from, e.rank, p.Wire, len(p.Data))
+	}
+	return p, nil
 }
 
 // Recv implements transport.Endpoint: it blocks until the pair's reader
@@ -738,12 +823,12 @@ func (e *endpoint) Recv(from int) (transport.Packet, error) {
 	}
 	select {
 	case p := <-lk.recvq:
-		return p, nil
+		return e.delivered(from, p)
 	default:
 	}
 	select {
 	case p := <-lk.recvq:
-		return p, nil
+		return e.delivered(from, p)
 	case <-e.f.done:
 	}
 	// The fabric is closing. The link's reader is the sole recvq
@@ -753,7 +838,7 @@ func (e *endpoint) Recv(from int) (transport.Packet, error) {
 	<-lk.eof
 	select {
 	case p := <-lk.recvq:
-		return p, nil
+		return e.delivered(from, p)
 	default:
 	}
 	return transport.Packet{}, transport.ErrClosed

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"marsit/internal/obs"
 	"marsit/internal/transport"
 )
 
@@ -35,6 +36,100 @@ func Run(t *testing.T, factory Factory) {
 		t.Run(fmt.Sprintf("RingDeadlockFreedom/M=%d", n), func(t *testing.T) {
 			testRingExchange(t, factory, n, 50)
 		})
+	}
+	t.Run("Metrics", func(t *testing.T) { testMetrics(t, factory) })
+}
+
+// metered is the optional telemetry accessor a backend exposes when it
+// was built under an active obs registry.
+type metered interface {
+	FabricMetrics() *obs.FabricMetrics
+}
+
+// testMetrics pins the cross-backend metric contract: with telemetry
+// active at construction, every ordered pair's sent counters equal the
+// receiver's delivered counters, and wire/payload byte totals match
+// exactly what the packets declared. Backends without a FabricMetrics
+// accessor fail — instrumenting both sides is part of the contract.
+func testMetrics(t *testing.T, factory Factory) {
+	defer obs.SetActive(obs.NewRegistry())()
+	const n, rounds = 4, 5
+	tr := factory(t, n)
+	defer tr.Close()
+	m, ok := tr.(metered)
+	if !ok {
+		t.Fatalf("%T does not expose FabricMetrics()", tr)
+	}
+	fm := m.FabricMetrics()
+	if fm == nil {
+		t.Fatal("FabricMetrics() = nil despite an active registry at construction")
+	}
+
+	// wireOf/payloadOf make every ordered pair's traffic distinct so a
+	// mixed-up index would be caught, not masked by symmetry.
+	wireOf := func(from, to int) int { return 1000 + 10*from + to }
+	payloadOf := func(from, to int) int { return 1 + 2*from + to }
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			ep := tr.Endpoint(rank)
+			for k := 0; k < rounds; k++ {
+				for peer := 0; peer < n; peer++ {
+					if peer == rank {
+						continue
+					}
+					p := transport.Packet{
+						Data: make([]byte, payloadOf(rank, peer)),
+						Wire: wireOf(rank, peer),
+					}
+					if err := ep.Send(peer, p); err != nil {
+						t.Errorf("rank %d send: %v", rank, err)
+						return
+					}
+				}
+				for peer := 0; peer < n; peer++ {
+					if peer == rank {
+						continue
+					}
+					if _, err := ep.Recv(peer); err != nil {
+						t.Errorf("rank %d recv: %v", rank, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	waitAll(t, &wg, 15*time.Second, "metrics exchange")
+
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			if got := fm.FramesSent(from, to); got != rounds {
+				t.Errorf("FramesSent(%d,%d) = %d, want %d", from, to, got, rounds)
+			}
+			if sent, recv := fm.FramesSent(from, to), fm.FramesRecv(from, to); sent != recv {
+				t.Errorf("pair (%d,%d): frames sent %d != delivered %d", from, to, sent, recv)
+			}
+			wantWire := int64(rounds * wireOf(from, to))
+			if got := fm.WireSent(from, to); got != wantWire {
+				t.Errorf("WireSent(%d,%d) = %d, want %d", from, to, got, wantWire)
+			}
+			if got := fm.WireRecv(from, to); got != wantWire {
+				t.Errorf("WireRecv(%d,%d) = %d, want %d", from, to, got, wantWire)
+			}
+			wantBytes := int64(rounds * payloadOf(from, to))
+			if got := fm.BytesSent(from, to); got != wantBytes {
+				t.Errorf("BytesSent(%d,%d) = %d, want %d", from, to, got, wantBytes)
+			}
+			if got := fm.BytesRecv(from, to); got != wantBytes {
+				t.Errorf("BytesRecv(%d,%d) = %d, want %d", from, to, got, wantBytes)
+			}
+		}
 	}
 }
 
