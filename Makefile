@@ -21,10 +21,16 @@
 #   make trace-demo        the tcp-demo fleet with telemetry on: per-rank
 #                          Chrome traces validated, /metrics scraped live
 #                          (see docs/observability.md)
+#   make calib-demo        the tcp-demo fleet with -calibrate and injected
+#                          send jitter: still bit-identical to the
+#                          sequential engine, rank 0 prints the
+#                          predicted-vs-measured calibration table, and
+#                          the /metrics scrape carries the calibration
+#                          series (see docs/performance.md)
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo trace-demo
+.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo trace-demo calib-demo
 
 check: fmt vet build test list-collectives
 
@@ -47,7 +53,7 @@ race:
 	$(GO) test -race . ./internal/runtime/... ./internal/transport/... \
 		./internal/core/... ./internal/rng/... ./internal/train/... \
 		./internal/node/... ./internal/collective/registry/... \
-		./internal/obs/...
+		./internal/obs/... ./internal/calib/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
@@ -58,10 +64,11 @@ bench:
 # collective, with the parallel outputs cross-checked bit for bit
 # against the sequential engine before timing. A failing sub-run exits
 # non-zero — it is never dropped from the record.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 
 bench-json:
-	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 6"
+	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 7" \
+		-bench-collectives rar,tar,marsit,signsum,ssdm,cascading,ps,ps-sign,ps-ssdm,ps-scaledsign
 
 # bench-smoke runs every benchmark exactly once: cheap enough for CI,
 # and it proves the perf-path code (engine benches, chunk-pipelined
@@ -153,3 +160,45 @@ trace-demo:
 	grep -q marsit_transport_wire_sent_bytes_total bin/trace-demo-metrics.txt \
 		|| { echo "trace-demo: scrape is missing transport counters"; exit 1; }; \
 	echo "trace-demo: traces valid, /metrics served the transport counters"
+
+# calib-demo is the calibration-harness acceptance run: the tcp-demo
+# fleet with -calibrate (wall-clock phase timers + the predicted-vs-
+# measured gather) and real injected send jitter on every rank. The run
+# must still verify bit-for-bit against the sequential engine (delay
+# injection moves wall time only), rank 0 must print the calibration
+# table, and the live /metrics scrape must carry the calibration series.
+CALIB_DEMO_PEERS := 127.0.0.1:7781,127.0.0.1:7782,127.0.0.1:7783,127.0.0.1:7784
+CALIB_DEMO_METRICS := 127.0.0.1:9697
+
+calib-demo:
+	$(GO) build -o bin/marsit-node ./cmd/marsit-node
+	@rm -f bin/calib-demo-rank0.txt bin/calib-demo-metrics.txt; \
+	pids=""; \
+	for r in 1 2 3; do \
+		./bin/marsit-node -rank $$r -peers $(CALIB_DEMO_PEERS) \
+			-collective marsit -dim 4096 -rounds 8 -k 4 -calibrate -quiet \
+			-jitter 200us -jitter-seed $$r & \
+		pids="$$pids $$!"; \
+	done; \
+	( i=0; while [ $$i -lt 100 ]; do \
+		curl -sf http://$(CALIB_DEMO_METRICS)/metrics -o bin/calib-demo-metrics.txt \
+			&& exit 0; i=$$((i+1)); sleep 0.1; \
+	  done; echo "calib-demo: /metrics never answered"; exit 1 ) & poller=$$!; \
+	status=0; \
+	./bin/marsit-node -rank 0 -peers $(CALIB_DEMO_PEERS) \
+		-collective marsit -dim 4096 -rounds 8 -k 4 -calibrate -quiet \
+		-jitter 200us -jitter-seed 4 \
+		-metrics-addr $(CALIB_DEMO_METRICS) -metrics-linger 3s \
+		> bin/calib-demo-rank0.txt || status=$$?; \
+	for p in $$pids; do wait $$p || status=$$?; done; \
+	wait $$poller || status=$$?; \
+	if [ $$status -ne 0 ]; then echo "calib-demo: FAILED"; cat bin/calib-demo-rank0.txt; exit $$status; fi; \
+	grep -q "verified vs sequential engine" bin/calib-demo-rank0.txt \
+		|| { echo "calib-demo: rank 0 did not verify the fabric"; cat bin/calib-demo-rank0.txt; exit 1; }; \
+	grep -q "Calibration" bin/calib-demo-rank0.txt \
+		|| { echo "calib-demo: rank 0 printed no calibration table"; cat bin/calib-demo-rank0.txt; exit 1; }; \
+	grep -q marsit_calib_wall_seconds_total bin/calib-demo-metrics.txt \
+		|| { echo "calib-demo: scrape is missing the calibration series"; exit 1; }; \
+	grep -q marsit_faultwrap_delays_total bin/calib-demo-metrics.txt \
+		|| { echo "calib-demo: scrape is missing the faultwrap counters"; exit 1; }; \
+	echo "calib-demo: jittered fleet verified bit-for-bit; calibration table + /metrics series served"

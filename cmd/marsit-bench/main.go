@@ -36,7 +36,11 @@
 // and the JSON perf record is written to the given path. A failing
 // sub-run — a diverging result, a dead fabric, a panicking collective —
 // aborts the whole run with a non-zero exit; failures are never
-// silently dropped from the record. -cpuprofile and -memprofile write
+// silently dropped from the record. Schema marsit-bench/3 carries a
+// calibration block per case (predicted α–β seconds vs measured wall
+// clock per cost-model phase over the timed window), and the harness
+// prints one calibration table per fabric; large ratios are expected on
+// a single machine and never fail the run. -cpuprofile and -memprofile write
 // pprof profiles for any mode (see docs/performance.md for the
 // profiling recipe).
 package main
@@ -50,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"marsit/internal/calib"
 	"marsit/internal/collective/registry"
 	"marsit/internal/experiments"
 	"marsit/internal/obs"
@@ -251,6 +256,23 @@ func runBenchJSON(path, tracePath string, cfg perfbench.Config) error {
 	rep, err := perfbench.Run(cfg)
 	if err != nil {
 		return err
+	}
+	// Render the calibration blocks (schema 3: predicted α–β seconds vs
+	// measured wall clock per phase) as one table per fabric. Error
+	// magnitude is informational only — it never fails the run.
+	byFabric := map[string][]calib.Entry{}
+	var fabrics []string
+	for _, r := range rep.Results {
+		if r.Calibration == nil {
+			continue
+		}
+		if _, seen := byFabric[r.Fabric]; !seen {
+			fabrics = append(fabrics, r.Fabric)
+		}
+		byFabric[r.Fabric] = append(byFabric[r.Fabric], *r.Calibration)
+	}
+	for _, fabric := range fabrics {
+		fmt.Print(calib.Table(fmt.Sprintf("Calibration — %s fabric (measured wall vs α–β prediction)", fabric), byFabric[fabric]))
 	}
 	if tracer != nil {
 		f, err := os.Create(tracePath)

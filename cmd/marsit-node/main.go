@@ -27,6 +27,16 @@
 // newly registered collective is runnable here with no changes to this
 // binary.
 //
+// Calibration: -calibrate (implies -check, all ranks must agree) times
+// every round in wall-clock next to the α–β virtual accounting; rank 0
+// gathers the per-rank wall splits over the check protocol and prints a
+// predicted-vs-measured table per phase. Large ratios are expected on a
+// single machine and never affect the exit code — only the bit-exact
+// check does. -jitter 500us injects seeded random delay before every
+// frame this rank sends (-jitter-seed varies the schedule); injection
+// moves wall clock only, so -check still holds under any jitter —
+// `make calib-demo` scripts a jittered, calibrated fleet.
+//
 // Telemetry: -trace out.json captures one Chrome trace_event timeline
 // per hosted rank (open in chrome://tracing or Perfetto), -metrics-addr
 // :9090 serves /metrics (Prometheus text) and /debug/trace live while
@@ -56,23 +66,26 @@ import (
 
 func main() {
 	var (
-		rank     = flag.Int("rank", 0, "this process's rank (index into -peers)")
-		peers    = flag.String("peers", "", "comma-separated host:port list, one per rank")
-		coll     = flag.String("collective", "marsit", registry.FlagHelp())
-		torus    = flag.String("torus", "", "R,C torus layout for torus-capable collectives (default: ring, or a square torus for tar)")
-		dim      = flag.Int("dim", 4096, "gradient dimension D")
-		rounds   = flag.Int("rounds", 10, "synchronization rounds")
-		k        = flag.Int("k", 0, "Marsit full-precision period (0 = never)")
-		globalLR = flag.Float64("global-lr", 0.004, "Marsit global step η_s")
-		seed     = flag.Uint64("seed", 1, "shared root seed (must match on every rank)")
-		elias    = flag.Bool("elias", false, "Elias-gamma compaction of sign-sum payloads (Elias-capable collectives)")
-		chunks   = flag.Int("chunks", 0, "pipelined frames per ring hop (chunk-capable collectives; 0/1 = off; clock-invariant)")
-		check    = flag.Bool("check", false, "rank 0 verifies the fabric against the sequential engine and prints the per-phase table")
-		dieAfter = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
-		timeout  = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
-		quiet    = flag.Bool("quiet", false, "suppress progress logging")
-		verbose  = flag.Bool("v", false, "debug-level logging (includes TCP fabric internals)")
-		list     = flag.Bool("list-collectives", false, "list the registered collectives and exit")
+		rank      = flag.Int("rank", 0, "this process's rank (index into -peers)")
+		peers     = flag.String("peers", "", "comma-separated host:port list, one per rank")
+		coll      = flag.String("collective", "marsit", registry.FlagHelp())
+		torus     = flag.String("torus", "", "R,C torus layout for torus-capable collectives (default: ring, or a square torus for tar)")
+		dim       = flag.Int("dim", 4096, "gradient dimension D")
+		rounds    = flag.Int("rounds", 10, "synchronization rounds")
+		k         = flag.Int("k", 0, "Marsit full-precision period (0 = never)")
+		globalLR  = flag.Float64("global-lr", 0.004, "Marsit global step η_s")
+		seed      = flag.Uint64("seed", 1, "shared root seed (must match on every rank)")
+		elias     = flag.Bool("elias", false, "Elias-gamma compaction of sign-sum payloads (Elias-capable collectives)")
+		chunks    = flag.Int("chunks", 0, "pipelined frames per ring hop (chunk-capable collectives; 0/1 = off; clock-invariant)")
+		check     = flag.Bool("check", false, "rank 0 verifies the fabric against the sequential engine and prints the per-phase table")
+		calibrate = flag.Bool("calibrate", false, "time every round against the α–β cost model; rank 0 prints the predicted-vs-measured calibration table (implies -check)")
+		jitter    = flag.Duration("jitter", 0, "inject uniform random delay in [0,d) before every frame this rank sends (wall clock only; -check still holds)")
+		jitterSd  = flag.Uint64("jitter-seed", 1, "seed of this rank's jitter delay streams")
+		dieAfter  = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
+		timeout   = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
+		quiet     = flag.Bool("quiet", false, "suppress progress logging")
+		verbose   = flag.Bool("v", false, "debug-level logging (includes TCP fabric internals)")
+		list      = flag.Bool("list-collectives", false, "list the registered collectives and exit")
 
 		tracePath     = flag.String("trace", "", "write a Chrome trace_event JSON timeline of this rank's hops to the given file")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this address (e.g. :9090)")
@@ -117,6 +130,9 @@ func main() {
 		UseElias:       *elias,
 		Chunks:         *chunks,
 		Check:          *check,
+		Calibrate:      *calibrate,
+		Jitter:         *jitter,
+		JitterSeed:     *jitterSd,
 		DieAfterRounds: *dieAfter,
 		DialTimeout:    *timeout,
 	}
@@ -178,6 +194,9 @@ func main() {
 		s.Rank, s.Workers, cfg.Collective, *dim, *rounds, s.Clock, s.Bytes, status)
 	if s.PhaseTable != "" {
 		fmt.Print(s.PhaseTable)
+	}
+	if s.CalibTable != "" {
+		fmt.Print(s.CalibTable)
 	}
 	if s.TransportTable != "" {
 		fmt.Print(s.TransportTable)

@@ -1,0 +1,74 @@
+package netsim
+
+import "testing"
+
+func TestLinkDefaultsToModel(t *testing.T) {
+	c := NewCluster(3, model())
+	a, b := c.Link(0, 1)
+	if !feq(a, c.Model.Latency) || !feq(b, c.Model.BytePeriod) {
+		t.Fatalf("Link(0,1) = (%v, %v), want model constants", a, b)
+	}
+}
+
+func TestSetLinkCostOverridesOneDirectedLink(t *testing.T) {
+	c := NewCluster(3, model())
+	c.SetLinkCost(0, 1, LinkCost{Latency: 5e-3, BytePeriod: 3e-6})
+	a, b := c.Link(0, 1)
+	if !feq(a, 5e-3) || !feq(b, 3e-6) {
+		t.Fatalf("Link(0,1) = (%v, %v), want override", a, b)
+	}
+	// The reverse direction and other links stay on the model.
+	a, b = c.Link(1, 0)
+	if !feq(a, c.Model.Latency) || !feq(b, c.Model.BytePeriod) {
+		t.Fatalf("Link(1,0) = (%v, %v), want model constants", a, b)
+	}
+}
+
+func TestExchangeUsesLinkOverrides(t *testing.T) {
+	// One slow link in a 2-ring: 0→1 pays 10× latency and 2× byte period,
+	// 1→0 stays on the model. Full duplex, so each side's clock is its
+	// own send serialization vs. its incoming arrival.
+	c := NewCluster(2, model())
+	c.SetLinkCost(0, 1, LinkCost{Latency: 10e-3, BytePeriod: 2e-6})
+	c.Exchange([]Message{{0, 1, 1000}, {1, 0, 1000}})
+
+	slowSer := 1000 * 2e-6
+	fastSer := 1000 * 1e-6
+	// Worker 1 receives over the slow link: 10 ms + 2 ms serialization.
+	want1 := 10e-3 + slowSer
+	if got := c.Clock(1); !feq(got, want1) {
+		t.Fatalf("worker 1 clock %v, want %v", got, want1)
+	}
+	// Worker 0 sends 2 ms (slow β on its egress) and receives over the
+	// fast link at 1 ms + 1 ms; the send dominates.
+	want0 := slowSer
+	if arrive := 1e-3 + fastSer; arrive > want0 {
+		want0 = arrive
+	}
+	if got := c.Clock(0); !feq(got, want0) {
+		t.Fatalf("worker 0 clock %v, want %v", got, want0)
+	}
+}
+
+func TestLinkCostsSurviveResetAndClear(t *testing.T) {
+	c := NewCluster(2, model())
+	c.SetLinkCost(0, 1, LinkCost{Latency: 2e-3, BytePeriod: 1e-6})
+	c.Reset()
+	if a, _ := c.Link(0, 1); !feq(a, 2e-3) {
+		t.Fatalf("override lost across Reset: α = %v", a)
+	}
+	c.ClearLinkCosts()
+	if a, _ := c.Link(0, 1); !feq(a, c.Model.Latency) {
+		t.Fatalf("ClearLinkCosts left α = %v", a)
+	}
+}
+
+func TestSetLinkCostValidation(t *testing.T) {
+	c := NewCluster(2, model())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative link cost")
+		}
+	}()
+	c.SetLinkCost(0, 1, LinkCost{Latency: -1})
+}

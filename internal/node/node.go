@@ -25,8 +25,10 @@
 //
 //	float64 clock | uint64 wire bytes | per-phase float64 seconds | D × float64 result
 //
-// and blocks on a one-byte verdict frame (1 = fabric matches the
-// sequential engine). Rank 0 additionally renders the gathered
+// (calibrate mode inserts the rank's measured per-phase wall split,
+// another per-phase float64 block, between the virtual phases and the
+// result) and blocks on a one-byte verdict frame (1 = fabric matches
+// the sequential engine). Rank 0 additionally renders the gathered
 // per-phase clock breakdowns as a Figure-5-style table
 // (Summary.PhaseTable). Per-pair FIFO guarantees the report trails all
 // of the rank's collective traffic. Shutdown is ordered so no verdict
@@ -43,14 +45,17 @@ import (
 	"math"
 	"time"
 
+	"marsit/internal/calib"
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
 	"marsit/internal/obs"
 	"marsit/internal/report"
 	"marsit/internal/rng"
+	"marsit/internal/runtime"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
 	"marsit/internal/transport"
+	"marsit/internal/transport/faultwrap"
 	"marsit/internal/transport/tcp"
 
 	// Populate the collective registry (core also pulls in the runtime
@@ -119,6 +124,24 @@ type Config struct {
 	// the verdict. Every rank of a fabric must agree on it: the check
 	// protocol is a collective exchange.
 	Check bool
+	// Calibrate times every collective round against the α–β cost model:
+	// the rank records measured wall-clock seconds per phase next to the
+	// predicted virtual seconds, the report frame carries the wall split
+	// to rank 0, and rank 0 renders the predicted-vs-measured table
+	// (Summary.CalibTable). Implies Check; all ranks must agree on it
+	// (the report frame width depends on it). Calibration error is
+	// reported, never judged: only gather/format failures make a
+	// calibrated run exit non-zero.
+	Calibrate bool
+	// Jitter, when positive, injects uniform random delay in [0, Jitter)
+	// before every frame this rank sends (the faultwrap middleware over
+	// the TCP fabric). Injection moves wall clock only: results, wire
+	// bytes and virtual clocks stay bit-identical, so -check still holds
+	// under any jitter.
+	Jitter time.Duration
+	// JitterSeed roots the per-destination delay streams (with Rank they
+	// fully determine this rank's delay schedule).
+	JitterSeed uint64
 	// DieAfterRounds, when positive, makes this rank abandon the run
 	// after that many rounds without any farewell — a crash-fault
 	// injection hook: the rank's fabric closes abruptly and the peers'
@@ -160,6 +183,14 @@ type Summary struct {
 	// TransportTable is this rank's per-peer transport-metrics table,
 	// rendered when telemetry was active for the run ("" otherwise).
 	TransportTable string
+	// Wall is the rank's measured wall-clock phase split in seconds
+	// (calibrate mode; zero otherwise). Transmit is the summed
+	// communication spans, compress the remaining in-collective work.
+	Wall netsim.Breakdown
+	// CalibTable is the predicted-vs-measured per-rank calibration table
+	// rank 0 renders from the gathered wall splits in calibrate mode
+	// ("" elsewhere).
+	CalibTable string
 }
 
 func (cfg *Config) validate() error {
@@ -184,6 +215,11 @@ func (cfg *Config) validate() error {
 		return fmt.Errorf("node: unknown collective %q (known: %v)", cfg.Collective, registry.Names())
 	}
 	cfg.desc = desc
+	if cfg.Calibrate {
+		// Calibration rides the check gather: rank 0 needs every rank's
+		// wall split, and the report frame carries it.
+		cfg.Check = true
+	}
 	if (cfg.TorusRows == 0) != (cfg.TorusCols == 0) {
 		return fmt.Errorf("node: torus needs both rows and cols (got %dx%d)", cfg.TorusRows, cfg.TorusCols)
 	}
@@ -244,6 +280,13 @@ func Run(cfg Config) (*Summary, error) {
 	n := len(cfg.Addrs)
 	rank := cfg.Rank
 
+	if cfg.Calibrate {
+		// Activate telemetry (idempotent) and size the calibration
+		// recorder before the fabric comes up, so the faultwrap counters
+		// and the round timers all land on the same registry.
+		obs.Enable().EnsureCalib(n)
+	}
+
 	cfg.logf("joining %d-rank fabric at %v", n, cfg.Addrs[rank])
 	fabric, err := tcp.New(tcp.Config{
 		Addrs:       cfg.Addrs,
@@ -254,7 +297,19 @@ func Run(cfg Config) (*Summary, error) {
 		return nil, err
 	}
 	defer fabric.Close()
-	ep := fabric.Endpoint(rank)
+	var ep transport.Endpoint
+	if cfg.Jitter > 0 {
+		// Delay injection wraps the fabric but never the cost model: the
+		// α–β clocks (and so the -check replay) are jitter-blind by
+		// construction, only the measured wall clock moves.
+		ep = faultwrap.Wrap(fabric, faultwrap.Config{
+			Seed:   cfg.JitterSeed,
+			Jitter: cfg.Jitter,
+		}).Endpoint(rank)
+		cfg.logf("jitter injection armed: up to %v per send (seed %d)", cfg.Jitter, cfg.JitterSeed)
+	} else {
+		ep = fabric.Endpoint(rank)
+	}
 	cfg.logf("fabric up (%d ranks)", n)
 
 	cluster := netsim.NewCluster(n, cfg.costModel())
@@ -270,6 +325,11 @@ func Run(cfg Config) (*Summary, error) {
 		Bytes:   cluster.BytesSent(rank),
 		Phases:  cluster.PhaseBreakdown(rank),
 		Result:  result,
+	}
+	if cfg.Calibrate {
+		if rec := obs.ActiveCalib(); rec != nil {
+			s.Wall = netsim.Breakdown(rec.RankWall(rank))
+		}
 	}
 	if !cfg.Check {
 		// Even without verification the teardown must be ordered: a rank
@@ -357,13 +417,22 @@ func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (result te
 			t.SetLabel(rank, cfg.Collective)
 		}
 	}
+	rec := obs.ActiveCalib()
+	if rec != nil {
+		rec.SetLabel(rank, cfg.Collective)
+	}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		if cfg.DieAfterRounds > 0 && round == cfg.DieAfterRounds {
 			cfg.logf("simulated death after %d rounds", round)
 			return nil, ErrRankDied
 		}
-		result = step(c, ep, grads.NormVec(make(tensor.Vec, d), 0, 1))
+		grad := grads.NormVec(make(tensor.Vec, d), 0, 1)
+		if rec != nil {
+			runtime.CalibStep(rec, c, rank, func() { result = step(c, ep, grad) })
+		} else {
+			result = step(c, ep, grad)
+		}
 		if rounds != nil {
 			rounds.Inc()
 		}
@@ -399,19 +468,34 @@ func sequentialReference(cfg *Config, n int) ([]tensor.Vec, *netsim.Cluster, err
 // numPhases is the per-phase breakdown width of the report frame.
 const numPhases = len(netsim.Breakdown{})
 
-// reportBytes is the report frame size for dimension d.
-func reportBytes(d int) int { return 8 + 8 + 8*numPhases + 8*d }
+// reportBytes is the report frame size for dimension d. Calibrate mode
+// appends the measured wall-clock phase split after the virtual one, so
+// every rank of a fabric must agree on the flag.
+func reportBytes(d int, calibrate bool) int {
+	n := 8 + 8 + 8*numPhases + 8*d
+	if calibrate {
+		n += 8 * numPhases
+	}
+	return n
+}
 
 // encodeReport serializes a rank's clock, byte count, phase breakdown
-// and result into a pooled control-plane payload.
-func encodeReport(s *Summary) []byte {
-	out := transport.GetBuffer(reportBytes(len(s.Result)))
+// (plus, in calibrate mode, its wall split) and result into a pooled
+// control-plane payload.
+func encodeReport(s *Summary, calibrate bool) []byte {
+	out := transport.GetBuffer(reportBytes(len(s.Result), calibrate))
 	binary.LittleEndian.PutUint64(out[0:], math.Float64bits(s.Clock))
 	binary.LittleEndian.PutUint64(out[8:], uint64(s.Bytes))
 	off := 16
 	for _, ph := range s.Phases {
 		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(ph))
 		off += 8
+	}
+	if calibrate {
+		for _, w := range s.Wall {
+			binary.LittleEndian.PutUint64(out[off:], math.Float64bits(w))
+			off += 8
+		}
 	}
 	for _, x := range s.Result {
 		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(x))
@@ -421,9 +505,9 @@ func encodeReport(s *Summary) []byte {
 }
 
 // decodeReport parses a report frame (and recycles it).
-func decodeReport(data []byte, d int) (clock float64, bytes int64, phases netsim.Breakdown, result tensor.Vec, err error) {
-	if len(data) != reportBytes(d) {
-		return 0, 0, phases, nil, fmt.Errorf("node: report of %d bytes, want %d", len(data), reportBytes(d))
+func decodeReport(data []byte, d int, calibrate bool) (clock float64, bytes int64, phases, wall netsim.Breakdown, result tensor.Vec, err error) {
+	if len(data) != reportBytes(d, calibrate) {
+		return 0, 0, phases, wall, nil, fmt.Errorf("node: report of %d bytes, want %d", len(data), reportBytes(d, calibrate))
 	}
 	clock = math.Float64frombits(binary.LittleEndian.Uint64(data[0:]))
 	bytes = int64(binary.LittleEndian.Uint64(data[8:]))
@@ -432,13 +516,19 @@ func decodeReport(data []byte, d int) (clock float64, bytes int64, phases netsim
 		phases[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
 	}
+	if calibrate {
+		for i := range wall {
+			wall[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
 	result = tensor.New(d)
 	for i := range result {
 		result[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
 	}
 	transport.PutBuffer(data)
-	return clock, bytes, phases, result, nil
+	return clock, bytes, phases, wall, result, nil
 }
 
 // clockTolerance absorbs the float summation-order differences the
@@ -471,20 +561,30 @@ func verifyFabric(cfg *Config, ep transport.Endpoint, own *Summary) error {
 	clocks := make([]float64, n)
 	bytes := make([]int64, n)
 	phases := make([]netsim.Breakdown, n)
+	walls := make([]netsim.Breakdown, n)
 	results := make([]tensor.Vec, n)
-	clocks[0], bytes[0], phases[0], results[0] = own.Clock, own.Bytes, own.Phases, own.Result
+	clocks[0], bytes[0], phases[0], walls[0], results[0] = own.Clock, own.Bytes, own.Phases, own.Wall, own.Result
 	for from := 1; from < n; from++ {
 		p, err := ep.Recv(from)
 		if err != nil {
 			return fmt.Errorf("node: gather report from rank %d: %w", from, err)
 		}
-		clocks[from], bytes[from], phases[from], results[from], err = decodeReport(p.Data, d)
+		clocks[from], bytes[from], phases[from], walls[from], results[from], err = decodeReport(p.Data, d, cfg.Calibrate)
 		if err != nil {
 			return err
 		}
 	}
 	cfg.logf("gathered %d reports, replaying sequentially", n-1)
 	own.PhaseTable = phaseTable(cfg, clocks, bytes, phases)
+	if cfg.Calibrate {
+		// Render the gathered wall splits against the α–β predictions.
+		// Calibration error never flips the verdict: the table is a
+		// measurement, the check below is the correctness bar.
+		own.CalibTable = calib.RankTable(
+			fmt.Sprintf("Calibration — %s, M=%d, D=%d, %d rounds (measured wall vs α–β prediction)",
+				cfg.Collective, n, cfg.Dim, cfg.Rounds),
+			phases, walls)
+	}
 
 	refResults, refC, err := sequentialReference(cfg, n)
 	verdict := err == nil
@@ -605,7 +705,7 @@ func sameVec(a, b tensor.Vec) bool {
 
 // reportAndAwaitVerdict is every other rank's check half.
 func reportAndAwaitVerdict(cfg *Config, ep transport.Endpoint, own *Summary) error {
-	if err := ep.Send(0, transport.Packet{Data: encodeReport(own)}); err != nil {
+	if err := ep.Send(0, transport.Packet{Data: encodeReport(own, cfg.Calibrate)}); err != nil {
 		return fmt.Errorf("node: report to rank 0: %w", err)
 	}
 	p, err := ep.Recv(0)

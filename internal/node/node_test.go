@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"marsit/internal/node"
+	"marsit/internal/obs"
 )
 
 // launch runs one node.Run per rank concurrently — each rank builds its
@@ -331,6 +332,54 @@ func TestSingleRankFabric(t *testing.T) {
 	for _, x := range s.Result {
 		if math.Abs(x) != 0.1 {
 			t.Fatalf("one-bit update magnitude %v", x)
+		}
+	}
+}
+
+// TestCalibratedJitteredFleetStaysBitIdentical is the calibration
+// harness's process-level acceptance check: a 4-rank fleet with
+// -calibrate semantics and real injected send jitter must still pass
+// rank 0's bit-exact check (delay moves wall clock only, never results,
+// wire bytes or virtual clocks), rank 0 must render the
+// predicted-vs-measured table from the gathered wall splits, and every
+// rank must have measured non-zero communication wall time.
+func TestCalibratedJitteredFleetStaysBitIdentical(t *testing.T) {
+	// Pin a fresh registry so the Enable() inside node.Run does not leak
+	// telemetry into the other tests of this binary.
+	restore := obs.SetActive(obs.NewRegistry())
+	defer restore()
+
+	sums, errs := launch(t, 4, func(rank int, cfg *node.Config) {
+		cfg.Calibrate = true
+		cfg.Check = false // Calibrate must imply Check on its own
+		cfg.Jitter = 300 * time.Microsecond
+		cfg.JitterSeed = 0xca11b
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, s := range sums {
+		if !s.Checked {
+			t.Fatalf("rank %d not verified (Calibrate did not imply Check?)", r)
+		}
+		if s.Wall.Transmit() <= 0 {
+			t.Fatalf("rank %d measured no communication wall time: %+v", r, s.Wall)
+		}
+		if s.Wall.Compute() != 0 {
+			t.Fatalf("rank %d charged wall compute %v (collectives never should)", r, s.Wall.Compute())
+		}
+	}
+	tbl := sums[0].CalibTable
+	for _, want := range []string{"Calibration", "marsit", "transmit", "wall/virtual", "all"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("rank 0 calibration table missing %q:\n%s", want, tbl)
+		}
+	}
+	for r := 1; r < 4; r++ {
+		if sums[r].CalibTable != "" {
+			t.Fatalf("rank %d rendered a calibration table (rank 0's job)", r)
 		}
 	}
 }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCalibRecorderAccumulates(t *testing.T) {
+	cr := NewCalibRecorder(2)
+	cr.SetLabel(0, "rar")
+	cr.AddCommWall(0, int64(3*time.Millisecond))
+	if got := cr.TakeComm(0); got != int64(3*time.Millisecond) {
+		t.Fatalf("TakeComm = %d", got)
+	}
+	if got := cr.TakeComm(0); got != 0 {
+		t.Fatalf("TakeComm after drain = %d", got)
+	}
+
+	wall := [NumCalibPhases]int64{0, int64(time.Millisecond), int64(4 * time.Millisecond)}
+	virt := [NumCalibPhases]float64{0, 2e-4, 8e-4}
+	cr.ObserveRun(0, wall, virt)
+	cr.ObserveRun(0, wall, virt)
+	cr.SetLabel(0, "ssdm")
+	cr.ObserveRun(0, wall, virt)
+
+	snap := cr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot entries = %d, want 2", len(snap))
+	}
+	e := snap[0]
+	if e.Rank != 0 || e.Collective != "rar" || e.Runs != 2 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if e.WallNanos[2] != int64(8*time.Millisecond) || e.VirtSeconds[2] != 16e-4 {
+		t.Fatalf("entry 0 transmit = %d ns, %v s", e.WallNanos[2], e.VirtSeconds[2])
+	}
+	if snap[1].Collective != "ssdm" || snap[1].Runs != 1 {
+		t.Fatalf("entry 1 = %+v", snap[1])
+	}
+
+	rw := cr.RankWall(0)
+	wantTransmit := 12e-3 // 3 runs × 4 ms
+	if diff := rw[2] - wantTransmit; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("RankWall transmit = %v, want %v", rw[2], wantTransmit)
+	}
+	if got := cr.RankWall(1); got != ([NumCalibPhases]float64{}) {
+		t.Fatalf("rank 1 wall = %v, want zero", got)
+	}
+}
+
+func TestCalibPrometheusRendering(t *testing.T) {
+	reg := NewRegistry()
+	cr := NewCalibRecorder(1)
+	reg.AttachCalib(cr)
+	if reg.Calib() != cr {
+		t.Fatal("Calib accessor")
+	}
+	cr.SetLabel(0, "marsit")
+	cr.ObserveRun(0,
+		[NumCalibPhases]int64{0, int64(50 * time.Microsecond), int64(300 * time.Microsecond)},
+		[NumCalibPhases]float64{0, 1e-4, 5e-4})
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`marsit_calib_runs_total{rank="0",collective="marsit"} 1`,
+		`marsit_calib_wall_seconds_total{rank="0",collective="marsit",phase="transmit"} 0.000300000`,
+		`marsit_calib_virtual_seconds_total{rank="0",collective="marsit",phase="compress"} 0.000100000`,
+		`marsit_calib_phase_wall_micros_count{rank="0",collective="marsit",phase="transmit"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnsureCalibIsIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.EnsureCalib(4)
+	b := reg.EnsureCalib(4)
+	if a == nil || a != b {
+		t.Fatalf("EnsureCalib returned distinct recorders: %p %p", a, b)
+	}
+	if a.Ranks() != 4 {
+		t.Fatalf("Ranks = %d", a.Ranks())
+	}
+}
+
+// TestTraceDropCounter pins satellite behaviour: overflowing a tiny
+// ring both counts per-rank drops on the tracer and increments the
+// registry-level marsit_trace_dropped_total counter on /metrics.
+func TestTraceDropCounter(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(1, 2)
+	reg.AttachTracer(tr)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Rank: 0})
+	}
+	if got := tr.Dropped(0); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	if got := reg.Counter("marsit_trace_dropped_total").Value(); got != 3 {
+		t.Fatalf("drop counter = %d, want 3", got)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "marsit_trace_dropped_total 3") {
+		t.Fatalf("scrape missing aggregate drop counter:\n%s", b.String())
+	}
+}

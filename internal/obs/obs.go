@@ -124,6 +124,7 @@ type Registry struct {
 	Pool PoolStats
 
 	tracer atomic.Pointer[Tracer]
+	calib  atomic.Pointer[CalibRecorder]
 }
 
 // NewRegistry returns an empty registry.
@@ -184,11 +185,41 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	return g
 }
 
-// AttachTracer installs t as the registry's tracer (nil detaches).
-func (r *Registry) AttachTracer(t *Tracer) { r.tracer.Store(t) }
+// AttachTracer installs t as the registry's tracer (nil detaches) and
+// wires the registry's aggregate drop counter into it, so ring
+// exhaustion surfaces as marsit_trace_dropped_total instead of only the
+// per-rank tracer internals.
+func (r *Registry) AttachTracer(t *Tracer) {
+	if t != nil {
+		t.dropCounter.Store(r.Counter("marsit_trace_dropped_total"))
+	}
+	r.tracer.Store(t)
+}
 
 // Tracer returns the attached tracer, nil if none.
 func (r *Registry) Tracer() *Tracer { return r.tracer.Load() }
+
+// AttachCalib installs cr as the registry's calibration recorder (nil
+// detaches).
+func (r *Registry) AttachCalib(cr *CalibRecorder) { r.calib.Store(cr) }
+
+// Calib returns the attached calibration recorder, nil if none.
+func (r *Registry) Calib() *CalibRecorder { return r.calib.Load() }
+
+// EnsureCalib returns the attached calibration recorder, atomically
+// attaching a fresh n-rank one if none is present — the idempotent
+// entry point for in-process fleets whose ranks race to enable
+// calibration.
+func (r *Registry) EnsureCalib(n int) *CalibRecorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cr := r.calib.Load(); cr != nil {
+		return cr
+	}
+	cr := NewCalibRecorder(n)
+	r.calib.Store(cr)
+	return cr
+}
 
 // Fabrics snapshots the registered fabric metrics in registration order.
 func (r *Registry) Fabrics() []*FabricMetrics {
@@ -215,6 +246,16 @@ func ActiveTracer() *Tracer {
 		return nil
 	}
 	return r.tracer.Load()
+}
+
+// ActiveCalib returns the active registry's calibration recorder, nil
+// when calibration (or telemetry entirely) is off.
+func ActiveCalib() *CalibRecorder {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	return r.calib.Load()
 }
 
 // Enable installs a fresh registry if none is active and returns the
@@ -296,5 +337,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 
 	if t := r.tracer.Load(); t != nil {
 		t.writePrometheus(w)
+	}
+	if cr := r.calib.Load(); cr != nil {
+		cr.writePrometheus(w)
 	}
 }

@@ -79,6 +79,10 @@ type rankRing struct {
 type Tracer struct {
 	rings []rankRing
 	epoch time.Time
+	// dropCounter, when wired by Registry.AttachTracer, aggregates ring
+	// exhaustion across ranks into one registry counter so drops are
+	// visible on /metrics without walking the tracer.
+	dropCounter atomic.Pointer[Counter]
 }
 
 // NewTracer preallocates a tracer for n ranks with the given per-rank
@@ -123,6 +127,9 @@ func (t *Tracer) Emit(e Event) {
 	h := r.head.Load()
 	if int(h) >= len(r.events) {
 		r.dropped.Add(1)
+		if c := t.dropCounter.Load(); c != nil {
+			c.Inc()
+		}
 		return
 	}
 	if c := r.collective.Load(); c != nil {

@@ -22,6 +22,7 @@ import (
 	gort "runtime"
 	"time"
 
+	"marsit/internal/calib"
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
 	"marsit/internal/obs"
@@ -91,14 +92,19 @@ type TransportStats struct {
 
 // Result is one collective × fabric case: the sequential baseline, the
 // parallel engine, and their ratio (> 1 means the parallel engine is
-// faster in wall clock).
+// faster in wall clock). Calibration is the schema-3 predicted-vs-
+// measured block for the parallel leg's timed iterations (warm-up
+// excluded): per cost-model phase, the α–β virtual seconds the run
+// charged next to the wall-clock seconds it actually took, with
+// wall-per-virtual error ratios.
 type Result struct {
-	Collective string          `json:"collective"`
-	Fabric     string          `json:"fabric"`
-	Seq        Metrics         `json:"seq"`
-	Par        Metrics         `json:"par"`
-	Speedup    float64         `json:"speedup"`
-	Transport  *TransportStats `json:"transport,omitempty"`
+	Collective  string          `json:"collective"`
+	Fabric      string          `json:"fabric"`
+	Seq         Metrics         `json:"seq"`
+	Par         Metrics         `json:"par"`
+	Speedup     float64         `json:"speedup"`
+	Transport   *TransportStats `json:"transport,omitempty"`
+	Calibration *calib.Entry    `json:"calibration,omitempty"`
 }
 
 // Report is the full JSON record.
@@ -137,15 +143,18 @@ func Run(cfg Config) (*Report, error) {
 		cfg.MinIters = 3
 	}
 
-	// The schema-2 record carries a transport-counter snapshot per case,
-	// so the harness always runs with telemetry on: install a registry if
-	// the caller (or the CLI's -trace flag) hasn't already.
+	// The schema-3 record carries a transport-counter snapshot and a
+	// calibration block per case, so the harness always runs with
+	// telemetry on: install a registry if the caller (or the CLI's
+	// -trace flag) hasn't already, and make sure a calibration recorder
+	// is attached either way.
 	if obs.Active() == nil {
 		defer obs.SetActive(obs.NewRegistry())()
 	}
+	obs.Active().EnsureCalib(cfg.Workers)
 
 	rep := &Report{
-		Schema:     "marsit-bench/2",
+		Schema:     "marsit-bench/3",
 		Label:      cfg.Label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  gort.Version(),
@@ -168,17 +177,18 @@ func Run(cfg Config) (*Report, error) {
 			if err := verifyCase(&cfg, desc, fabric); err != nil {
 				return nil, fmt.Errorf("perfbench: %s/%s verification: %w", name, fabric, err)
 			}
-			par, tstats, err := measurePar(&cfg, desc, fabric)
+			par, tstats, centry, err := measurePar(&cfg, desc, fabric)
 			if err != nil {
 				return nil, fmt.Errorf("perfbench: %s/%s par: %w", name, fabric, err)
 			}
 			res := Result{
-				Collective: name,
-				Fabric:     fabric,
-				Seq:        seq,
-				Par:        par,
-				Speedup:    seq.NsOp / par.NsOp,
-				Transport:  tstats,
+				Collective:  name,
+				Fabric:      fabric,
+				Seq:         seq,
+				Par:         par,
+				Speedup:     seq.NsOp / par.NsOp,
+				Transport:   tstats,
+				Calibration: centry,
 			}
 			rep.Results = append(rep.Results, res)
 			if cfg.Progress != nil {
@@ -297,7 +307,7 @@ func newEngine(workers int, fabric string) (*runtime.Engine, error) {
 	}
 }
 
-func measurePar(cfg *Config, desc *registry.Descriptor, fabric string) (Metrics, *TransportStats, error) {
+func measurePar(cfg *Config, desc *registry.Descriptor, fabric string) (Metrics, *TransportStats, *calib.Entry, error) {
 	reg := obs.Active()
 	var nFabrics int
 	if reg != nil {
@@ -305,12 +315,12 @@ func measurePar(cfg *Config, desc *registry.Descriptor, fabric string) (Metrics,
 	}
 	eng, err := newEngine(cfg.Workers, fabric)
 	if err != nil {
-		return Metrics{}, nil, err
+		return Metrics{}, nil, nil, err
 	}
 	defer eng.Close()
 	cl, err := eng.Open(desc, cfg.opts(desc))
 	if err != nil {
-		return Metrics{}, nil, err
+		return Metrics{}, nil, nil, err
 	}
 
 	// The engine's transport constructor registered this case's fabric
@@ -339,17 +349,33 @@ func measurePar(cfg *Config, desc *registry.Descriptor, fabric string) (Metrics,
 
 	c := netsim.NewCluster(cfg.Workers, netsim.DefaultCostModel())
 	grads := cfg.inputs(23)
+	// The calibration window opens at the same point as the transport
+	// one: after the warm-up run, so warm-up wall time never skews the
+	// reported ratios.
+	rec := obs.ActiveCalib()
+	var calibBase []obs.CalibEntry
 	var warm func()
 	if reg != nil {
-		warm = func() { base = snapshot() }
+		warm = func() {
+			base = snapshot()
+			if rec != nil {
+				calibBase = rec.Snapshot()
+			}
+		}
 	}
 	m, err := cfg.measure(func() error {
 		return guard(func() { cl.Run(c, grads) })
 	}, warm)
 	if err != nil || reg == nil {
-		return m, nil, err
+		return m, nil, nil, err
 	}
 	end := snapshot()
+	var centry *calib.Entry
+	if rec != nil {
+		if sums := calib.Summarize(calib.Diff(calibBase, rec.Snapshot())); len(sums) > 0 {
+			centry = &sums[0]
+		}
+	}
 	return m, &TransportStats{
 		Frames:        end.Frames - base.Frames,
 		WireBytes:     end.WireBytes - base.WireBytes,
@@ -359,7 +385,7 @@ func measurePar(cfg *Config, desc *registry.Descriptor, fabric string) (Metrics,
 		PoolGets:      end.PoolGets - base.PoolGets,
 		PoolHits:      end.PoolHits - base.PoolHits,
 		PoolPuts:      end.PoolPuts - base.PoolPuts,
-	}, nil
+	}, centry, nil
 }
 
 // verifyCase replays one round on both engines from identical inputs

@@ -34,7 +34,7 @@ func TestRunProducesFullRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "marsit-bench/2" {
+	if rep.Schema != "marsit-bench/3" {
 		t.Fatalf("schema %q", rep.Schema)
 	}
 	if len(rep.Results) != 4 { // 2 collectives × 2 fabrics
@@ -64,6 +64,22 @@ func TestRunProducesFullRecord(t *testing.T) {
 			if r.Transport.WritevFlushes != 0 {
 				t.Fatalf("%s/loopback: phantom writev flushes %+v", r.Collective, *r.Transport)
 			}
+		}
+		// Schema 3: every case carries the predicted-vs-measured
+		// calibration block for its timed window.
+		cb := r.Calibration
+		if cb == nil {
+			t.Fatalf("%s/%s: no calibration block", r.Collective, r.Fabric)
+		}
+		if cb.Collective != r.Collective || cb.Runs < int64(r.Par.Iters) {
+			t.Fatalf("%s/%s: calibration block %+v does not match the case", r.Collective, r.Fabric, *cb)
+		}
+		if cb.PredictedSeconds <= 0 || cb.MeasuredSeconds <= 0 || cb.Ratio <= 0 {
+			t.Fatalf("%s/%s: degenerate calibration totals %+v", r.Collective, r.Fabric, *cb)
+		}
+		if len(cb.Phases) != 3 || cb.Phases[2].Phase != "transmit" ||
+			cb.Phases[2].MeasuredSeconds <= 0 || cb.Phases[2].PredictedSeconds <= 0 {
+			t.Fatalf("%s/%s: degenerate calibration phases %+v", r.Collective, r.Fabric, cb.Phases)
 		}
 	}
 	out, err := rep.JSON()

@@ -1,0 +1,49 @@
+package runtime
+
+import (
+	"time"
+
+	"marsit/internal/netsim"
+	"marsit/internal/obs"
+)
+
+// CalibStep runs one collective step for rank under the calibration
+// recorder: it measures the step's wall-clock time, splits it into the
+// communication share (accumulated by the exchange/hub/barrier spans
+// into rec's per-rank scratch) and the local remainder, diffs the
+// cluster's per-phase virtual charges across the step, and records the
+// predicted-vs-measured pair on rec.
+//
+// The wall split mirrors the cost model's in-collective charges: the
+// transmit phase gets the measured communication spans, the compress
+// phase gets everything else (compression and folding are the model's
+// only local in-collective charges, so all local wall time is
+// attributed there), and compute stays zero — the model's compute phase
+// is charged by training loops outside the collectives, which this
+// harness does not time. Callers with rec == nil must invoke step
+// directly instead (the nil path here exists for safety, not speed).
+func CalibStep(rec *obs.CalibRecorder, c *netsim.Cluster, rank int, step func()) {
+	if rec == nil {
+		step()
+		return
+	}
+	rec.TakeComm(rank) // drop scratch from uncalibrated work
+	before := c.PhaseBreakdown(rank)
+	t0 := time.Now()
+	step()
+	total := int64(time.Since(t0))
+	after := c.PhaseBreakdown(rank)
+
+	comm := rec.TakeComm(rank)
+	if comm > total {
+		comm = total
+	}
+	var wall [obs.NumCalibPhases]int64
+	wall[netsim.PhaseCompress] = total - comm
+	wall[netsim.PhaseTransmit] = comm
+	var virt [obs.NumCalibPhases]float64
+	for i := range virt {
+		virt[i] = after[i] - before[i]
+	}
+	rec.ObserveRun(rank, wall, virt)
+}

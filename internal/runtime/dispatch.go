@@ -66,6 +66,16 @@ func (cl *Collective) Run(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
 			t.SetLabel(rank, cl.desc.Name)
 			t.SetPhase(rank, "")
 		}
+		// With calibration on, time the round; the direct call below is
+		// the disabled path, kept closure-free so the steady-state
+		// allocation caps hold.
+		if rec := obs.ActiveCalib(); rec != nil {
+			rec.SetLabel(rank, cl.desc.Name)
+			CalibStep(rec, c, rank, func() {
+				outs[rank] = cl.runners[rank](c, ep, grads[rank])
+			})
+			return
+		}
 		outs[rank] = cl.runners[rank](c, ep, grads[rank])
 	})
 	return outs

@@ -216,6 +216,12 @@ type rankCtx struct {
 	// at context creation so the hot loops pay a nil check, nothing more;
 	// events never influence results, bytes or clocks.
 	tracer *obs.Tracer
+	// rec, when non-nil, is the calibration recorder: exchange spans
+	// accumulate into commNanos and finish flushes the total, giving
+	// CalibStep the measured communication share of the run's wall time.
+	// Same nil-check discipline as the tracer.
+	rec       *obs.CalibRecorder
+	commNanos int64
 	// hops numbers the rank's exchanges within the current collective.
 	hops int
 }
@@ -228,7 +234,8 @@ type rankCtx struct {
 const maxHopChunks = 16
 
 func newRankCtx(c *netsim.Cluster, ep transport.Endpoint, rank int) *rankCtx {
-	return &rankCtx{c: c, ep: ep, rank: rank, clk: c.Clock(rank), chunks: 1, tracer: obs.ActiveTracer()}
+	return &rankCtx{c: c, ep: ep, rank: rank, clk: c.Clock(rank), chunks: 1,
+		tracer: obs.ActiveTracer(), rec: obs.ActiveCalib()}
 }
 
 // newRankCtxChunks is newRankCtx with a hop-pipelining degree; values
@@ -249,21 +256,23 @@ func newRankCtxChunks(c *netsim.Cluster, ep transport.Endpoint, rank, chunks int
 // prev — and advances the virtual clock with exactly the arithmetic of
 // netsim.Cluster.Exchange for a one-send, one-receive round:
 //
-//	sendDone  = start + outWire·β
-//	recvStart = max(sender start + α, start)
-//	recvDone  = recvStart + inWire·β
+//	sendDone  = start + outWire·β(rank→next)
+//	recvStart = max(sender start + α(prev→rank), start)
+//	recvDone  = recvStart + inWire·β(prev→rank)
 //	clock     = max(start, sendDone, recvDone)
 //
-// The sender's step-start clock rides on the packet. Wire bytes are
-// accounted to the sender, as in netsim.
+// α and β resolve through Cluster.Link, so per-link cost overrides
+// (heterogeneous interconnects) flow through identically on both
+// engines. The sender's step-start clock rides on the packet. Wire
+// bytes are accounted to the sender, as in netsim.
 func (r *rankCtx) exchange(next int, data []byte, outWire int, prev int) []byte {
-	model := r.c.Model
 	start := r.clk
 	hop := r.hops
 	r.hops++
 	var t0 time.Time
 	outBytes := len(data)
-	if r.tracer != nil {
+	timed := r.tracer != nil || r.rec != nil
+	if timed {
 		t0 = time.Now()
 	}
 	err := r.ep.Send(next, transport.Packet{Data: data, Wire: outWire, Clock: start})
@@ -275,12 +284,19 @@ func (r *rankCtx) exchange(next int, data []byte, outWire int, prev int) []byte 
 	if err != nil {
 		panic(fmt.Sprintf("runtime: rank %d recv from %d: %v", r.rank, prev, err))
 	}
-	sendDone := start + float64(outWire)*model.BytePeriod
-	recvStart := p.Clock + model.Latency
+	var span time.Duration
+	if timed {
+		span = time.Since(t0)
+		r.commNanos += int64(span)
+	}
+	_, outBeta := r.c.Link(r.rank, next)
+	inAlpha, inBeta := r.c.Link(prev, r.rank)
+	sendDone := start + float64(outWire)*outBeta
+	recvStart := p.Clock + inAlpha
 	if start > recvStart {
 		recvStart = start
 	}
-	recvDone := recvStart + float64(p.Wire)*model.BytePeriod
+	recvDone := recvStart + float64(p.Wire)*inBeta
 	if sendDone > r.clk {
 		r.clk = sendDone
 	}
@@ -289,7 +305,7 @@ func (r *rankCtx) exchange(next int, data []byte, outWire int, prev int) []byte 
 	}
 	if r.tracer != nil {
 		r.tracer.Emit(obs.Event{Kind: obs.KindHop, Rank: r.rank, Hop: hop, Chunk: -1,
-			Bytes: outBytes, Wire: outWire, VClock: r.clk, Start: t0, Dur: time.Since(t0)})
+			Bytes: outBytes, Wire: outWire, VClock: r.clk, Start: t0, Dur: span})
 	}
 	return p.Data
 }
@@ -329,10 +345,10 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 		consume(0, 0, inN, r.exchange(next, enc(0, 0, outN), outWire, prev))
 		return
 	}
-	model := r.c.Model
 	start := r.clk
 	hop := r.hops
 	r.hops++
+	timed := r.tracer != nil || r.rec != nil
 	var hopT0 time.Time
 	if r.tracer != nil {
 		hopT0 = time.Now()
@@ -345,12 +361,18 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 	recvd := 0
 	recvOne := func() {
 		var ct0 time.Time
-		if r.tracer != nil {
+		if timed {
 			ct0 = time.Now()
 		}
 		p, err := r.ep.Recv(prev)
 		if err != nil {
 			panic(fmt.Sprintf("runtime: rank %d recv from %d: %v", r.rank, prev, err))
+		}
+		if r.rec != nil {
+			// The comm share of the span ends at delivery; the consume
+			// below is local merge work. The tracer's chunk Dur keeps
+			// including it — the trace reads as "time to land this chunk".
+			r.commNanos += int64(time.Since(ct0))
 		}
 		if recvd == 0 {
 			firstWire, firstClock = p.Wire, p.Clock
@@ -375,9 +397,16 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 		}
 		payload := enc(ci, seg.Lo, seg.Hi)
 		sentBytes += len(payload)
+		var st0 time.Time
+		if r.rec != nil {
+			st0 = time.Now()
+		}
 		err := r.ep.Send(next, transport.Packet{Data: payload, Wire: wire, Clock: clock})
 		if err != nil {
 			panic(fmt.Sprintf("runtime: rank %d send to %d: %v", r.rank, next, err))
+		}
+		if r.rec != nil {
+			r.commNanos += int64(time.Since(st0))
 		}
 		if ci == 0 {
 			r.c.AccountBytes(r.rank, outWire)
@@ -385,12 +414,14 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 	}
 	recvOne()
 
-	sendDone := start + float64(outWire)*model.BytePeriod
-	recvStart := firstClock + model.Latency
+	_, outBeta := r.c.Link(r.rank, next)
+	inAlpha, inBeta := r.c.Link(prev, r.rank)
+	sendDone := start + float64(outWire)*outBeta
+	recvStart := firstClock + inAlpha
 	if start > recvStart {
 		recvStart = start
 	}
-	recvDone := recvStart + float64(firstWire)*model.BytePeriod
+	recvDone := recvStart + float64(firstWire)*inBeta
 	if sendDone > r.clk {
 		r.clk = sendDone
 	}
@@ -432,9 +463,15 @@ func (r *rankCtx) addDecompress(elems int) {
 
 // finish writes the accumulated transmission time back to the cluster:
 // everything beyond the charges already applied is transmit time, exactly
-// how the sequential Exchange attributes it.
+// how the sequential Exchange attributes it. With calibration active it
+// also flushes the rank's measured communication wall time to the
+// recorder's scratch, where CalibStep picks it up.
 func (r *rankCtx) finish() {
 	r.c.AdvanceTransmit(r.rank, r.clk)
+	if r.rec != nil && r.commNanos > 0 {
+		r.rec.AddCommWall(r.rank, r.commNanos)
+		r.commNanos = 0
+	}
 }
 
 // ---------------------------------------------------------------------------

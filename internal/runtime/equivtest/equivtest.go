@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
@@ -33,6 +34,8 @@ import (
 	"marsit/internal/runtime"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
+	"marsit/internal/transport"
+	"marsit/internal/transport/faultwrap"
 	"marsit/internal/transport/tcp"
 )
 
@@ -97,14 +100,26 @@ type Spec struct {
 	Par func(eng *runtime.Engine, c *netsim.Cluster, sh Shape, d int, seed uint64) []tensor.Vec
 }
 
-// Backends are the fabric backends the matrix covers.
+// Backends are the fabric backends the matrix covers by default.
 var Backends = []string{"loopback", "tcp"}
 
-// Run executes every spec over its shape × dim × backend matrix. The
-// TCP leg runs the full shape set at the last (largest) dimension only,
-// keeping socket churn bounded while still proving every schedule over
-// real frames.
+// JitterBackends are the fault-injected backends: the same fabrics
+// wrapped in the faultwrap delay middleware with real jitter and a 3×
+// straggler on the last rank. Results, wire bytes and clocks must stay
+// bit-identical — injected delay may only move wall time.
+var JitterBackends = []string{"loopback-jitter", "tcp-jitter"}
+
+// Run executes every spec over its shape × dim × backend matrix. Any
+// backend other than plain loopback runs the full shape set at the last
+// (largest) dimension only, keeping socket churn and injected sleeps
+// bounded while still proving every schedule over real frames.
 func Run(t *testing.T, specs []Spec) {
+	RunBackends(t, specs, Backends)
+}
+
+// RunBackends is Run over an explicit backend list (Backends,
+// JitterBackends, or any subset).
+func RunBackends(t *testing.T, specs []Spec, backends []string) {
 	for _, spec := range specs {
 		shapes := spec.Shapes
 		if shapes == nil {
@@ -115,10 +130,10 @@ func Run(t *testing.T, specs []Spec) {
 			dims = DefaultDims
 		}
 		t.Run(spec.Name, func(t *testing.T) {
-			for _, backend := range Backends {
+			for _, backend := range backends {
 				t.Run(backend, func(t *testing.T) {
 					caseDims := dims
-					if backend == "tcp" {
+					if backend != "loopback" {
 						caseDims = dims[len(dims)-1:]
 					}
 					for _, sh := range shapes {
@@ -160,6 +175,21 @@ func caseSeed(sh Shape, d int) uint64 {
 	return seed
 }
 
+// jitterCfg is the fault injection the *-jitter backends run under:
+// real per-send jitter plus a 3× straggler on the last rank, from a
+// fixed seed. Small enough to keep the matrix fast, large enough that a
+// delay leaking into results or accounting would not hide in a
+// tolerance.
+func jitterCfg(workers int) faultwrap.Config {
+	return faultwrap.Config{
+		Seed:            0xca11b,
+		Base:            20 * time.Microsecond,
+		Jitter:          80 * time.Microsecond,
+		Straggler:       workers - 1,
+		StragglerFactor: 3,
+	}
+}
+
 // newEngine builds a concurrent engine over the requested backend.
 func newEngine(t testing.TB, backend string, workers int) *runtime.Engine {
 	t.Helper()
@@ -172,6 +202,15 @@ func newEngine(t testing.TB, backend string, workers int) *runtime.Engine {
 			t.Fatalf("tcp fabric: %v", err)
 		}
 		return runtime.NewWithOwnedTransport(f)
+	case "loopback-jitter":
+		return runtime.NewWithOwnedTransport(
+			faultwrap.Wrap(transport.NewLoopback(workers), jitterCfg(workers)))
+	case "tcp-jitter":
+		f, err := tcp.NewLocal(workers)
+		if err != nil {
+			t.Fatalf("tcp fabric: %v", err)
+		}
+		return runtime.NewWithOwnedTransport(faultwrap.Wrap(f, jitterCfg(workers)))
 	default:
 		t.Fatalf("unknown backend %q", backend)
 		return nil

@@ -48,22 +48,30 @@ func runHub(c *netsim.Cluster, ep transport.Endpoint, push []byte, upBytes, down
 	checkRankCluster(c, ep)
 	rank, n := ep.Rank(), ep.Size()
 	tracer := obs.ActiveTracer()
+	rec := obs.ActiveCalib()
+	timed := tracer != nil || rec != nil
 	// The Packet.Wire fields below are stamped with the simulated per-
 	// direction sizes so transport metrics attribute PS traffic; the
 	// receivers only consume Clock (arrival arithmetic runs through
 	// collective.HubSchedule), so the stamps cannot perturb results.
 	if rank != hubRank {
 		var t0 time.Time
-		if tracer != nil {
+		if timed {
 			t0 = time.Now()
 		}
 		pushBytes := len(push)
 		if err := ep.Send(hubRank, transport.Packet{Data: push, Wire: upBytes, Clock: c.Clock(rank)}); err != nil {
 			panic(fmt.Sprintf("runtime: rank %d push to hub: %v", rank, err))
 		}
-		if tracer != nil {
-			tracer.Emit(obs.Event{Kind: obs.KindHubPush, Rank: rank, Hop: -1, Chunk: -1,
-				Bytes: pushBytes, Wire: upBytes, VClock: c.Clock(rank), Start: t0, Dur: time.Since(t0)})
+		if timed {
+			span := time.Since(t0)
+			if rec != nil {
+				rec.AddCommWall(rank, int64(span))
+			}
+			if tracer != nil {
+				tracer.Emit(obs.Event{Kind: obs.KindHubPush, Rank: rank, Hop: -1, Chunk: -1,
+					Bytes: pushBytes, Wire: upBytes, VClock: c.Clock(rank), Start: t0, Dur: span})
+			}
 			t0 = time.Now()
 		}
 		p, err := ep.Recv(hubRank)
@@ -72,14 +80,20 @@ func runHub(c *netsim.Cluster, ep transport.Endpoint, push []byte, upBytes, down
 		}
 		c.AdvanceTransmit(rank, p.Clock)
 		c.AccountBytes(rank, upBytes+downBytes)
-		if tracer != nil {
-			tracer.Emit(obs.Event{Kind: obs.KindHubPull, Rank: rank, Hop: -1, Chunk: -1,
-				Bytes: len(p.Data), Wire: downBytes, VClock: p.Clock, Start: t0, Dur: time.Since(t0)})
+		if timed {
+			span := time.Since(t0)
+			if rec != nil {
+				rec.AddCommWall(rank, int64(span))
+			}
+			if tracer != nil {
+				tracer.Emit(obs.Event{Kind: obs.KindHubPull, Rank: rank, Hop: -1, Chunk: -1,
+					Bytes: len(p.Data), Wire: downBytes, VClock: p.Clock, Start: t0, Dur: span})
+			}
 		}
 		return p.Data
 	}
 	var hubT0 time.Time
-	if tracer != nil {
+	if timed {
 		hubT0 = time.Now()
 	}
 
@@ -117,10 +131,19 @@ func runHub(c *netsim.Cluster, ep transport.Endpoint, push []byte, upBytes, down
 	}
 	c.AdvanceTransmit(hubRank, arrivals[hubRank])
 	c.AccountBytes(hubRank, upBytes+downBytes)
-	if tracer != nil {
-		tracer.Emit(obs.Event{Kind: obs.KindHub, Rank: hubRank, Hop: -1, Chunk: -1,
-			Bytes: (n - 1) * len(down), Wire: upBytes + downBytes, VClock: arrivals[hubRank],
-			Start: hubT0, Dur: time.Since(hubT0)})
+	if timed {
+		// The hub span necessarily includes the fold work interleaved
+		// with the gather — serving and folding are one loop here, so
+		// the split is not separable on the hub rank.
+		span := time.Since(hubT0)
+		if rec != nil {
+			rec.AddCommWall(hubRank, int64(span))
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{Kind: obs.KindHub, Rank: hubRank, Hop: -1, Chunk: -1,
+				Bytes: (n - 1) * len(down), Wire: upBytes + downBytes, VClock: arrivals[hubRank],
+				Start: hubT0, Dur: span})
+		}
 	}
 	return down
 }

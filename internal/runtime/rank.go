@@ -83,12 +83,18 @@ func ClockBarrier(c *netsim.Cluster, ep transport.Endpoint) {
 		return
 	}
 	tracer := obs.ActiveTracer()
-	var t0 time.Time
-	if tracer != nil {
-		t0 = time.Now()
+	rec := obs.ActiveCalib()
+	if tracer != nil || rec != nil {
+		t0 := time.Now()
 		defer func() {
-			tracer.Emit(obs.Event{Kind: obs.KindBarrier, Rank: rank, Hop: -1, Chunk: -1,
-				VClock: c.Clock(rank), Start: t0, Dur: time.Since(t0)})
+			span := time.Since(t0)
+			if rec != nil {
+				rec.AddCommWall(rank, int64(span))
+			}
+			if tracer != nil {
+				tracer.Emit(obs.Event{Kind: obs.KindBarrier, Rank: rank, Hop: -1, Chunk: -1,
+					VClock: c.Clock(rank), Start: t0, Dur: span})
+			}
 		}()
 	}
 	if rank == 0 {

@@ -48,6 +48,21 @@ type Topology interface {
 	Neighbors(rank int) []int
 }
 
+// Links enumerates every directed link of t as (from, to) pairs, in
+// rank order and, per rank, in the order Neighbors reports. This is the
+// edge set per-link cost overrides (netsim.Cluster.SetLinkCost) apply
+// to: each pair is one direction of traffic, so asymmetric links fall
+// out naturally.
+func Links(t Topology) [][2]int {
+	var out [][2]int
+	for r := 0; r < t.Size(); r++ {
+		for _, nb := range t.Neighbors(r) {
+			out = append(out, [2]int{r, nb})
+		}
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Ring
 

@@ -188,3 +188,38 @@ func TestTopologyInterfaceCompliance(t *testing.T) {
 		}
 	}
 }
+
+func TestLinksEnumeratesDirectedEdges(t *testing.T) {
+	// Ring: n forward edges, each rank exactly one.
+	ring := Links(NewRing(3))
+	want := [][2]int{{0, 1}, {1, 2}, {2, 0}}
+	if len(ring) != len(want) {
+		t.Fatalf("ring links = %v", ring)
+	}
+	for i, l := range want {
+		if ring[i] != l {
+			t.Fatalf("ring link %d = %v, want %v", i, ring[i], l)
+		}
+	}
+
+	// Star: rank 0 to every worker plus every worker back — both
+	// directions of each spoke appear.
+	star := Links(NewStar(3))
+	if len(star) != 4 {
+		t.Fatalf("star links = %v", star)
+	}
+	seen := map[[2]int]bool{}
+	for _, l := range star {
+		seen[l] = true
+	}
+	for _, l := range [][2]int{{0, 1}, {0, 2}, {1, 0}, {2, 0}} {
+		if !seen[l] {
+			t.Fatalf("star links missing %v: %v", l, star)
+		}
+	}
+
+	// Degenerate single worker: no links.
+	if got := Links(NewRing(1)); len(got) != 0 {
+		t.Fatalf("M=1 ring links = %v", got)
+	}
+}
