@@ -10,13 +10,16 @@
 #                          (see docs/performance.md for the format)
 #   make bench-smoke       every benchmark once (-benchtime=1x) so perf-path
 #                          code is compiled and executed on every PR
-#   make fuzz-smoke        short fuzz pass over the Elias wire coder and the
+#   make fuzz-smoke        short fuzz pass over the Elias wire coder, the
 #                          word-parallel bitvec/Elias kernels vs their scalar
-#                          oracles
+#                          oracles, and the PowerSGD Gram–Schmidt
+#                          orthonormalization on degenerate inputs
 #   make list-collectives  golden check: the CLIs' collective listing must
 #                          match docs/collectives.golden, so help text cannot
 #                          drift from the registry
 #   make tcp-demo          4-rank multi-process Marsit run over local TCP,
+#                          verified bit-for-bit against the sequential engine
+#   make tree-demo         4-rank tree all-reduce fleet over local TCP,
 #                          verified bit-for-bit against the sequential engine
 #   make trace-demo        the tcp-demo fleet with telemetry on: per-rank
 #                          Chrome traces validated, /metrics scraped live
@@ -30,7 +33,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo trace-demo calib-demo
+.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo tree-demo trace-demo calib-demo
 
 check: fmt vet build test list-collectives
 
@@ -64,11 +67,11 @@ bench:
 # collective, with the parallel outputs cross-checked bit for bit
 # against the sequential engine before timing. A failing sub-run exits
 # non-zero — it is never dropped from the record.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 
 bench-json:
-	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 7" \
-		-bench-collectives rar,tar,marsit,signsum,ssdm,cascading,ps,ps-sign,ps-ssdm,ps-scaledsign
+	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 8" \
+		-bench-collectives rar,tar,marsit,signsum,ssdm,cascading,ps,ps-sign,ps-ssdm,ps-scaledsign,gossip,tree,onebit-tree,powersgd,hier
 
 # bench-smoke runs every benchmark exactly once: cheap enough for CI,
 # and it proves the perf-path code (engine benches, chunk-pipelined
@@ -88,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzEliasIntsIntoAgainstScalar' -fuzztime $(FUZZTIME) ./internal/compress
 	$(GO) test -run '^$$' -fuzz 'FuzzPackUnpackSigns' -fuzztime $(FUZZTIME) ./internal/bitvec
 	$(GO) test -run '^$$' -fuzz 'FuzzExtractInsert' -fuzztime $(FUZZTIME) ./internal/bitvec
+	$(GO) test -run '^$$' -fuzz 'FuzzGramSchmidt' -fuzztime $(FUZZTIME) ./internal/collective
 
 # list-collectives pins the registry-generated discovery listing (the
 # same lines marsit-node/marsit-bench print for -list-collectives) to
@@ -121,6 +125,27 @@ tcp-demo:
 	for p in $$pids; do wait $$p || status=$$?; done; \
 	if [ $$status -ne 0 ]; then echo "tcp-demo: FAILED"; exit $$status; fi; \
 	echo "tcp-demo: 4-rank TCP fabric matches the sequential engine"
+
+# tree-demo runs the binary-tree all-reduce across a real 4-process TCP
+# fleet (an incomplete tree: rank 3 is the lone grandchild, so the
+# subtree weights are unbalanced) and verifies results, wire bytes and
+# virtual clocks bit-for-bit against the sequential engine.
+TREE_DEMO_PEERS := 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803,127.0.0.1:7804
+
+tree-demo:
+	$(GO) build -o bin/marsit-node ./cmd/marsit-node
+	@pids=""; \
+	for r in 1 2 3; do \
+		./bin/marsit-node -rank $$r -peers $(TREE_DEMO_PEERS) \
+			-collective tree -dim 4096 -rounds 8 -check -quiet & \
+		pids="$$pids $$!"; \
+	done; \
+	status=0; \
+	./bin/marsit-node -rank 0 -peers $(TREE_DEMO_PEERS) \
+		-collective tree -dim 4096 -rounds 8 -check || status=$$?; \
+	for p in $$pids; do wait $$p || status=$$?; done; \
+	if [ $$status -ne 0 ]; then echo "tree-demo: FAILED"; exit $$status; fi; \
+	echo "tree-demo: 4-rank tree fabric matches the sequential engine"
 
 # trace-demo is the telemetry acceptance run: the tcp-demo fleet with
 # per-rank Chrome traces and rank 0 serving /metrics, which a poller

@@ -440,6 +440,11 @@ func TreeAllReduce(c *netsim.Cluster, tr *topology.Tree, vecs []tensor.Vec) {
 // is not a cluster member (cluster-wide totals then match the paper's
 // 2·M·D accounting for PS).
 func hubPushPull(c *netsim.Cluster, upBytes, downBytes []int) {
+	if c.HasLinkOverrides() {
+		panic("collective: the PS hub schedule charges the uniform cost model only; " +
+			"per-link α–β overrides (netsim.SetLinkCost) are not resolved by HubSchedule — " +
+			"clear the overrides or pick a ring/torus/tree collective")
+	}
 	n := c.Size()
 	clocks := make([]float64, n)
 	for w := 0; w < n; w++ {
@@ -485,6 +490,11 @@ func uniformBytes(n, b int) []int {
 // replaces its value with the three-point average. Repeated application
 // converges to the global mean much more slowly than MAR — the
 // Section 1 argument for preferring all-reduce.
+//
+// At M=2 both ring neighbors coincide on the single peer; the step
+// degenerates to one exchange per direction and the two-point average
+// (own + peer) / 2 — one message each way, the peer weighted once. At
+// M=1 the step is a no-op.
 func GossipAverage(c *netsim.Cluster, vecs []tensor.Vec) {
 	d := checkShape(c, vecs)
 	n := c.Size()
@@ -492,16 +502,30 @@ func GossipAverage(c *netsim.Cluster, vecs []tensor.Vec) {
 		return
 	}
 	bytes := d * float32WireBytes
+	old := make([]tensor.Vec, n)
+	for w := range vecs {
+		old[w] = tensor.Clone(vecs[w])
+	}
+	if n == 2 {
+		c.Exchange([]netsim.Message{
+			{From: 0, To: 1, Bytes: bytes},
+			{From: 1, To: 0, Bytes: bytes},
+		})
+		for w := 0; w < 2; w++ {
+			peer := old[1-w]
+			for i := 0; i < d; i++ {
+				vecs[w][i] = (old[w][i] + peer[i]) / 2
+			}
+		}
+		c.Barrier()
+		return
+	}
 	msgs := make([]netsim.Message, 0, 2*n)
 	for w := 0; w < n; w++ {
 		msgs = append(msgs,
 			netsim.Message{From: w, To: (w + 1) % n, Bytes: bytes},
 			netsim.Message{From: w, To: (w - 1 + n) % n, Bytes: bytes},
 		)
-	}
-	old := make([]tensor.Vec, n)
-	for w := range vecs {
-		old[w] = tensor.Clone(vecs[w])
 	}
 	c.Exchange(msgs)
 	for w := 0; w < n; w++ {

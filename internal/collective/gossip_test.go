@@ -1,0 +1,61 @@
+package collective
+
+import (
+	"testing"
+
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+)
+
+// TestGossipTwoWorkers pins the M=2 semantics: both ring neighbors
+// coincide on the single peer, so the step degenerates to one exchange
+// per direction and the two-point average (own + peer) / 2 — not the
+// three-point form with the peer double-counted. The byte assertion
+// guards against the historical double-send, which charged the wire
+// twice and weighted the peer twice.
+func TestGossipTwoWorkers(t *testing.T) {
+	c := cluster(2)
+	a := tensor.Vec{1, -3, 5, 0.25}
+	b := tensor.Vec{2, 7, -1, 0.75}
+	vecs := []tensor.Vec{tensor.Clone(a), tensor.Clone(b)}
+	GossipAverage(c, vecs)
+	for i := range a {
+		want := (a[i] + b[i]) / 2
+		if vecs[0][i] != want || vecs[1][i] != want {
+			t.Fatalf("coordinate %d: got %v / %v, want %v", i, vecs[0][i], vecs[1][i], want)
+		}
+	}
+	// One d-element float32 payload each way, not two.
+	if want := int64(2 * len(a) * 4); c.TotalBytes() != want {
+		t.Fatalf("charged %d bytes, want %d", c.TotalBytes(), want)
+	}
+}
+
+// TestGossipThreeWorkersExact: at odd M=3 each worker's ring neighbors
+// are the other two workers, so one step lands everyone exactly on the
+// three-point average in the schedule's association (prev + own + next)
+// / 3 — the form the per-rank leg must reproduce bit for bit.
+func TestGossipThreeWorkersExact(t *testing.T) {
+	r := rng.New(5)
+	const n, d = 3, 9
+	c := cluster(n)
+	vecs, _ := randomVecs(r, n, d)
+	old := make([]tensor.Vec, n)
+	for w := range old {
+		old[w] = tensor.Clone(vecs[w])
+	}
+	GossipAverage(c, vecs)
+	for w := 0; w < n; w++ {
+		prev, next := old[(w+n-1)%n], old[(w+1)%n]
+		for i := 0; i < d; i++ {
+			want := (prev[i] + old[w][i] + next[i]) / 3
+			if vecs[w][i] != want {
+				t.Fatalf("worker %d coordinate %d: got %v, want %v", w, i, vecs[w][i], want)
+			}
+		}
+	}
+	// Two d-element float32 payloads out of every worker.
+	if want := int64(2 * n * d * 4); c.TotalBytes() != want {
+		t.Fatalf("charged %d bytes, want %d", c.TotalBytes(), want)
+	}
+}

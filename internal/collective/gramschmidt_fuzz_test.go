@@ -1,0 +1,62 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"marsit/internal/rng"
+	"marsit/internal/tensor"
+)
+
+// FuzzGramSchmidt: for any rows×rank matrix with rank ≤ rows — random,
+// zero, duplicated or otherwise rank-deficient columns — the
+// orthonormalization must return pairwise-orthogonal unit columns to
+// 1e-12. Degenerate columns are replaced by projected basis vectors, so
+// the post-condition holds even when the input spans fewer than rank
+// dimensions.
+func FuzzGramSchmidt(f *testing.F) {
+	f.Add(uint64(1), 4, 2, uint8(0))
+	f.Add(uint64(7), 1, 1, uint8(0x0f))
+	f.Add(uint64(9), 8, 8, uint8(0xff))
+	f.Add(uint64(23), 17, 5, uint8(0xa5))
+	f.Fuzz(func(t *testing.T, seed uint64, rows, rank int, degen uint8) {
+		if rows < 1 || rows > 32 || rank < 1 || rank > rows {
+			t.Skip()
+		}
+		r := rng.New(seed)
+		m := r.NormVec(make(tensor.Vec, rows*rank), 0, 1)
+		// Structured degeneracies: low bits of degen zero a column, high
+		// bits duplicate a column onto its right neighbor.
+		for k := 0; k < rank && k < 4; k++ {
+			if degen&(1<<k) != 0 {
+				for i := 0; i < rows; i++ {
+					m[i*rank+k] = 0
+				}
+			}
+		}
+		for k := 0; k+1 < rank && k < 4; k++ {
+			if degen&(1<<(4+k)) != 0 {
+				for i := 0; i < rows; i++ {
+					m[i*rank+k+1] = m[i*rank+k]
+				}
+			}
+		}
+		GramSchmidt(m, rows, rank)
+		for a := 0; a < rank; a++ {
+			for b := a; b < rank; b++ {
+				dot := 0.0
+				for i := 0; i < rows; i++ {
+					dot += m[i*rank+a] * m[i*rank+b]
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-12 {
+					t.Fatalf("rows=%d rank=%d degen=%#x: <q%d,q%d> = %v, want %v",
+						rows, rank, degen, a, b, dot, want)
+				}
+			}
+		}
+	})
+}

@@ -8,7 +8,11 @@ import (
 )
 
 // PowerSGDRingState carries the warm-started query matrix shared by
-// all workers across PowerSGDRing synchronizations.
+// all workers across PowerSGDRing synchronizations. The local linear
+// algebra of one round is exposed as methods (ComputeP, Orthonormalize,
+// ComputeQ, SetQ, Reconstruct) so the sequential engine and the
+// concurrent engine's per-rank leg run the identical floating-point
+// operations and cannot drift numerically.
 type PowerSGDRingState struct {
 	Rank       int
 	rows, cols int
@@ -33,6 +37,92 @@ func NewPowerSGDRingState(rank, dim int) *PowerSGDRingState {
 	return s
 }
 
+// Dims returns the rows×cols matricization shape of the gradient.
+func (s *PowerSGDRingState) Dims() (rows, cols int) { return s.rows, s.cols }
+
+// at reads the matricized gradient entry (i, j), zero-padded past dim.
+func (s *PowerSGDRingState) at(g tensor.Vec, i, j int) float64 {
+	idx := i*s.cols + j
+	if idx >= len(g) {
+		return 0
+	}
+	return g[idx]
+}
+
+// ComputeP returns P = M·Q (rows×rank) for the matricized gradient g
+// against the current warm-started Q.
+func (s *PowerSGDRingState) ComputeP(g tensor.Vec) tensor.Vec {
+	if len(g) != s.dim {
+		panic("collective: PowerSGDRingState dimension mismatch")
+	}
+	r := s.Rank
+	pm := make(tensor.Vec, s.rows*r)
+	for i := 0; i < s.rows; i++ {
+		for j := 0; j < s.cols; j++ {
+			v := s.at(g, i, j)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < r; k++ {
+				pm[i*r+k] += v * s.q[j*r+k]
+			}
+		}
+	}
+	return pm
+}
+
+// Orthonormalize orthonormalizes the columns of the rows×rank matrix p
+// in place (every worker runs this on the identical mean P).
+func (s *PowerSGDRingState) Orthonormalize(p tensor.Vec) {
+	GramSchmidt(p, s.rows, s.Rank)
+}
+
+// ComputeQ returns Q' = Mᵀ·P (cols×rank) for the matricized gradient g
+// against the orthonormalized mean P.
+func (s *PowerSGDRingState) ComputeQ(g, p tensor.Vec) tensor.Vec {
+	if len(g) != s.dim {
+		panic("collective: PowerSGDRingState dimension mismatch")
+	}
+	r := s.Rank
+	qn := make(tensor.Vec, s.cols*r)
+	for i := 0; i < s.rows; i++ {
+		for j := 0; j < s.cols; j++ {
+			v := s.at(g, i, j)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < r; k++ {
+				qn[j*r+k] += v * p[i*r+k]
+			}
+		}
+	}
+	return qn
+}
+
+// SetQ warm-starts the next round with the consensus mean Q'.
+func (s *PowerSGDRingState) SetQ(q tensor.Vec) { copy(s.q, q) }
+
+// Reconstruct writes the consensus low-rank estimate P·Q'ᵀ into dst.
+func (s *PowerSGDRingState) Reconstruct(dst, p, q tensor.Vec) {
+	if len(dst) != s.dim {
+		panic("collective: PowerSGDRingState dimension mismatch")
+	}
+	r := s.Rank
+	for i := 0; i < s.rows; i++ {
+		for j := 0; j < s.cols; j++ {
+			idx := i*s.cols + j
+			if idx >= s.dim {
+				continue
+			}
+			var sum float64
+			for k := 0; k < r; k++ {
+				sum += p[i*r+k] * q[j*r+k]
+			}
+			dst[idx] = sum
+		}
+	}
+}
+
 // PowerSGDRing synchronizes gradients with distributed PowerSGD under
 // ring all-reduce (Vogels et al., and the paper's Section 2 critique):
 //
@@ -55,105 +145,96 @@ func PowerSGDRing(c *netsim.Cluster, vecs []tensor.Vec, st *PowerSGDRingState) {
 		panic("collective: PowerSGDRing dimension mismatch")
 	}
 	n := c.Size()
-	r := st.Rank
-	at := func(g tensor.Vec, i, j int) float64 {
-		idx := i*st.cols + j
-		if idx >= len(g) {
-			return 0
-		}
-		return g[idx]
-	}
 
 	// Step 1: local P_w = M_w·Q, then all-reduce (mean).
 	ps := make([]tensor.Vec, n)
 	for w := 0; w < n; w++ {
-		pm := make(tensor.Vec, st.rows*r)
-		for i := 0; i < st.rows; i++ {
-			for j := 0; j < st.cols; j++ {
-				v := at(vecs[w], i, j)
-				if v == 0 {
-					continue
-				}
-				for k := 0; k < r; k++ {
-					pm[i*r+k] += v * st.q[j*r+k]
-				}
-			}
-		}
-		ps[w] = pm
+		ps[w] = st.ComputeP(vecs[w])
 		c.AddCompress(w, d) // the M·Q pass
 	}
 	RingAllReduce(c, ps)
 
 	// Step 2: identical orthonormalization everywhere.
 	meanP := ps[0]
-	gramSchmidt(meanP, st.rows, r)
+	st.Orthonormalize(meanP)
 
 	// Step 3: local Q'_w = M_wᵀ·P, second (dependent) all-reduce.
 	qs := make([]tensor.Vec, n)
 	for w := 0; w < n; w++ {
-		qn := make(tensor.Vec, st.cols*r)
-		for i := 0; i < st.rows; i++ {
-			for j := 0; j < st.cols; j++ {
-				v := at(vecs[w], i, j)
-				if v == 0 {
-					continue
-				}
-				for k := 0; k < r; k++ {
-					qn[j*r+k] += v * meanP[i*r+k]
-				}
-			}
-		}
-		qs[w] = qn
+		qs[w] = st.ComputeQ(vecs[w], meanP)
 		c.AddCompress(w, d) // the Mᵀ·P pass
 	}
 	RingAllReduce(c, qs)
 	meanQ := qs[0]
-	copy(st.q, meanQ)
+	st.SetQ(meanQ)
 
 	// Step 4: reconstruct P·Q̄'ᵀ on every worker.
 	for w := 0; w < n; w++ {
-		for i := 0; i < st.rows; i++ {
-			for j := 0; j < st.cols; j++ {
-				idx := i*st.cols + j
-				if idx >= d {
-					continue
-				}
-				var s float64
-				for k := 0; k < r; k++ {
-					s += meanP[i*r+k] * meanQ[j*r+k]
-				}
-				vecs[w][idx] = s
-			}
-		}
+		st.Reconstruct(vecs[w], meanP, meanQ)
 		c.AddDecompress(w, d)
 	}
 	c.Barrier()
 }
 
-// gramSchmidt orthonormalizes the rank columns of the rows×rank
-// row-major matrix m, replacing degenerate columns with unit vectors.
-func gramSchmidt(m tensor.Vec, rows, rank int) {
-	for k := 0; k < rank; k++ {
-		for prev := 0; prev < k; prev++ {
-			var dot float64
-			for i := 0; i < rows; i++ {
-				dot += m[i*rank+k] * m[i*rank+prev]
-			}
-			for i := 0; i < rows; i++ {
-				m[i*rank+k] -= dot * m[i*rank+prev]
+// GramSchmidt orthonormalizes the rank columns of the rows×rank
+// row-major matrix m in place, using two projection passes per column
+// ("twice is enough" reorthogonalization) so near-degenerate inputs
+// still come out orthonormal to working precision. A column whose
+// post-projection norm collapses below 1e-12 is replaced by a standard
+// basis vector orthogonalized against the accepted columns — whenever
+// rank <= rows the result is a genuine orthonormal set even on
+// rank-deficient or all-zero input.
+func GramSchmidt(m tensor.Vec, rows, rank int) {
+	projectPrev := func(k int) {
+		for pass := 0; pass < 2; pass++ {
+			for prev := 0; prev < k; prev++ {
+				var dot float64
+				for i := 0; i < rows; i++ {
+					dot += m[i*rank+k] * m[i*rank+prev]
+				}
+				for i := 0; i < rows; i++ {
+					m[i*rank+k] -= dot * m[i*rank+prev]
+				}
 			}
 		}
-		var norm float64
+	}
+	colNorm := func(k int) float64 {
+		var s float64
 		for i := 0; i < rows; i++ {
-			norm += m[i*rank+k] * m[i*rank+k]
+			s += m[i*rank+k] * m[i*rank+k]
 		}
-		norm = math.Sqrt(norm)
+		return math.Sqrt(s)
+	}
+	for k := 0; k < rank; k++ {
+		projectPrev(k)
+		norm := colNorm(k)
 		if norm < 1e-12 {
-			for i := 0; i < rows; i++ {
-				m[i*rank+k] = 0
+			// Degenerate column: substitute a basis vector that is not in
+			// the span of the accepted columns. Each candidate is
+			// projected against them first, so acceptance means a
+			// well-conditioned orthogonal remainder exists.
+			replaced := false
+			for j := 0; j < rows && !replaced; j++ {
+				bi := (k + j) % rows
+				for i := 0; i < rows; i++ {
+					m[i*rank+k] = 0
+				}
+				m[bi*rank+k] = 1
+				projectPrev(k)
+				if cn := colNorm(k); cn >= 1e-6 {
+					norm = cn
+					replaced = true
+				}
 			}
-			m[(k%rows)*rank+k] = 1
-			continue
+			if !replaced {
+				// rank > rows: no orthonormal set of this size exists;
+				// fall back to a bare basis vector.
+				for i := 0; i < rows; i++ {
+					m[i*rank+k] = 0
+				}
+				m[(k%rows)*rank+k] = 1
+				norm = 1
+			}
 		}
 		for i := 0; i < rows; i++ {
 			m[i*rank+k] /= norm

@@ -52,6 +52,7 @@ func TestMatrixCoversEveryDescriptor(t *testing.T) {
 		"signsum", "signsum-torus", "signsum-elias", "signsum-elias-torus",
 		"ssdm", "ssdm-elias",
 		"marsit", "marsit-torus",
+		"gossip", "tree", "onebit-tree", "powersgd", "hier",
 	}
 	for _, name := range want {
 		if !have[name] {

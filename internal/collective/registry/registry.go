@@ -48,6 +48,9 @@ const (
 	// PS schedules exchange through a hub actor hosted at rank 0 — no
 	// ring neighbors.
 	PS Topology = "ps"
+	// Tree schedules reduce up and broadcast down a complete binary tree
+	// rooted at rank 0 (topology.Tree); no torus layout applies.
+	Tree Topology = "tree"
 )
 
 // Caps flags what a collective supports or requires beyond its base
@@ -125,6 +128,9 @@ type Opts struct {
 	K int
 	// GlobalLR is the Marsit global step η_s (Caps.NeedsK collectives).
 	GlobalLR float64
+	// PowerRank is the low-rank approximation rank of the PowerSGD
+	// collective (0 means the default rank 2). All ranks must agree.
+	PowerRank int
 	// Chunks splits every ring-hop payload of a Caps.Chunked collective
 	// into this many pipelined frames on the parallel engine (0 and 1
 	// both mean one frame per hop). Results, wire bytes and virtual
@@ -237,7 +243,11 @@ func Prepare(d *Descriptor, o *Opts) error {
 		return fmt.Errorf("registry: %s: Chunks = %d, need >= 0", d.Name, o.Chunks)
 	}
 	if o.Chunks > 1 && !d.Caps.Chunked {
-		return fmt.Errorf("registry: %s does not support chunk-pipelined hops", d.Name)
+		return fmt.Errorf("registry: %s does not support chunk-pipelined hops (Chunks = %d; caps: %s)",
+			d.Name, o.Chunks, d.Caps)
+	}
+	if o.PowerRank < 0 {
+		return fmt.Errorf("registry: %s: PowerRank = %d, need >= 0", d.Name, o.PowerRank)
 	}
 	switch d.Topology {
 	case Torus:
@@ -251,6 +261,10 @@ func Prepare(d *Descriptor, o *Opts) error {
 	case PS:
 		if o.Torus != nil {
 			return fmt.Errorf("registry: %s is a parameter-server schedule (no torus)", d.Name)
+		}
+	case Tree:
+		if o.Torus != nil {
+			return fmt.Errorf("registry: %s is a tree schedule (no torus)", d.Name)
 		}
 	}
 	if o.Torus != nil && o.Torus.Size() != o.Workers {
@@ -284,7 +298,7 @@ func Register(d Descriptor) {
 		panic(fmt.Sprintf("registry: %s: missing Wire model", d.Name))
 	}
 	switch d.Topology {
-	case Ring, Torus, PS:
+	case Ring, Torus, PS, Tree:
 	default:
 		panic(fmt.Sprintf("registry: %s: invalid topology %q", d.Name, d.Topology))
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"marsit/internal/bitvec"
 	"marsit/internal/collective/registry"
 	"marsit/internal/netsim"
+	"marsit/internal/runtime"
 	"marsit/internal/tensor"
+	"marsit/internal/topology"
 	"marsit/internal/transport"
 )
 
@@ -51,6 +54,59 @@ func init() {
 			}
 			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
 				return rs.Sync(c, ep, grad)
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "onebit-tree",
+		Summary:  "one-bit sign aggregation over a binary tree with the weighted Bernoulli merge",
+		Topology: registry.Tree,
+		Wire:     "1 bit/elem",
+		Caps:     registry.Caps{Streams: true},
+		// Two rounds confirm the per-rank Bernoulli streams stay aligned
+		// across synchronizations.
+		EquivRounds: 2,
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			tr := topology.NewTree(o.Workers)
+			streams := o.AllStreams()
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				n, d := len(grads), len(grads[0])
+				bits := make([]*bitvec.Vec, n)
+				for w, g := range grads {
+					bits[w] = bitvec.FromSigns(g)
+					c.AddCompress(w, d)
+				}
+				OneBitTreeAllReduce(c, tr, bits, streams)
+				outs := make([]tensor.Vec, n)
+				for w := 0; w < n; w++ {
+					out := make(tensor.Vec, d)
+					bits[w].UnpackSigns(out)
+					outs[w] = out
+					c.AddDecompress(w, d)
+				}
+				return outs
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			tr := topology.NewTree(o.Workers)
+			stream := o.Stream(rank)
+			// The merge runs only on this rank's goroutine and absorbs
+			// children in ascending order, so the stream's draws replay
+			// the sequential schedule exactly.
+			merge := func(r int, agg, local *bitvec.Vec, aggWeight, localWeight int) {
+				MergeSigns(agg, local, aggWeight, localWeight, stream)
+			}
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				d := len(grad)
+				bits := bitvec.FromSigns(grad)
+				c.AddCompress(rank, d)
+				bits = runtime.OneBitTreeAllReduceRank(c, ep, tr, bits, merge)
+				runtime.ClockBarrier(c, ep)
+				out := make(tensor.Vec, d)
+				bits.UnpackSigns(out)
+				c.AddDecompress(rank, d)
+				return out
 			}, nil
 		},
 	})

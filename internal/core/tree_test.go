@@ -74,6 +74,38 @@ func TestTreeOneBitUnbiased(t *testing.T) {
 	}
 }
 
+// TestTreeOneBitUnbiasedShapes re-checks the unbiasedness guarantee on
+// incomplete trees — sizes where the last level is partially filled and
+// the subtree weights are maximally unbalanced — over many seeds. The
+// weighted-merge induction must hold for every reduction-tree shape,
+// not just the full binary tree above.
+func TestTreeOneBitUnbiasedShapes(t *testing.T) {
+	const trials = 12000
+	for _, n := range []int{2, 4, 6, 9} {
+		tr := topology.NewTree(n)
+		// One mixed coordinate: the first half of the workers (rounded
+		// up) vote 1, the rest 0.
+		pos := (n + 1) / 2
+		count := 0
+		for trial := 0; trial < trials; trial++ {
+			bits := make([]*bitvec.Vec, n)
+			for w := 0; w < n; w++ {
+				bits[w] = bitvec.New(1)
+				bits[w].Set(0, w < pos)
+			}
+			OneBitTreeAllReduce(cluster(n), tr, bits, treeRngs(n, uint64(trial)+1))
+			if bits[0].Get(0) {
+				count++
+			}
+		}
+		want := float64(pos) / float64(n)
+		got := float64(count) / trials
+		if math.Abs(got-want) > 0.015 {
+			t.Fatalf("n=%d: P(1)=%v, want %v", n, got, want)
+		}
+	}
+}
+
 func TestTreeOneBitSingleWorker(t *testing.T) {
 	tr := topology.NewTree(1)
 	bits := []*bitvec.Vec{bitvec.New(4)}

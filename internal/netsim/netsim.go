@@ -208,7 +208,9 @@ func (c *Cluster) TotalBytes() int64 {
 // a straggler's uplink — can be modelled per edge. Overrides survive
 // Reset: they describe the interconnect, not the run. Collectives that
 // route their timing through collective.HubSchedule (the PS family)
-// aggregate over the uniform Model and ignore link overrides.
+// aggregate over the uniform Model only; rather than silently charge
+// the wrong clocks, both engines reject a PS run on a cluster with
+// link overrides (see HasLinkOverrides).
 func (c *Cluster) SetLinkCost(from, to int, lc LinkCost) {
 	c.check(from)
 	c.check(to)
@@ -224,6 +226,11 @@ func (c *Cluster) SetLinkCost(from, to int, lc LinkCost) {
 // ClearLinkCosts drops every per-link override, restoring the uniform
 // Model on all links.
 func (c *Cluster) ClearLinkCosts() { c.links = nil }
+
+// HasLinkOverrides reports whether any per-link α–β override is in
+// force. Schedules that can only charge the uniform Model (the PS hub)
+// use this to fail fast instead of producing misleading clocks.
+func (c *Cluster) HasLinkOverrides() bool { return len(c.links) > 0 }
 
 // Link returns the α and β in force on the directed link from → to:
 // the override when one was set, the uniform Model otherwise.

@@ -119,6 +119,10 @@ type Config struct {
 	// virtual clocks are invariant — the -check replay against the
 	// sequential engine holds for any value — and all ranks must agree.
 	Chunks int
+	// PowerRank is the low-rank approximation rank of the powersgd
+	// collective (0 = the collective's default rank 2); all ranks must
+	// agree.
+	PowerRank int
 	// Check makes rank 0 verify every rank's result, clock, byte count
 	// and phase breakdown against the sequential engine and broadcast
 	// the verdict. Every rank of a fabric must agree on it: the check
@@ -247,6 +251,7 @@ func (cfg *Config) opts(n int) *registry.Opts {
 	return &registry.Opts{
 		Workers: n, Dim: cfg.Dim, Torus: tor, Elias: cfg.UseElias,
 		Seed: cfg.Seed, K: cfg.K, GlobalLR: cfg.GlobalLR, Chunks: cfg.Chunks,
+		PowerRank: cfg.PowerRank,
 	}
 }
 

@@ -434,6 +434,45 @@ func (r *rankCtx) exchangeChunked(next, prev, outN, inN, outWire int,
 	}
 }
 
+// send posts one raw frame to rank to, stamping the given send-start
+// clock and charging the wire bytes to this rank. It is the
+// asymmetric-schedule primitive behind gossip's double send, the tree's
+// fan-in/fan-out and the hierarchical chain: the caller owns the α–β
+// clock arithmetic, which must replicate what netsim.Cluster.Exchange
+// computes for the message pattern at hand (exchange covers only the
+// symmetric one-send-one-receive ring step).
+func (r *rankCtx) send(to int, data []byte, wire int, clock float64) {
+	var t0 time.Time
+	if r.rec != nil {
+		t0 = time.Now()
+	}
+	if err := r.ep.Send(to, transport.Packet{Data: data, Wire: wire, Clock: clock}); err != nil {
+		panic(fmt.Sprintf("runtime: rank %d send to %d: %v", r.rank, to, err))
+	}
+	if r.rec != nil {
+		r.commNanos += int64(time.Since(t0))
+	}
+	r.c.AccountBytes(r.rank, wire)
+}
+
+// recv blocks on one raw frame from rank from — the receive half of
+// send. The caller applies the arrival arithmetic (and recycles the
+// payload).
+func (r *rankCtx) recv(from int) transport.Packet {
+	var t0 time.Time
+	if r.rec != nil {
+		t0 = time.Now()
+	}
+	p, err := r.ep.Recv(from)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: rank %d recv from %d: %v", r.rank, from, err))
+	}
+	if r.rec != nil {
+		r.commNanos += int64(time.Since(t0))
+	}
+	return p
+}
+
 // setPhase stamps the rank's subsequent trace events with the given
 // collective phase ("reduce-scatter", "all-gather", ...). A no-op when
 // tracing is off.

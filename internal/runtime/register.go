@@ -6,6 +6,7 @@ import (
 	"marsit/internal/netsim"
 	"marsit/internal/rng"
 	"marsit/internal/tensor"
+	"marsit/internal/topology"
 	"marsit/internal/transport"
 )
 
@@ -162,6 +163,97 @@ func init() {
 	})
 
 	registry.Register(registry.Descriptor{
+		Name:     "gossip",
+		Summary:  "one symmetric gossip step: three-point neighbor averaging on the ring",
+		Topology: registry.Ring,
+		Wire:     "4 B/elem float32 to each neighbor",
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.GossipAverage(c, grads)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				gossipAverageRank(c, ep, grad)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "tree",
+		Summary:  "full-precision binary-tree all-reduce (reduce up, broadcast down)",
+		Topology: registry.Tree,
+		Wire:     "4 B/elem float32",
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			tr := topology.NewTree(o.Workers)
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.TreeAllReduce(c, tr, grads)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			tr := topology.NewTree(o.Workers)
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				treeAllReduceRank(c, ep, tr, grad)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "powersgd",
+		Summary:  "PowerSGD low-rank compression: two dependent ring all-reduces per round",
+		Topology: registry.Ring,
+		Wire:     "4 B/elem of P then Q' (rank-limited)",
+		Caps:     registry.Caps{Chunked: true},
+		// Three rounds exercise the warm-started Q across synchronizations.
+		EquivRounds: 3,
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			st := collective.NewPowerSGDRingState(powerRankOrDefault(o), o.Dim)
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.PowerSGDRing(c, grads, st)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			// Every rank holds a full state replica: the all-reduces leave
+			// bit-identical mean matrices everywhere, so the replicas track
+			// the sequential engine's single shared state exactly.
+			st := collective.NewPowerSGDRingState(powerRankOrDefault(o), o.Dim)
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				powerSGDRingRank(c, ep, grad, st, o.Chunks)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:     "hier",
+		Summary:  "two-level hierarchical all-reduce: intra-host rings, one delegate per host",
+		Topology: registry.Torus,
+		Wire:     "4 B/elem float32 (hosts = rows, local ranks = cols)",
+		Caps:     registry.Caps{Chunked: true},
+		NewSeq: func(o *registry.Opts) (registry.SeqRunner, error) {
+			return func(c *netsim.Cluster, grads []tensor.Vec) []tensor.Vec {
+				collective.HierarchicalAllReduce(c, o.Torus, grads)
+				return grads
+			}, nil
+		},
+		NewRank: func(o *registry.Opts, rank int) (registry.RankRunner, error) {
+			return func(c *netsim.Cluster, ep transport.Endpoint, grad tensor.Vec) tensor.Vec {
+				hierAllReduceRank(c, ep, o.Torus, grad, o.Chunks)
+				ClockBarrier(c, ep)
+				return grad
+			}, nil
+		},
+	})
+
+	registry.Register(registry.Descriptor{
 		Name:     "ps",
 		Summary:  "full-precision parameter-server push-pull (hub at rank 0)",
 		Topology: registry.PS,
@@ -265,6 +357,15 @@ func init() {
 
 // signScale is the deterministic signSGD compression every sign
 // transport shares: the ±1 sign vector and the ℓ1/D magnitude.
+// powerRankOrDefault resolves Opts.PowerRank (0 means the canonical
+// PowerSGD rank 2).
+func powerRankOrDefault(o *registry.Opts) int {
+	if o.PowerRank > 0 {
+		return o.PowerRank
+	}
+	return 2
+}
+
 func signScale(g tensor.Vec) ([]float64, float64) {
 	signs := make([]float64, len(g))
 	tensor.SignVec(signs, g)

@@ -164,6 +164,7 @@ type runConfig struct {
 	k                    int
 	globalLR             float64
 	chunks               int
+	powerRank            int
 	cluster              *Cluster
 }
 
@@ -204,6 +205,10 @@ func WithGlobalLR(lr float64) RunOption { return func(rc *runConfig) { rc.global
 // changes; the sequential engine ignores it.
 func WithChunks(n int) RunOption { return func(rc *runConfig) { rc.chunks = n } }
 
+// WithPowerRank sets the low-rank approximation rank of the PowerSGD
+// collective (0 = the default rank 2). All workers share it.
+func WithPowerRank(r int) RunOption { return func(rc *runConfig) { rc.powerRank = r } }
+
 // WithCluster charges the run to an existing simulated cluster instead
 // of a fresh default one — inspect it afterwards for clocks, wire bytes
 // and phase breakdowns.
@@ -242,6 +247,7 @@ func Run(name string, grads []Vec, opts ...RunOption) ([]Vec, error) {
 	o := &registry.Opts{
 		Workers: n, Dim: d, Torus: tor, Elias: rc.elias,
 		Seed: rc.seed, K: rc.k, GlobalLR: rc.globalLR, Chunks: rc.chunks,
+		PowerRank: rc.powerRank,
 	}
 	c := rc.cluster
 	if c == nil {

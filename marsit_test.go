@@ -1,0 +1,80 @@
+package marsit_test
+
+import (
+	"strings"
+	"testing"
+
+	"marsit"
+	"marsit/internal/rng"
+)
+
+func facadeGrads(seed uint64, n, d int) []marsit.Vec {
+	out := make([]marsit.Vec, n)
+	for w := range out {
+		r := rng.NewStream(seed, uint64(w))
+		out[w] = r.NormVec(make(marsit.Vec, d), 0, 1)
+	}
+	return out
+}
+
+// TestFacadeRejectsChunksOnUnchunkedCollective: WithChunks on a
+// collective whose per-rank leg has no chunk-pipelined path must fail
+// fast through the facade, naming the collective and its capability
+// set — on both engines, since the same Prepare guards both legs.
+func TestFacadeRejectsChunksOnUnchunkedCollective(t *testing.T) {
+	for _, engine := range []marsit.EngineKind{marsit.EngineSeq, marsit.EnginePar} {
+		_, err := marsit.Run("gossip", facadeGrads(3, 4, 8),
+			marsit.WithEngine(engine), marsit.WithChunks(3))
+		if err == nil {
+			t.Fatalf("engine %s accepted chunked gossip", engine)
+		}
+		for _, want := range []string{"gossip", "chunk-pipelined", "caps:"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("engine %s error %q does not mention %q", engine, err, want)
+			}
+		}
+	}
+}
+
+// TestFacadeNewCollectives smoke-runs every newly registered scenario
+// through the public facade on both engines and checks cross-engine
+// bit-equality (the deep equivalence matrix lives in
+// internal/runtime/equivtest; this pins the facade wiring).
+func TestFacadeNewCollectives(t *testing.T) {
+	const n, d = 4, 33
+	cases := []struct {
+		name string
+		opts []marsit.RunOption
+	}{
+		{"gossip", nil},
+		{"tree", nil},
+		{"onebit-tree", nil},
+		{"powersgd", []marsit.RunOption{marsit.WithPowerRank(3)}},
+		{"hier", []marsit.RunOption{marsit.WithTorus(2, 2)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqOut, err := marsit.Run(tc.name, facadeGrads(7, n, d),
+				append([]marsit.RunOption{marsit.WithSeed(7)}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parOut, err := marsit.Run(tc.name, facadeGrads(7, n, d),
+				append([]marsit.RunOption{marsit.WithSeed(7), marsit.WithEngine(marsit.EnginePar)}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seqOut) != n || len(parOut) != n {
+				t.Fatalf("outputs %d/%d, want %d", len(seqOut), len(parOut), n)
+			}
+			for w := 0; w < n; w++ {
+				for i := 0; i < d; i++ {
+					if seqOut[w][i] != parOut[w][i] {
+						t.Fatalf("worker %d coordinate %d: seq %v != par %v",
+							w, i, seqOut[w][i], parOut[w][i])
+					}
+				}
+			}
+		})
+	}
+}
