@@ -30,10 +30,16 @@
 #                          predicted-vs-measured calibration table, and
 #                          the /metrics scrape carries the calibration
 #                          series (see docs/performance.md)
+#   make service-demo      4-rank daemon fleet (marsit-node -daemon): two
+#                          overlapping jobs submitted through marsit-ctl,
+#                          one jittered, both verified bit-for-bit against
+#                          the sequential engine on the shared live fabric;
+#                          the /metrics scrape must show both in flight at
+#                          once (see docs/service.md)
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo tree-demo trace-demo calib-demo
+.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo tree-demo trace-demo calib-demo service-demo
 
 check: fmt vet build test list-collectives
 
@@ -56,7 +62,7 @@ race:
 	$(GO) test -race . ./internal/runtime/... ./internal/transport/... \
 		./internal/core/... ./internal/rng/... ./internal/train/... \
 		./internal/node/... ./internal/collective/registry/... \
-		./internal/obs/... ./internal/calib/...
+		./internal/obs/... ./internal/calib/... ./internal/service/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
@@ -227,3 +233,54 @@ calib-demo:
 	grep -q marsit_faultwrap_delays_total bin/calib-demo-metrics.txt \
 		|| { echo "calib-demo: scrape is missing the faultwrap counters"; exit 1; }; \
 	echo "calib-demo: jittered fleet verified bit-for-bit; calibration table + /metrics series served"
+
+# service-demo is the multi-tenant acceptance run: a 4-rank daemon fleet
+# comes up once, marsit-ctl submits two jobs that overlap on the shared
+# live fabric — different collectives, one under injected send jitter —
+# and both must verify bit-for-bit against the sequential engine. The
+# in-flight peak gauge proves they genuinely overlapped (jobs count from
+# submission to completion), and the fleet shuts down over the control
+# plane, every rank exiting zero.
+SERVICE_DEMO_PEERS := 127.0.0.1:7821,127.0.0.1:7822,127.0.0.1:7823,127.0.0.1:7824
+SERVICE_DEMO_METRICS := 127.0.0.1:9698
+
+service-demo:
+	$(GO) build -o bin/marsit-node ./cmd/marsit-node
+	$(GO) build -o bin/marsit-ctl ./cmd/marsit-ctl
+	@rm -f bin/service-demo-*.txt; \
+	pids=""; \
+	for r in 1 2 3; do \
+		./bin/marsit-node -rank $$r -peers $(SERVICE_DEMO_PEERS) -daemon -quiet & \
+		pids="$$pids $$!"; \
+	done; \
+	./bin/marsit-node -rank 0 -peers $(SERVICE_DEMO_PEERS) -daemon -quiet \
+		-metrics-addr $(SERVICE_DEMO_METRICS) & leader=$$!; \
+	i=0; until curl -sf http://$(SERVICE_DEMO_METRICS)/metrics -o /dev/null; do \
+		i=$$((i+1)); \
+		[ $$i -lt 100 ] || { echo "service-demo: control plane never answered"; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	status=0; \
+	./bin/marsit-ctl -addr http://$(SERVICE_DEMO_METRICS) submit \
+		-collective rar -dim 257 -rounds 200 -check -jitter-ms 1 -wait \
+		> bin/service-demo-job1.txt 2>&1 & job1=$$!; \
+	./bin/marsit-ctl -addr http://$(SERVICE_DEMO_METRICS) submit \
+		-collective hier -dim 128 -rounds 150 -check -wait \
+		> bin/service-demo-job2.txt 2>&1 & job2=$$!; \
+	wait $$job1 || status=1; \
+	wait $$job2 || status=1; \
+	curl -sf http://$(SERVICE_DEMO_METRICS)/metrics -o bin/service-demo-metrics.txt || status=1; \
+	cat bin/service-demo-job1.txt bin/service-demo-job2.txt; \
+	grep -q "verified vs sequential engine" bin/service-demo-job1.txt \
+		|| { echo "service-demo: job 1 was not verified"; status=1; }; \
+	grep -q "verified vs sequential engine" bin/service-demo-job2.txt \
+		|| { echo "service-demo: job 2 was not verified"; status=1; }; \
+	grep -q "^marsit_jobs_in_flight_peak 2" bin/service-demo-metrics.txt \
+		|| { echo "service-demo: the two jobs never overlapped (peak != 2)"; status=1; }; \
+	grep -q "^marsit_jobs_in_flight 0" bin/service-demo-metrics.txt \
+		|| { echo "service-demo: jobs-in-flight did not return to zero"; status=1; }; \
+	./bin/marsit-ctl -addr http://$(SERVICE_DEMO_METRICS) shutdown || status=1; \
+	wait $$leader || status=1; \
+	for p in $$pids; do wait $$p || status=1; done; \
+	if [ $$status -ne 0 ]; then echo "service-demo: FAILED"; exit 1; fi; \
+	echo "service-demo: two overlapping jobs verified bit-for-bit on one live daemon fleet"

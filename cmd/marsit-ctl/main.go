@@ -1,0 +1,269 @@
+// Command marsit-ctl drives a marsit-node daemon fleet over its control
+// plane (the HTTP API rank 0 mounts beside /metrics).
+//
+// Usage:
+//
+//	marsit-ctl [-addr http://127.0.0.1:9090] <command> [args]
+//
+//	submit [flags]     submit a job; flags mirror marsit-node's per-run
+//	                   flags (-collective, -dim, -rounds, -check, ...),
+//	                   or -f spec.json ("-" = stdin) sends a raw JobSpec.
+//	                   -wait polls until the job is terminal and exits
+//	                   non-zero unless it is done (and verified, when
+//	                   -check was given).
+//	status <id>        print one job's status JSON
+//	list               print every job's status JSON
+//	cancel <id>        cancel a queued or running job
+//	shutdown           stop the whole daemon fleet
+//
+// Example — two overlapping verified jobs on a running fleet:
+//
+//	marsit-ctl submit -collective rar -dim 257 -rounds 40 -check &
+//	marsit-ctl submit -collective hier -dim 128 -rounds 30 -check -jitter-ms 2 -wait
+//
+// Exit codes: 0 success, 1 job or transport failure, 2 usage.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"marsit/internal/service"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: marsit-ctl [-addr URL] {submit|status|list|cancel|shutdown} [args]")
+	fmt.Fprintln(os.Stderr, "       marsit-ctl submit -help   for the job flags")
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:9090", "control-plane base URL (rank 0's -metrics-addr)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := client{base: strings.TrimRight(*addr, "/")}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = c.submit(args[1:])
+	case "status":
+		err = c.status(args[1:])
+	case "list":
+		err = c.list()
+	case "cancel":
+		err = c.cancel(args[1:])
+	case "shutdown":
+		err = c.shutdown()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marsit-ctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type client struct{ base string }
+
+// call performs one control-plane request and decodes the JSON reply
+// into out (when non-nil), turning non-2xx replies into errors that
+// carry the server's detail.
+func (c client) call(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf := new(bytes.Buffer)
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
+			return err
+		}
+		rd = buf
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read side
+	if resp.StatusCode/100 != 2 {
+		var detail struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&detail) //nolint:errcheck // best-effort detail
+		if detail.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, detail.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// submit builds a JobSpec from flags (or -f) and posts it.
+func (c client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var sp service.JobSpec
+	file := fs.String("f", "", "read the JobSpec JSON from this file instead of flags (\"-\" = stdin)")
+	wait := fs.Bool("wait", false, "poll until the job is terminal; exit non-zero unless it is done (and verified, with -check)")
+	every := fs.Duration("poll", 200*time.Millisecond, "poll interval for -wait")
+	fs.StringVar(&sp.Collective, "collective", "marsit", "collective registry name")
+	fs.IntVar(&sp.Dim, "dim", 4096, "gradient dimension D")
+	fs.IntVar(&sp.Rounds, "rounds", 10, "synchronization rounds")
+	fs.IntVar(&sp.K, "k", 0, "Marsit full-precision period (0 = never)")
+	fs.Float64Var(&sp.GlobalLR, "global-lr", 0.004, "Marsit global step η_s")
+	fs.Uint64Var(&sp.Seed, "seed", 1, "root seed of the job's gradient streams")
+	fs.BoolVar(&sp.Elias, "elias", false, "Elias-gamma compaction (Elias-capable collectives)")
+	fs.IntVar(&sp.Chunks, "chunks", 0, "pipelined frames per ring hop (0/1 = off)")
+	fs.IntVar(&sp.PowerRank, "power-rank", 0, "powersgd low-rank approximation rank (0 = default)")
+	fs.IntVar(&sp.TorusRows, "torus-rows", 0, "torus rows (torus-capable collectives)")
+	fs.IntVar(&sp.TorusCols, "torus-cols", 0, "torus cols")
+	fs.BoolVar(&sp.Check, "check", false, "verify the job bit-identical against the sequential engine")
+	fs.IntVar(&sp.JitterMS, "jitter-ms", 0, "inject up to this many ms of delay per send on the job's fabric views")
+	fs.Uint64Var(&sp.JitterSeed, "jitter-seed", 1, "seed of the jitter delay streams")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *file != "" {
+		data, err := readSpecFile(*file)
+		if err != nil {
+			return err
+		}
+		sp = service.JobSpec{}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			return fmt.Errorf("%s: %w", *file, err)
+		}
+	}
+
+	var sub struct {
+		ID uint32 `json:"id"`
+	}
+	if err := c.call("POST", "/jobs", sp, &sub); err != nil {
+		return err
+	}
+	fmt.Printf("job %d submitted\n", sub.ID)
+	if !*wait {
+		return nil
+	}
+	return c.wait(sub.ID, sp.Check, *every)
+}
+
+func readSpecFile(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// wait polls job id until it is terminal and renders the verdict.
+func (c client) wait(id uint32, wantChecked bool, every time.Duration) error {
+	for {
+		var st service.JobStatus
+		if err := c.call("GET", fmt.Sprintf("/jobs/%d", id), nil, &st); err != nil {
+			return err
+		}
+		if st.State.Terminal() {
+			printStatus(st)
+			if st.State != service.StateDone {
+				return fmt.Errorf("job %d %s: %s", id, st.State, st.Error)
+			}
+			if wantChecked && !st.Checked {
+				return fmt.Errorf("job %d finished without verification", id)
+			}
+			return nil
+		}
+		time.Sleep(every)
+	}
+}
+
+// printStatus renders one job line (the human-facing counterpart of the
+// status JSON).
+func printStatus(st service.JobStatus) {
+	verdict := ""
+	if st.Checked {
+		verdict = " [verified vs sequential engine]"
+	}
+	if st.Error != "" {
+		verdict = " (" + st.Error + ")"
+	}
+	coll := st.Spec.Collective
+	if coll == "" {
+		coll = "marsit"
+	}
+	fmt.Printf("job %d: %s %s D=%d rounds=%d t=%.6fs wire=%dB%s\n",
+		st.ID, st.State, coll, st.Spec.Dim, st.Spec.Rounds, st.Clock, st.WireBytes, verdict)
+}
+
+func parseID(args []string, cmd string) (uint32, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("usage: marsit-ctl %s <id>", cmd)
+	}
+	id, err := strconv.ParseUint(args[0], 10, 32)
+	if err != nil || id == 0 {
+		return 0, fmt.Errorf("bad job id %q", args[0])
+	}
+	return uint32(id), nil
+}
+
+func (c client) status(args []string) error {
+	id, err := parseID(args, "status")
+	if err != nil {
+		return err
+	}
+	var st service.JobStatus
+	if err := c.call("GET", fmt.Sprintf("/jobs/%d", id), nil, &st); err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func (c client) list() error {
+	var jobs []service.JobStatus
+	if err := c.call("GET", "/jobs", nil, &jobs); err != nil {
+		return err
+	}
+	return printJSON(jobs)
+}
+
+func (c client) cancel(args []string) error {
+	id, err := parseID(args, "cancel")
+	if err != nil {
+		return err
+	}
+	var st service.JobStatus
+	if err := c.call("POST", fmt.Sprintf("/jobs/%d/cancel", id), nil, &st); err != nil {
+		return err
+	}
+	printStatus(st)
+	return nil
+}
+
+func (c client) shutdown() error {
+	if err := c.call("POST", "/shutdown", nil, nil); err != nil {
+		return err
+	}
+	fmt.Println("fleet shutting down")
+	return nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

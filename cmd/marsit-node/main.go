@@ -37,6 +37,19 @@
 // moves wall clock only, so -check still holds under any jitter —
 // `make calib-demo` scripts a jittered, calibrated fleet.
 //
+// Daemon mode: -daemon turns the process into one rank of a long-lived
+// multi-tenant job service instead of a one-shot run. The fabric
+// rendezvous happens once; jobs are then submitted as JSON specs to the
+// control plane that rank 0 mounts beside /metrics (so rank 0 requires
+// -metrics-addr), and every job runs on its own job-scoped fabric view
+// with its own virtual-clock namespace — a -check job verifies
+// bit-identical against the sequential engine no matter what else
+// shares the links. -max-jobs caps concurrent jobs, -job-queue bounds
+// waiting submissions (beyond it, submits get HTTP 429). Drive it with
+// marsit-ctl; `make service-demo` scripts a 4-rank fleet with two
+// overlapping verified jobs. The per-run collective flags (-collective,
+// -dim, ...) are ignored in daemon mode — each job brings its own.
+//
 // Telemetry: -trace out.json captures one Chrome trace_event timeline
 // per hosted rank (open in chrome://tracing or Perfetto), -metrics-addr
 // :9090 serves /metrics (Prometheus text) and /debug/trace live while
@@ -54,13 +67,16 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"marsit/internal/collective/registry"
 	"marsit/internal/node"
 	"marsit/internal/obs"
+	"marsit/internal/service"
 	"marsit/internal/transport/tcp"
 )
 
@@ -83,6 +99,9 @@ func main() {
 		jitter    = flag.Duration("jitter", 0, "inject uniform random delay in [0,d) before every frame this rank sends (wall clock only; -check still holds)")
 		jitterSd  = flag.Uint64("jitter-seed", 1, "seed of this rank's jitter delay streams")
 		dieAfter  = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
+		daemon    = flag.Bool("daemon", false, "run as a long-lived job-service rank: jobs arrive via the control plane rank 0 mounts beside /metrics (see marsit-ctl)")
+		maxJobs   = flag.Int("max-jobs", 4, "daemon mode: concurrent jobs cap (fleet-wide, leader enforced)")
+		jobQueue  = flag.Int("job-queue", 16, "daemon mode: admission queue depth; submissions beyond it get HTTP 429")
 		timeout   = flag.Duration("timeout", 15*time.Second, "rendezvous timeout")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging")
 		verbose   = flag.Bool("v", false, "debug-level logging (includes TCP fabric internals)")
@@ -172,6 +191,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "marsit-node: metrics at http://%s/metrics\n", srv.Addr())
 	}
 
+	if *daemon {
+		os.Exit(runDaemon(service.Config{
+			Rank:          *rank,
+			Addrs:         addrs,
+			DialTimeout:   *timeout,
+			MaxConcurrent: *maxJobs,
+			QueueDepth:    *jobQueue,
+			Logger:        cfg.Logger,
+		}, srv))
+	}
+
 	s, runErr := node.Run(cfg)
 
 	if tracer != nil {
@@ -203,6 +233,41 @@ func main() {
 	if s.TransportTable != "" {
 		fmt.Print(s.TransportTable)
 	}
+}
+
+// runDaemon runs this rank as a job-service daemon until the leader's
+// shutdown broadcast (or a signal) stops it. On rank 0 the control
+// plane mounts beside /metrics on the telemetry server.
+func runDaemon(cfg service.Config, srv *obs.Server) int {
+	if cfg.Rank == 0 && srv == nil {
+		fmt.Fprintln(os.Stderr, "marsit-node: -daemon rank 0 needs -metrics-addr: the control plane mounts beside /metrics")
+		return 2
+	}
+	d, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marsit-node: %v\n", err)
+		return 1
+	}
+	if cfg.Rank == 0 {
+		h := d.Handler()
+		srv.Handle("/jobs", h)
+		srv.Handle("/jobs/", h)
+		srv.Handle("/shutdown", h)
+		fmt.Fprintf(os.Stderr, "marsit-node: control plane at http://%s/jobs\n", srv.Addr())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "marsit-node: signal; stopping daemon")
+		d.Close() //nolint:errcheck // never fails
+	}()
+	if err := d.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "marsit-node: rank %d: %v\n", cfg.Rank, err)
+		return 1
+	}
+	fmt.Printf("rank %d/%d: daemon stopped\n", cfg.Rank, d.Size())
+	return 0
 }
 
 // writeTrace dumps the tracer's timelines as Chrome trace_event JSON.

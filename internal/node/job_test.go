@@ -1,0 +1,132 @@
+package node_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"marsit/internal/node"
+	"marsit/internal/transport"
+	"marsit/internal/transport/jobmux"
+)
+
+// runJobFleet runs one job across every rank of fab concurrently and
+// returns the per-rank summaries (or fails the test).
+func runJobFleet(t *testing.T, fab transport.Transport, base node.Config) []*node.Summary {
+	t.Helper()
+	n := fab.Size()
+	sums := make([]*node.Summary, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Rank = r
+			sums[r], errs[r] = node.RunJob(cfg, fab)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return sums
+}
+
+// TestRunJobSequentialJobsOneFabric runs two checked jobs back to back
+// over one long-lived fabric through jobmux — the daemon's core claim:
+// the fabric survives a job's end, and each job's -check replay holds
+// on its own virtual-clock namespace and RNG streams.
+func TestRunJobSequentialJobsOneFabric(t *testing.T) {
+	mux := jobmux.New(transport.NewLoopback(4), jobmux.Config{})
+	defer mux.Close()
+
+	specs := []node.Config{
+		{Workers: 4, Collective: "rar", Dim: 257, Rounds: 3, Seed: 11, Check: true},
+		{Workers: 4, Collective: "hier", Dim: 128, Rounds: 2, Seed: 23, Check: true},
+	}
+	for i, spec := range specs {
+		jf, err := mux.Job(uint32(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.JobLabel = "test"
+		sums := runJobFleet(t, jf, spec)
+		for r, s := range sums {
+			if !s.Checked {
+				t.Fatalf("job %d rank %d not checked", i+1, r)
+			}
+		}
+		jf.Close() //nolint:errcheck // never fails
+	}
+}
+
+// TestRunJobMatchesOneShot pins bit-identity between the two entry
+// points: the same spec through RunJob on a shared fabric and through
+// the sequential engine replay inside -check (which verifyFabric
+// already enforces), plus identical clocks/bytes across the job's
+// ranks and a one-shot-style reference run on a dedicated fabric.
+func TestRunJobMatchesOneShot(t *testing.T) {
+	spec := node.Config{Workers: 3, Collective: "marsit", Dim: 200, Rounds: 4, K: 2, GlobalLR: 0.05, Seed: 7, Check: true}
+
+	mux := jobmux.New(transport.NewLoopback(3), jobmux.Config{})
+	defer mux.Close()
+	jf, err := mux.Job(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobSums := runJobFleet(t, jf, spec)
+
+	// Reference: the same spec over a bare fabric (no mux) — RunJob's
+	// transport middleware must be invisible in every reported number.
+	ref := runJobFleet(t, transport.NewLoopback(3), spec)
+	for r := range jobSums {
+		if jobSums[r].Clock != ref[r].Clock || jobSums[r].Bytes != ref[r].Bytes {
+			t.Fatalf("rank %d: job (t=%v, %dB) != bare fabric (t=%v, %dB)",
+				r, jobSums[r].Clock, jobSums[r].Bytes, ref[r].Clock, ref[r].Bytes)
+		}
+		if len(jobSums[r].Result) != len(ref[r].Result) {
+			t.Fatalf("rank %d: result dims differ", r)
+		}
+		for i := range jobSums[r].Result {
+			if jobSums[r].Result[i] != ref[r].Result[i] {
+				t.Fatalf("rank %d: result[%d] differs", r, i)
+			}
+		}
+	}
+}
+
+// TestRunJobRejections pins the admission gate: daemon jobs cannot
+// calibrate (global recorder) or inject crash faults (long-lived
+// fabric), and a Workers/fabric-size mismatch is loud.
+func TestRunJobRejections(t *testing.T) {
+	fab := transport.NewLoopback(2)
+	defer fab.Close()
+
+	cases := []struct {
+		name string
+		cfg  node.Config
+		want string
+	}{
+		{"calibrate", node.Config{Workers: 2, Dim: 8, Rounds: 1, Calibrate: true}, "calibrate is not available"},
+		{"die-after", node.Config{Workers: 2, Dim: 8, Rounds: 1, DieAfterRounds: 1}, "die-after is not available"},
+		{"workers-mismatch", node.Config{Workers: 5, Dim: 8, Rounds: 1}, "fabric has 2 ranks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := node.RunJob(tc.cfg, fab)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	if err := node.ValidateJob(node.Config{Workers: 2, Dim: 8, Rounds: 1, Calibrate: true}); err == nil {
+		t.Fatal("ValidateJob accepted a calibrate job")
+	}
+	if err := node.ValidateJob(node.Config{Workers: 4, Collective: "rar", Dim: 8, Rounds: 1}); err != nil {
+		t.Fatalf("ValidateJob rejected a good spec: %v", err)
+	}
+}

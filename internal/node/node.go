@@ -91,6 +91,14 @@ type Config struct {
 	Rank int
 	// Addrs lists every rank's address, defining the fabric size.
 	Addrs []string
+	// Workers is the fabric size for daemon jobs (RunJob), which run
+	// over an already-assembled fabric and carry no addresses. Zero
+	// means len(Addrs); setting both to different values is an error.
+	Workers int
+	// JobLabel tags this run's telemetry (trace events, round counters)
+	// with a job id in daemon mode; "" leaves the one-shot series
+	// untouched.
+	JobLabel string
 	// Collective selects the schedule by registry name ("" means
 	// marsit); see registry.Names for the full set.
 	Collective string
@@ -199,6 +207,12 @@ type Summary struct {
 
 func (cfg *Config) validate() error {
 	n := len(cfg.Addrs)
+	if cfg.Workers != 0 {
+		if n != 0 && n != cfg.Workers {
+			return fmt.Errorf("node: Workers = %d but %d addresses", cfg.Workers, n)
+		}
+		n = cfg.Workers
+	}
 	if n < 1 {
 		return errors.New("node: no addresses")
 	}
@@ -317,8 +331,86 @@ func Run(cfg Config) (*Summary, error) {
 	}
 	cfg.logf("fabric up (%d ranks)", n)
 
+	s, err := runShared(&cfg, ep, true)
+	if err != nil {
+		return nil, err
+	}
+	s.TransportTable = transportTable(&cfg, fabric.FabricMetrics())
+	if !cfg.Check {
+		cfg.logf("done: t=%.6fs wire=%dB", s.Clock, s.Bytes)
+	}
+	return s, nil
+}
+
+// Daemon-job admission errors: both features assume the rank owns its
+// process and its fabric, which a multi-tenant daemon job does not.
+var (
+	errCalibrateJob = errors.New("node: calibrate is not available for daemon jobs: the calibration recorder is per-process state shared by every job")
+	errDieJob       = errors.New("node: die-after is not available for daemon jobs: a simulated death would strand peers on the long-lived fabric")
+)
+
+// ValidateJob checks that cfg can be admitted as a daemon job — the
+// control plane's admission gate, so a bad spec is rejected at submit
+// time instead of mid-fabric on every rank. cfg.Workers (not Addrs)
+// names the fabric size.
+func ValidateJob(cfg Config) error {
+	if cfg.Calibrate {
+		return errCalibrateJob
+	}
+	if cfg.DieAfterRounds > 0 {
+		return errDieJob
+	}
+	return cfg.validate()
+}
+
+// RunJob executes this rank's share of one daemon job over an
+// already-assembled fabric — in production a jobmux job view of the
+// daemon's shared TCP fabric. It is Run without the fabric lifecycle:
+// the rounds, the check gather/verdict protocol and the ordered
+// farewell all run unchanged (so a job's results, wire bytes and α–β
+// clocks are bit-identical to the same spec in one-shot mode), but
+// peers do not linger for a fabric teardown that never comes — each
+// rank's runner closes only its own job view when it returns.
+func RunJob(cfg Config, fabric transport.Transport) (*Summary, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = fabric.Size()
+	}
+	if cfg.Workers != fabric.Size() {
+		return nil, fmt.Errorf("node: Workers = %d but the fabric has %d ranks", cfg.Workers, fabric.Size())
+	}
+	if cfg.Calibrate {
+		return nil, errCalibrateJob
+	}
+	if cfg.DieAfterRounds > 0 {
+		return nil, errDieJob
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var tr transport.Transport = fabric
+	if cfg.Jitter > 0 {
+		// Wrapping the job view (not the shared fabric) keeps the delay
+		// streams scoped to this job's own send goroutine, and other
+		// jobs' wall clocks unperturbed by this job's injection.
+		tr = faultwrap.Wrap(fabric, faultwrap.Config{
+			Seed:   cfg.JitterSeed,
+			Jitter: cfg.Jitter,
+		})
+		cfg.logf("jitter injection armed: up to %v per send (seed %d)", cfg.Jitter, cfg.JitterSeed)
+	}
+	return runShared(&cfg, tr.Endpoint(cfg.Rank), false)
+}
+
+// runShared is the engine room common to one-shot runs and daemon jobs:
+// run every round on a fresh virtual-clock namespace, then the
+// check/report protocol or the ordered farewell. linger keeps peers
+// parked on a final Recv until the fabric teardown reaches them — the
+// one-shot shutdown handshake; daemon jobs skip it because the shared
+// fabric outlives the job.
+func runShared(cfg *Config, ep transport.Endpoint, linger bool) (*Summary, error) {
+	rank, n := ep.Rank(), ep.Size()
 	cluster := netsim.NewCluster(n, cfg.costModel())
-	result, err := runRounds(&cfg, cluster, ep)
+	result, err := runRounds(cfg, cluster, ep)
 	if err != nil {
 		return nil, err
 	}
@@ -340,24 +432,21 @@ func Run(cfg Config) (*Summary, error) {
 		// Even without verification the teardown must be ordered: a rank
 		// closing right after its last barrier response can race a slower
 		// peer still waiting for its own.
-		if err := orderlyShutdown(&cfg, ep); err != nil {
+		if err := orderlyShutdown(cfg, ep, linger); err != nil {
 			return nil, err
 		}
-		s.TransportTable = transportTable(&cfg, fabric.FabricMetrics())
-		cfg.logf("done: t=%.6fs wire=%dB", s.Clock, s.Bytes)
 		return s, nil
 	}
 	if rank == 0 {
-		if err := verifyFabric(&cfg, ep, s); err != nil {
+		if err := verifyFabric(cfg, ep, s); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := reportAndAwaitVerdict(&cfg, ep, s); err != nil {
+		if err := reportAndAwaitVerdict(cfg, ep, s, linger); err != nil {
 			return nil, err
 		}
 	}
 	s.Checked = true
-	s.TransportTable = transportTable(&cfg, fabric.FabricMetrics())
 	return s, nil
 }
 
@@ -417,9 +506,16 @@ func runRounds(cfg *Config, c *netsim.Cluster, ep transport.Endpoint) (result te
 	// and count completed rounds on the active registry.
 	var rounds *obs.Counter
 	if reg := obs.Active(); reg != nil {
-		rounds = reg.Counter("marsit_rounds_total", "rank", fmt.Sprint(rank))
+		if cfg.JobLabel != "" {
+			rounds = reg.Counter("marsit_rounds_total", "rank", fmt.Sprint(rank), "job", cfg.JobLabel)
+		} else {
+			rounds = reg.Counter("marsit_rounds_total", "rank", fmt.Sprint(rank))
+		}
 		if t := reg.Tracer(); t != nil {
 			t.SetLabel(rank, cfg.Collective)
+			if cfg.JobLabel != "" {
+				t.SetJob(rank, cfg.JobLabel)
+			}
 		}
 	}
 	rec := obs.ActiveCalib()
@@ -654,9 +750,12 @@ func verifyFabric(cfg *Config, ep transport.Endpoint, own *Summary) error {
 // orderlyShutdown is the non-check farewell, the check protocol's
 // done → bye → ack → linger skeleton without payloads: rank 0 returns
 // (and so closes) only after every peer has confirmed it is past its
-// last barrier, and peers linger until rank 0's teardown reaches them,
-// so no in-flight frame can be poisoned away by an early exit.
-func orderlyShutdown(cfg *Config, ep transport.Endpoint) error {
+// last barrier, and — when linger is set — peers park until rank 0's
+// teardown reaches them, so no in-flight frame can be poisoned away by
+// an early exit. Daemon jobs pass linger = false: their fabric is never
+// torn down, so a parked peer would wait forever; the ack exchange
+// alone already serializes the job's end.
+func orderlyShutdown(cfg *Config, ep transport.Endpoint, linger bool) error {
 	n, rank := ep.Size(), ep.Rank()
 	if n < 2 {
 		return nil
@@ -688,8 +787,10 @@ func orderlyShutdown(cfg *Config, ep transport.Endpoint) error {
 	if err := ep.Send(0, transport.Packet{}); err != nil {
 		return fmt.Errorf("node: shutdown ack: %w", err)
 	}
-	if _, err := ep.Recv(0); err == nil {
-		return errors.New("node: unexpected frame during shutdown")
+	if linger {
+		if _, err := ep.Recv(0); err == nil {
+			return errors.New("node: unexpected frame during shutdown")
+		}
 	}
 	return nil
 }
@@ -708,8 +809,10 @@ func sameVec(a, b tensor.Vec) bool {
 	return true
 }
 
-// reportAndAwaitVerdict is every other rank's check half.
-func reportAndAwaitVerdict(cfg *Config, ep transport.Endpoint, own *Summary) error {
+// reportAndAwaitVerdict is every other rank's check half. linger keeps
+// the rank parked after its ack until the fabric teardown reaches it
+// (one-shot mode); daemon jobs skip the park — see orderlyShutdown.
+func reportAndAwaitVerdict(cfg *Config, ep transport.Endpoint, own *Summary, linger bool) error {
 	if err := ep.Send(0, transport.Packet{Data: encodeReport(own, cfg.Calibrate)}); err != nil {
 		return fmt.Errorf("node: report to rank 0: %w", err)
 	}
@@ -730,8 +833,10 @@ func reportAndAwaitVerdict(cfg *Config, ep transport.Endpoint, own *Summary) err
 	if err := ep.Send(0, transport.Packet{Data: ack}); err != nil {
 		return fmt.Errorf("node: verdict ack: %w", err)
 	}
-	if _, lingErr := ep.Recv(0); lingErr == nil {
-		return errors.New("node: unexpected frame after verdict")
+	if linger {
+		if _, lingErr := ep.Recv(0); lingErr == nil {
+			return errors.New("node: unexpected frame after verdict")
+		}
 	}
 	if !ok {
 		return errors.New("node: rank 0 reports a mismatch with the sequential engine")

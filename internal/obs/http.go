@@ -15,6 +15,7 @@ type Server struct {
 	reg  *Registry
 	ln   net.Listener
 	http *http.Server
+	mux  *http.ServeMux
 }
 
 // Serve starts the telemetry endpoint on addr (e.g. ":9090"). It
@@ -26,13 +27,20 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{reg: reg, ln: ln}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/trace", s.handleTrace)
-	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil
 }
+
+// Handle mounts h on the server's mux beside /metrics and /debug/trace
+// — how the service control plane shares the telemetry listener.
+// Patterns follow net/http ServeMux syntax (methods and wildcards
+// included). Register before traffic arrives; ServeMux registration is
+// not synchronized with serving.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }

@@ -56,6 +56,7 @@ type Event struct {
 	Dur        time.Duration
 	Collective string // label in force when the event was emitted
 	Phase      string
+	Job        string // job id in daemon mode ("" for one-shot runs)
 }
 
 // rankRing is one rank's preallocated event buffer. It is single-writer
@@ -70,6 +71,7 @@ type rankRing struct {
 
 	collective atomic.Pointer[string]
 	phase      atomic.Pointer[string]
+	job        atomic.Pointer[string]
 }
 
 // Tracer collects per-rank timelines. Emit is allocation-free and
@@ -116,6 +118,17 @@ func (t *Tracer) SetPhase(rank int, phase string) {
 	t.rings[rank].phase.Store(&phase)
 }
 
+// SetJob sets the job id stamped on rank's subsequent events (daemon
+// mode). Rings are per rank, not per job, so when two jobs overlap on
+// one rank the stamp is last-set-wins — exact for serialized jobs,
+// best-effort during overlap.
+func (t *Tracer) SetJob(rank int, job string) {
+	if rank < 0 || rank >= len(t.rings) {
+		return
+	}
+	t.rings[rank].job.Store(&job)
+}
+
 // Emit records e on e.Rank's timeline, stamping the rank's current
 // label and phase. Events beyond ring capacity are dropped (and
 // counted), never overwritten.
@@ -137,6 +150,9 @@ func (t *Tracer) Emit(e Event) {
 	}
 	if p := r.phase.Load(); p != nil {
 		e.Phase = *p
+	}
+	if j := r.job.Load(); j != nil {
+		e.Job = *j
 	}
 	r.events[h] = e
 	r.head.Store(h + 1)
@@ -219,9 +235,9 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 				}
 			}
 			if err := emit(`{"name":%q,"cat":%q,"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,`+
-				`"args":{"collective":%q,"phase":%q,"hop":%d,"chunk":%d,"bytes":%d,"wire":%d,"vclock":%.9f}}`,
+				`"args":{"collective":%q,"phase":%q,"job":%q,"hop":%d,"chunk":%d,"bytes":%d,"wire":%d,"vclock":%.9f}}`,
 				name, e.Kind.String(), e.Rank, ts, dur,
-				e.Collective, e.Phase, e.Hop, e.Chunk, e.Bytes, e.Wire, e.VClock); err != nil {
+				e.Collective, e.Phase, e.Job, e.Hop, e.Chunk, e.Bytes, e.Wire, e.VClock); err != nil {
 				return err
 			}
 		}

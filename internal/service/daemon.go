@@ -1,0 +1,612 @@
+// Package service is the multi-tenant job service: a long-lived daemon
+// per rank that keeps the TCP fabric alive across training jobs, a
+// job-scoped fabric layer (transport/jobmux) giving every job its own
+// virtual-clock namespace and RNG streams over the shared sockets, and
+// a control plane on rank 0 — submit/status/cancel/list over HTTP,
+// mounted beside the /metrics endpoint — with bounded admission and
+// per-job observability.
+//
+// # Topology
+//
+// Every rank of the fleet runs one Daemon over the same address list,
+// exactly like one-shot marsit-node ranks. The fabric rendezvous
+// happens once, at daemon start; jobs then come and go without a single
+// reconnect. Job id 0 is reserved as the control channel: rank 0 (the
+// leader) broadcasts start/cancel/shutdown messages to each peer over
+// it, and peers run each job's per-rank leg in its own goroutine set
+// via node.RunJob. Admission is decided centrally: peers start whatever
+// the leader tells them to, so the fleet's jobs-in-flight never exceeds
+// the leader's MaxConcurrent, and submissions beyond QueueDepth are
+// refused (HTTP 429) instead of queued without bound.
+//
+// # Determinism
+//
+// Each job runs on a fresh netsim.Cluster and seed-derived RNG streams,
+// scoped by its jobmux fabric view, so a check-mode job is verified
+// bit-identical to the sequential engine — results, wire bytes, α–β
+// clocks — no matter what other jobs share the links. Contention moves
+// wall clock only, exactly like faultwrap jitter.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+
+	"marsit/internal/node"
+	"marsit/internal/obs"
+	"marsit/internal/transport"
+	"marsit/internal/transport/jobmux"
+	"marsit/internal/transport/tcp"
+)
+
+// Control-plane errors. The HTTP layer maps them to status codes
+// (ErrQueueFull → 429, ErrShuttingDown → 503, ErrUnknownJob → 404;
+// spec validation failures → 400).
+var (
+	ErrQueueFull    = errors.New("service: admission queue full")
+	ErrNotLeader    = errors.New("service: control plane lives on rank 0")
+	ErrShuttingDown = errors.New("service: shutting down")
+	ErrUnknownJob   = errors.New("service: unknown job")
+)
+
+// ctlJob is the reserved job id of the control channel.
+const ctlJob = 0
+
+// Config parameterizes one rank's daemon.
+type Config struct {
+	// Rank is this daemon's rank; Addrs[Rank] is its listen address.
+	Rank int
+	// Addrs lists every rank's address, defining the fleet size.
+	Addrs []string
+	// Fabric, when non-nil, is a pre-assembled shared fabric (in-process
+	// tests); Addrs then only needs to agree on the size and no TCP
+	// rendezvous happens.
+	Fabric transport.Transport
+	// DialTimeout bounds the fabric rendezvous (0 = tcp default).
+	DialTimeout time.Duration
+	// MaxConcurrent caps jobs running at once fleet-wide (leader
+	// enforced; 0 = 4).
+	MaxConcurrent int
+	// QueueDepth bounds the leader's admission queue — submissions
+	// beyond running + queued are refused with ErrQueueFull (0 = 16).
+	QueueDepth int
+	// LinkQueue is the per-(job, link) receive queue bound in frames
+	// (0 = jobmux.DefaultQueue). This is the per-job backpressure knob:
+	// a job that stops draining a link stalls — at most — that link,
+	// this deep.
+	LinkQueue int
+	// RateInterval is the update period of the per-job bytes/sec gauges
+	// (0 = 1s; only meaningful with telemetry active).
+	RateInterval time.Duration
+	// Logger receives progress when non-nil (tagged with the rank).
+	Logger *slog.Logger
+}
+
+// Daemon is one rank's long-lived job-service process. Build with New,
+// block on Run, stop with Shutdown (leader) or Close.
+type Daemon struct {
+	cfg  Config
+	rank int
+	n    int
+	mux  *jobmux.Mux
+	ctl  transport.Endpoint
+	log  *slog.Logger
+	reg  *obs.Registry
+
+	ctlMu sync.Mutex // serializes leader broadcasts on the ctl endpoint
+
+	// Leader admission state. live counts queued + running jobs (the
+	// jobs-in-flight gauge); transitions happen under recMu exactly
+	// once per job so the gauge and the semaphore can't drift.
+	recMu  sync.Mutex
+	recs   map[uint32]*JobStatus
+	order  []uint32
+	nextID uint32
+	live   int
+	peak   int
+	admitq chan uint32
+	sem    chan struct{}
+
+	inflight  *obs.Gauge   // marsit_jobs_in_flight (leader)
+	peakG     *obs.Gauge   // marsit_jobs_in_flight_peak (leader)
+	submitted *obs.Counter // marsit_jobs_submitted_total (leader)
+	completed *obs.Counter // marsit_jobs_completed_total (leader)
+
+	launchMu sync.Mutex     // gates jobs.Add against finish's jobs.Wait
+	jobs     sync.WaitGroup // live job runners on this rank
+	loops    sync.WaitGroup // control/admit/rate loops
+	stop     chan struct{}
+	stopOnce sync.Once
+	doneOnce sync.Once
+	done     chan error
+}
+
+// New assembles the shared fabric (unless cfg.Fabric pre-built it),
+// starts the routing pumps and this rank's control loops, and returns
+// the running daemon. On the leader the control plane is live
+// immediately; call Run to block until shutdown.
+func New(cfg Config) (*Daemon, error) {
+	n := len(cfg.Addrs)
+	if cfg.Fabric != nil {
+		if n != 0 && n != cfg.Fabric.Size() {
+			return nil, fmt.Errorf("service: %d addresses but the fabric has %d ranks", n, cfg.Fabric.Size())
+		}
+		n = cfg.Fabric.Size()
+	}
+	if n < 1 {
+		return nil, errors.New("service: no addresses")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= n {
+		return nil, fmt.Errorf("service: rank %d out of range [0,%d)", cfg.Rank, n)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.RateInterval <= 0 {
+		cfg.RateInterval = time.Second
+	}
+
+	fabric := cfg.Fabric
+	if fabric == nil {
+		f, err := tcp.New(tcp.Config{
+			Addrs:       cfg.Addrs,
+			LocalRanks:  []int{cfg.Rank},
+			DialTimeout: cfg.DialTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fabric = f
+	}
+
+	d := &Daemon{
+		cfg:    cfg,
+		rank:   cfg.Rank,
+		n:      n,
+		mux:    jobmux.New(fabric, jobmux.Config{Ranks: []int{cfg.Rank}, Queue: cfg.LinkQueue}),
+		reg:    obs.Active(),
+		recs:   make(map[uint32]*JobStatus),
+		nextID: 1,
+		admitq: make(chan uint32, cfg.QueueDepth),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		stop:   make(chan struct{}),
+		done:   make(chan error, 1),
+	}
+	if cfg.Logger != nil {
+		d.log = cfg.Logger.With("rank", d.rank)
+	}
+	ctlFab, err := d.mux.Job(ctlJob)
+	if err != nil {
+		d.mux.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	d.ctl = ctlFab.Endpoint(d.rank)
+
+	if d.reg != nil && d.rank == 0 {
+		d.inflight = d.reg.Gauge("marsit_jobs_in_flight")
+		d.peakG = d.reg.Gauge("marsit_jobs_in_flight_peak")
+		d.submitted = d.reg.Counter("marsit_jobs_submitted_total")
+		d.completed = d.reg.Counter("marsit_jobs_completed_total")
+	}
+
+	if d.rank == 0 {
+		d.loops.Add(1)
+		go d.admitLoop()
+	} else {
+		d.loops.Add(1)
+		go d.ctlLoop()
+	}
+	if d.reg != nil {
+		d.loops.Add(1)
+		go d.rateLoop()
+	}
+	d.logf("daemon up: %d ranks, max %d concurrent jobs, queue %d",
+		n, cfg.MaxConcurrent, cfg.QueueDepth)
+	return d, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.log != nil {
+		d.log.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// Size returns the fleet size.
+func (d *Daemon) Size() int { return d.n }
+
+// Rank returns this daemon's rank.
+func (d *Daemon) Rank() int { return d.rank }
+
+// Run blocks until the daemon stops: a leader stops on Shutdown (or
+// Close), a peer when the leader's shutdown broadcast arrives or the
+// shared fabric dies. The returned error is nil on an ordered shutdown.
+func (d *Daemon) Run() error { return <-d.done }
+
+// Close force-stops the daemon: running jobs abort with transport
+// errors, the shared fabric closes. Peers prefer the leader-driven
+// shutdown broadcast; Close is the hard stop (and the test teardown).
+func (d *Daemon) Close() error {
+	d.finish(nil)
+	return nil
+}
+
+// finish stops the daemon exactly once: mark stopping, tear down the
+// fabric (aborting job runners), wait for them, and deliver Run's
+// result.
+func (d *Daemon) finish(err error) {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.doneOnce.Do(func() {
+		// Barrier: once stop is visible, launch refuses new runners, so
+		// after this lock round-trip the jobs WaitGroup only counts down.
+		d.launchMu.Lock()
+		d.launchMu.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+		d.mux.Close()       //nolint:errcheck // inner close error is not actionable here
+		d.jobs.Wait()
+		d.done <- err
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Peer side
+
+// ctlLoop is every peer's control loop: execute the leader's
+// start/cancel messages until shutdown (or fabric death).
+func (d *Daemon) ctlLoop() {
+	defer d.loops.Done()
+	for {
+		p, err := d.ctl.Recv(0)
+		if err != nil {
+			// A closed fabric is this daemon's end of life whether the
+			// shutdown frame outran the teardown or not — every failure
+			// funnels through the mux as ErrClosed, jobs already aborted
+			// and logged, so exit in order rather than report it.
+			if errors.Is(err, transport.ErrClosed) {
+				d.logf("control channel closed; exiting")
+				d.finish(nil)
+				return
+			}
+			d.finish(fmt.Errorf("service: rank %d control channel: %w", d.rank, err))
+			return
+		}
+		var m ctlMsg
+		perr := json.Unmarshal(p.Data, &m)
+		transport.PutBuffer(p.Data)
+		if perr != nil {
+			d.finish(fmt.Errorf("service: rank %d: malformed control frame: %w", d.rank, perr))
+			return
+		}
+		d.logf("control: %s", m)
+		switch m.Op {
+		case opStart:
+			if m.Spec == nil {
+				d.finish(fmt.Errorf("service: rank %d: start without a spec", d.rank))
+				return
+			}
+			d.launch(m.ID, *m.Spec)
+		case opCancel:
+			d.mux.CloseJob(m.ID)
+		case opShutdown:
+			d.finish(nil)
+			return
+		default:
+			d.finish(fmt.Errorf("service: rank %d: unknown control op %q", d.rank, m.Op))
+			return
+		}
+	}
+}
+
+// launch runs this rank's leg of job id in its own goroutine. The
+// runner owns the job's fabric view and closes it when the job ends —
+// on a long-lived fabric there is no teardown to linger for.
+func (d *Daemon) launch(id uint32, spec JobSpec) {
+	jf, err := d.mux.Job(id)
+	if err != nil {
+		if d.rank == 0 {
+			d.completeJob(id, nil, err)
+		}
+		return
+	}
+	cfg := spec.config(d.rank, d.n)
+	cfg.JobLabel = strconv.FormatUint(uint64(id), 10)
+	cfg.Logger = d.cfg.Logger
+	d.launchMu.Lock()
+	select {
+	case <-d.stop:
+		d.launchMu.Unlock()
+		return
+	default:
+	}
+	d.jobs.Add(1)
+	d.launchMu.Unlock()
+	go func() {
+		defer d.jobs.Done()
+		sum, err := node.RunJob(cfg, jf)
+		jf.Close() //nolint:errcheck // never fails
+		if d.rank == 0 {
+			d.completeJob(id, sum, err)
+		} else if err != nil {
+			d.logf("job %d: %v", id, err)
+		} else {
+			d.logf("job %d done", id)
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// Leader side
+
+// broadcast sends m to every peer over the control channel.
+func (d *Daemon) broadcast(m ctlMsg) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	d.ctlMu.Lock()
+	defer d.ctlMu.Unlock()
+	for to := 1; to < d.n; to++ {
+		buf := transport.GetBuffer(len(data))
+		copy(buf, data)
+		if err := d.ctl.Send(to, transport.Packet{Data: buf}); err != nil {
+			return fmt.Errorf("service: control to rank %d: %w", to, err)
+		}
+	}
+	return nil
+}
+
+// Submit validates spec against the registry, assigns a job id and
+// queues it for admission. It never blocks: a full queue is an
+// ErrQueueFull refusal (HTTP 429), the backpressure boundary of the
+// control plane.
+func (d *Daemon) Submit(spec JobSpec) (uint32, error) {
+	if d.rank != 0 {
+		return 0, ErrNotLeader
+	}
+	select {
+	case <-d.stop:
+		return 0, ErrShuttingDown
+	default:
+	}
+	if err := spec.Validate(d.n); err != nil {
+		return 0, err
+	}
+	d.recMu.Lock()
+	defer d.recMu.Unlock()
+	id := d.nextID
+	select {
+	case d.admitq <- id:
+	default:
+		return 0, ErrQueueFull
+	}
+	d.nextID++
+	d.recs[id] = &JobStatus{ID: id, State: StateQueued, Spec: spec, SubmittedAt: time.Now()}
+	d.order = append(d.order, id)
+	d.live++
+	if d.live > d.peak {
+		d.peak = d.live
+		if d.peakG != nil {
+			d.peakG.Set(int64(d.peak))
+		}
+	}
+	if d.inflight != nil {
+		d.inflight.Set(int64(d.live))
+	}
+	if d.submitted != nil {
+		d.submitted.Inc()
+	}
+	d.logf("job %d queued: %s D=%d rounds=%d", id, d.recs[id].Spec.Collective, spec.Dim, spec.Rounds)
+	return id, nil
+}
+
+// admitLoop is the leader's admission pump: take queued jobs in order,
+// hold a MaxConcurrent slot for each, tell the fleet to start it, and
+// run the local leg.
+func (d *Daemon) admitLoop() {
+	defer d.loops.Done()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case d.sem <- struct{}{}:
+			// Hold the slot first, then wait for work: the queue keeps
+			// holding its jobs until a slot frees, so QueueDepth is an
+			// exact bound on waiting submissions.
+			var id uint32
+			select {
+			case id = <-d.admitq:
+			case <-d.stop:
+				return
+			}
+			d.recMu.Lock()
+			rec := d.recs[id]
+			if rec.State != StateQueued { // canceled while queued
+				d.recMu.Unlock()
+				<-d.sem
+				continue
+			}
+			rec.State = StateRunning
+			rec.StartedAt = time.Now()
+			spec := rec.Spec
+			d.recMu.Unlock()
+			if err := d.broadcast(ctlMsg{Op: opStart, ID: id, Spec: &spec}); err != nil {
+				d.completeJob(id, nil, err)
+				continue
+			}
+			d.launch(id, spec)
+		}
+	}
+}
+
+// completeJob finalizes the leader's record for id (exactly once per
+// job: the runner calls it, or the admitter on a failed start).
+func (d *Daemon) completeJob(id uint32, sum *node.Summary, err error) {
+	d.recMu.Lock()
+	rec := d.recs[id]
+	if rec == nil || rec.State.Terminal() && rec.State != StateCanceled {
+		d.recMu.Unlock()
+		<-d.sem
+		return
+	}
+	switch {
+	case rec.State == StateCanceled:
+		// Cancel won the race; the abort error is the cancel, not a failure.
+	case err != nil:
+		rec.State = StateFailed
+		rec.Error = err.Error()
+	default:
+		rec.State = StateDone
+		rec.Checked = sum.Checked
+		rec.Clock = sum.Clock
+		rec.WireBytes = sum.Bytes
+	}
+	rec.FinishedAt = time.Now()
+	d.live--
+	if d.inflight != nil {
+		d.inflight.Set(int64(d.live))
+	}
+	if d.completed != nil {
+		d.completed.Inc()
+	}
+	state, errText := rec.State, rec.Error
+	d.recMu.Unlock()
+	<-d.sem
+	if errText != "" {
+		d.logf("job %d %s: %s", id, state, errText)
+	} else {
+		d.logf("job %d %s", id, state)
+	}
+}
+
+// Cancel stops job id: a queued job never starts, a running job's
+// fabric views close on every rank so its blocked exchanges abort.
+// Terminal jobs are left as they are.
+func (d *Daemon) Cancel(id uint32) error {
+	if d.rank != 0 {
+		return ErrNotLeader
+	}
+	d.recMu.Lock()
+	rec := d.recs[id]
+	if rec == nil {
+		d.recMu.Unlock()
+		return ErrUnknownJob
+	}
+	if rec.State.Terminal() {
+		d.recMu.Unlock()
+		return nil
+	}
+	wasQueued := rec.State == StateQueued
+	rec.State = StateCanceled
+	rec.Error = "canceled"
+	if wasQueued {
+		// The runner never starts, so finalize here: the admitter will
+		// skip the id when it drains it from the queue.
+		rec.FinishedAt = time.Now()
+		d.live--
+		if d.inflight != nil {
+			d.inflight.Set(int64(d.live))
+		}
+		if d.completed != nil {
+			d.completed.Inc()
+		}
+	}
+	d.recMu.Unlock()
+	d.logf("job %d canceled", id)
+	// Tombstone the job everywhere; a running job's runners abort and
+	// (on this rank) completeJob finalizes under the canceled state.
+	if err := d.broadcast(ctlMsg{Op: opCancel, ID: id}); err != nil {
+		return err
+	}
+	d.mux.CloseJob(id)
+	return nil
+}
+
+// Status returns the leader's record of job id.
+func (d *Daemon) Status(id uint32) (JobStatus, error) {
+	if d.rank != 0 {
+		return JobStatus{}, ErrNotLeader
+	}
+	d.recMu.Lock()
+	defer d.recMu.Unlock()
+	rec := d.recs[id]
+	if rec == nil {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return *rec, nil
+}
+
+// List returns every job in submission order.
+func (d *Daemon) List() []JobStatus {
+	d.recMu.Lock()
+	defer d.recMu.Unlock()
+	out := make([]JobStatus, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, *d.recs[id])
+	}
+	return out
+}
+
+// InFlight returns the current and peak queued+running job counts.
+func (d *Daemon) InFlight() (live, peak int) {
+	d.recMu.Lock()
+	defer d.recMu.Unlock()
+	return d.live, d.peak
+}
+
+// Shutdown stops the fleet from the leader: broadcast the farewell so
+// every peer daemon exits, then stop locally. Running jobs abort; an
+// orderly caller drains them first (List until nothing is live). The
+// broadcast is best effort — a peer that already hung up (or, on a
+// shared in-process fabric, tore the links down on receipt) must not
+// keep the leader alive.
+func (d *Daemon) Shutdown() error {
+	if d.rank != 0 {
+		return ErrNotLeader
+	}
+	d.logf("shutdown")
+	if err := d.broadcast(ctlMsg{Op: opShutdown}); err != nil {
+		d.logf("shutdown broadcast: %v", err)
+	}
+	d.finish(nil)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Per-job throughput gauges
+
+// rateLoop maintains marsit_job_bytes_per_second{job,rank}: this rank's
+// cost-model wire bytes posted per job, differentiated over the tick.
+func (d *Daemon) rateLoop() {
+	defer d.loops.Done()
+	t := time.NewTicker(d.cfg.RateInterval)
+	defer t.Stop()
+	last := make(map[uint32]int64)
+	rankLabel := strconv.Itoa(d.rank)
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+		}
+		for _, id := range d.mux.Jobs() {
+			if id == ctlJob {
+				continue
+			}
+			jf, err := d.mux.Job(id)
+			if err != nil {
+				return // mux closed
+			}
+			cur := jf.WireSent()
+			rate := (cur - last[id]) * int64(time.Second) / int64(d.cfg.RateInterval)
+			last[id] = cur
+			d.reg.Gauge("marsit_job_bytes_per_second",
+				"job", strconv.FormatUint(uint64(id), 10), "rank", rankLabel).Set(rate)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the leader's control-plane API, built to mount beside
+// /metrics on the telemetry server (obs.Server.Handle):
+//
+//	POST /jobs             submit a JobSpec        → 202 {"id": N}
+//	GET  /jobs             list jobs               → 200 [JobStatus...]
+//	GET  /jobs/{id}        one job's status        → 200 JobStatus
+//	POST /jobs/{id}/cancel cancel a job            → 200 JobStatus
+//	POST /shutdown         stop the whole fleet    → 200
+//
+// Refusals map one to one: invalid spec → 400, unknown id → 404, full
+// admission queue → 429, shutting down → 503.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.handleSubmit)
+	mux.HandleFunc("GET /jobs", d.handleList)
+	mux.HandleFunc("GET /jobs/{id}", d.handleStatus)
+	mux.HandleFunc("POST /jobs/{id}/cancel", d.handleCancel)
+	mux.HandleFunc("POST /shutdown", d.handleShutdown)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client disconnect
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// submitCode maps a Submit refusal to its HTTP status.
+func submitCode(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default: // spec validation
+		return http.StatusBadRequest
+	}
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := d.Submit(spec)
+	if err != nil {
+		writeErr(w, submitCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]uint32{"id": id})
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, d.List())
+}
+
+// pathID parses the {id} wildcard; 0 with ok=false means it already
+// responded 404 (job ids start at 1, so 0 is never valid).
+func pathID(w http.ResponseWriter, r *http.Request) (uint32, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil || id == 0 {
+		writeErr(w, http.StatusNotFound, ErrUnknownJob)
+		return 0, false
+	}
+	return uint32(id), true
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	st, err := d.Status(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := d.Cancel(id); err != nil {
+		if errors.Is(err, ErrUnknownJob) {
+			writeErr(w, http.StatusNotFound, err)
+		} else {
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	st, err := d.Status(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleShutdown(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "shutting down"})
+	go d.Shutdown() //nolint:errcheck // response already sent; peers log
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"marsit/internal/node"
+)
+
+// JobSpec is the JSON body of a job submission. It mirrors the
+// marsit.Run facade options (and so node.Config): everything the
+// registry needs to resolve and run a collective, minus the fabric
+// itself, which the daemon fleet already owns. Every rank derives its
+// node.Config from the same spec, so the usual all-ranks-agree
+// contract holds by construction.
+type JobSpec struct {
+	// Collective selects the schedule by registry name ("" = marsit).
+	Collective string `json:"collective,omitempty"`
+	// Dim is the gradient dimension D.
+	Dim int `json:"dim"`
+	// Rounds is the number of synchronizations.
+	Rounds int `json:"rounds"`
+	// K is Marsit's full-precision period (0 = one-bit forever).
+	K int `json:"k,omitempty"`
+	// GlobalLR is Marsit's global step η_s.
+	GlobalLR float64 `json:"global_lr,omitempty"`
+	// Seed drives the per-rank gradient streams.
+	Seed uint64 `json:"seed"`
+	// Elias enables Elias-gamma compaction (Elias-capable collectives).
+	Elias bool `json:"elias,omitempty"`
+	// Chunks splits ring-hop payloads into pipelined frames (0/1 = off).
+	Chunks int `json:"chunks,omitempty"`
+	// PowerRank is powersgd's low-rank approximation rank (0 = default).
+	PowerRank int `json:"power_rank,omitempty"`
+	// TorusRows and TorusCols select a 2D-torus layout for torus-capable
+	// collectives; both zero means the collective's default.
+	TorusRows int `json:"torus_rows,omitempty"`
+	TorusCols int `json:"torus_cols,omitempty"`
+	// Check has rank 0 verify the job against the sequential engine:
+	// results, wire bytes and α–β clocks must be bit-identical.
+	Check bool `json:"check,omitempty"`
+	// JitterMS, when positive, arms faultwrap delay injection on every
+	// rank of this job (up to that many milliseconds per send, over the
+	// job's own fabric view only). Wall clock moves; results, wire bytes
+	// and virtual clocks do not.
+	JitterMS int `json:"jitter_ms,omitempty"`
+	// JitterSeed roots the per-pair delay streams.
+	JitterSeed uint64 `json:"jitter_seed,omitempty"`
+}
+
+// config derives the node.Config rank runs this spec with on a fleet of
+// workers ranks.
+func (sp JobSpec) config(rank, workers int) node.Config {
+	return node.Config{
+		Rank:       rank,
+		Workers:    workers,
+		Collective: sp.Collective,
+		TorusRows:  sp.TorusRows,
+		TorusCols:  sp.TorusCols,
+		Dim:        sp.Dim,
+		Rounds:     sp.Rounds,
+		K:          sp.K,
+		GlobalLR:   sp.GlobalLR,
+		Seed:       sp.Seed,
+		UseElias:   sp.Elias,
+		Chunks:     sp.Chunks,
+		PowerRank:  sp.PowerRank,
+		Check:      sp.Check,
+		Jitter:     time.Duration(sp.JitterMS) * time.Millisecond,
+		JitterSeed: sp.JitterSeed,
+	}
+}
+
+// Validate resolves the spec against the registry exactly as every rank
+// will — the admission gate rejects what any rank would reject.
+func (sp JobSpec) Validate(workers int) error {
+	return node.ValidateJob(sp.config(0, workers))
+}
+
+// State is a job's position in the service lifecycle.
+type State string
+
+// Job lifecycle states. Queued and Running are live (they count toward
+// jobs-in-flight); the other three are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the control plane's view of one job (the GET /jobs
+// payload element). Result numbers are rank 0's — in check mode they
+// are verified identical to every rank's sequential replay.
+type JobStatus struct {
+	ID    uint32  `json:"id"`
+	State State   `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Checked reports that the fabric was verified bit-identical to the
+	// sequential engine (check-mode jobs that reached Done).
+	Checked bool `json:"checked,omitempty"`
+	// Error carries the failure (or cancel) detail for terminal states.
+	Error string `json:"error,omitempty"`
+	// Clock and WireBytes are rank 0's final virtual clock and cost-model
+	// byte account for the job.
+	Clock     float64 `json:"clock,omitempty"`
+	WireBytes int64   `json:"wire_bytes,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// ctlOp is a control-channel verb.
+type ctlOp string
+
+const (
+	opStart    ctlOp = "start"
+	opCancel   ctlOp = "cancel"
+	opShutdown ctlOp = "shutdown"
+)
+
+// ctlMsg is one frame of the reserved job-0 control channel: rank 0
+// broadcasts it to every peer (JSON payload, Wire = 0, so the control
+// plane is never charged to any job's simulation).
+type ctlMsg struct {
+	Op   ctlOp    `json:"op"`
+	ID   uint32   `json:"id,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
+}
+
+func (m ctlMsg) String() string {
+	return fmt.Sprintf("%s job %d", m.Op, m.ID)
+}

@@ -1,0 +1,300 @@
+package jobmux_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"marsit/internal/obs"
+	"marsit/internal/transport"
+	"marsit/internal/transport/jobmux"
+	"marsit/internal/transport/tcp"
+	"marsit/internal/transport/transporttest"
+)
+
+// oneJobFabric adapts a single job view for the conformance suite:
+// Close tears down the job and the whole Mux (suite factories own the
+// fabric lifecycle end to end).
+type oneJobFabric struct {
+	*jobmux.JobFabric
+	mux *jobmux.Mux
+}
+
+func (f *oneJobFabric) Close() error {
+	f.JobFabric.Close() //nolint:errcheck // never fails
+	return f.mux.Close()
+}
+
+// TestJobConformanceLoopback runs one job view over a loopback fabric
+// through the full transport contract: FIFO per pair, blocking Recv,
+// close semantics, ring deadlock freedom, metrics.
+func TestJobConformanceLoopback(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transport.Transport {
+		m := jobmux.New(transport.NewLoopback(n), jobmux.Config{})
+		j, err := m.Job(7)
+		if err != nil {
+			t.Fatalf("Job(7): %v", err)
+		}
+		return &oneJobFabric{JobFabric: j, mux: m}
+	})
+}
+
+// TestJobConformanceTCP runs the same contract over real sockets.
+func TestJobConformanceTCP(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transport.Transport {
+		inner, err := tcp.NewLocal(n)
+		if err != nil {
+			t.Fatalf("tcp.NewLocal(%d): %v", n, err)
+		}
+		m := jobmux.New(inner, jobmux.Config{})
+		j, err := m.Job(7)
+		if err != nil {
+			t.Fatalf("Job(7): %v", err)
+		}
+		return &oneJobFabric{JobFabric: j, mux: m}
+	})
+}
+
+// TestJobsAreIsolated interleaves two jobs over one shared fabric and
+// checks each sees only its own frames, in FIFO order, with its own
+// Wire/Clock values intact.
+func TestJobsAreIsolated(t *testing.T) {
+	m := jobmux.New(transport.NewLoopback(2), jobmux.Config{})
+	defer m.Close()
+	const count = 50
+	jobs := make([]*jobmux.JobFabric, 2)
+	for i := range jobs {
+		j, err := m.Job(uint32(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(2)
+		id := uint32(i + 1)
+		go func(j *jobmux.JobFabric) {
+			defer wg.Done()
+			ep := j.Endpoint(0)
+			for k := 0; k < count; k++ {
+				p := transport.Packet{Data: []byte{byte(id), byte(k)}, Wire: int(id)*1000 + k, Clock: float64(k)}
+				if err := ep.Send(1, p); err != nil {
+					t.Errorf("job %d send %d: %v", id, k, err)
+					return
+				}
+			}
+		}(j)
+		go func(j *jobmux.JobFabric) {
+			defer wg.Done()
+			ep := j.Endpoint(1)
+			for k := 0; k < count; k++ {
+				p, err := ep.Recv(0)
+				if err != nil {
+					t.Errorf("job %d recv %d: %v", id, k, err)
+					return
+				}
+				if p.Job != id || len(p.Data) != 2 || p.Data[0] != byte(id) || p.Data[1] != byte(k) ||
+					p.Wire != int(id)*1000+k {
+					t.Errorf("job %d recv %d: crossed frame %+v", id, k, p)
+					return
+				}
+			}
+		}(j)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("interleaved jobs deadlocked")
+	}
+}
+
+// TestImplicitJobCreation delivers a frame sent before the receiver
+// ever asked for the job: the pump creates the job on first sight and
+// the late Job call finds the queued frame.
+func TestImplicitJobCreation(t *testing.T) {
+	m := jobmux.New(transport.NewLoopback(2), jobmux.Config{})
+	defer m.Close()
+	j0, err := m.Job(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j0.Endpoint(0).Send(1, transport.Packet{Data: []byte("hi"), Wire: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver side asks for job 42 only now; same Mux hosts both
+	// ranks, so the pump has already (or will shortly) file the frame.
+	j, err := m.Job(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := j.Endpoint(1).Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Data) != "hi" || p.Job != 42 {
+		t.Fatalf("got %+v", p)
+	}
+}
+
+// TestClosedJobDrainsLink models a cancel that one side has not heard
+// about yet: two Muxes split the ranks of one shared fabric (the daemon
+// shape), the receiver cancels job 1, and the sender floods it with
+// more frames than every buffer in the path can hold. The receiving
+// pump must drop them so the sender never wedges, and an unrelated job
+// sharing the link keeps working.
+func TestClosedJobDrainsLink(t *testing.T) {
+	inner := transport.NewLoopback(2)
+	a := jobmux.New(inner, jobmux.Config{Ranks: []int{0}, Queue: 4})
+	b := jobmux.New(inner, jobmux.Config{Ranks: []int{1}, Queue: 4})
+	defer a.Close()
+	defer b.Close()
+
+	deadA, err := a.Job(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveA, err := a.Job(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveB, err := b.Job(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CloseJob(1) // receiver canceled; sender's view stays open
+
+	sent := make(chan error, 1)
+	go func() {
+		ep := deadA.Endpoint(0)
+		for i := 0; i < 200; i++ {
+			if err := ep.Send(1, transport.Packet{Data: []byte{byte(i)}}); err != nil {
+				sent <- err
+				return
+			}
+		}
+		sent <- nil
+	}()
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatalf("sender on canceled job: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender wedged behind a canceled job")
+	}
+
+	// The live job still round-trips on the same shared link.
+	if err := liveA.Endpoint(0).Send(1, transport.Packet{Data: []byte("ok"), Wire: 2}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := liveB.Endpoint(1).Recv(0)
+	if err != nil || string(p.Data) != "ok" {
+		t.Fatalf("live job after flood: %v %+v", err, p)
+	}
+	if p.Job != 2 {
+		t.Fatalf("live job frame stamped %d", p.Job)
+	}
+}
+
+// TestCancelBeforeFirstFrame closes a job id nobody has used yet; the
+// id must resolve to a tombstone whose Recv reports ErrClosed, and
+// frames arriving later for it are dropped without disturbing the
+// fabric.
+func TestCancelBeforeFirstFrame(t *testing.T) {
+	m := jobmux.New(transport.NewLoopback(2), jobmux.Config{})
+	defer m.Close()
+	m.CloseJob(9)
+	j, err := m.Job(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Endpoint(1).Recv(0); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("recv on pre-canceled job: %v", err)
+	}
+	if err := j.Endpoint(0).Send(1, transport.Packet{}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send on pre-canceled job: %v", err)
+	}
+}
+
+// TestMuxCloseUnblocksAllJobs parks receivers on two jobs and closes
+// the whole Mux: both must unblock with ErrClosed.
+func TestMuxCloseUnblocksAllJobs(t *testing.T) {
+	m := jobmux.New(transport.NewLoopback(2), jobmux.Config{})
+	errs := make(chan error, 2)
+	for id := uint32(1); id <= 2; id++ {
+		j, err := m.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(j *jobmux.JobFabric) {
+			_, err := j.Endpoint(1).Recv(0)
+			errs <- err
+		}(j)
+	}
+	time.Sleep(10 * time.Millisecond) // let both Recvs park
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, transport.ErrClosed) {
+				t.Fatalf("recv after Mux close: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("recv still parked after Mux close")
+		}
+	}
+	if _, err := m.Job(3); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Job on closed Mux: %v", err)
+	}
+}
+
+// TestPerJobCounters pins the marsit_job_* series: with telemetry
+// active at Mux creation, each job's sent/received frames and bytes
+// land on its own labeled counters.
+func TestPerJobCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	defer obs.SetActive(reg)()
+	m := jobmux.New(transport.NewLoopback(2), jobmux.Config{})
+	defer m.Close()
+
+	for id := uint32(1); id <= 2; id++ {
+		j, err := m.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < int(id); k++ { // job 1: one frame, job 2: two
+			if err := j.Endpoint(0).Send(1, transport.Packet{Data: []byte("abcd"), Wire: 10}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := j.Endpoint(1).Recv(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := j.WireSent(); got != int64(id)*10 {
+			t.Errorf("job %d WireSent = %d, want %d", id, got, int64(id)*10)
+		}
+	}
+	for id := 1; id <= 2; id++ {
+		label := fmt.Sprint(id)
+		checks := map[string]int64{
+			"marsit_job_frames_sent_total":        int64(id),
+			"marsit_job_frames_recv_total":        int64(id),
+			"marsit_job_wire_sent_bytes_total":    int64(id) * 10,
+			"marsit_job_wire_recv_bytes_total":    int64(id) * 10,
+			"marsit_job_payload_sent_bytes_total": int64(id) * 4,
+			"marsit_job_payload_recv_bytes_total": int64(id) * 4,
+		}
+		for name, want := range checks {
+			if got := reg.Counter(name, "job", label).Value(); got != want {
+				t.Errorf("%s{job=%q} = %d, want %d", name, label, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// staleHello builds a hello frame as an older (or newer) build would:
+// "MTP" plus a foreign version byte, then the two rank fields.
+func staleHello(version byte, from, to int) []byte {
+	var b [12]byte
+	copy(b[:3], "MTP")
+	b[3] = version
+	binary.LittleEndian.PutUint32(b[4:], uint32(from))
+	binary.LittleEndian.PutUint32(b[8:], uint32(to))
+	return b[:]
+}
+
+// A dialer from a stale build (frame version 1, no Job field) must be
+// rejected by the listener with a loud frame-version error, not a
+// generic bad-magic one — and never get as far as exchanging frames.
+func TestAcceptHelloStaleVersionDialer(t *testing.T) {
+	dialer, listener := net.Pipe()
+	defer dialer.Close()
+	defer listener.Close()
+
+	go func() {
+		dialer.Write(staleHello('1', 0, 1))
+		// Drain any reply so acceptHello's write cannot block.
+		io.Copy(io.Discard, dialer)
+	}()
+
+	_, err := acceptHello(listener, 1, time.Now().Add(5*time.Second))
+	if err == nil {
+		t.Fatal("acceptHello accepted a stale-version dialer")
+	}
+	if !strings.Contains(err.Error(), "frame version mismatch") {
+		t.Fatalf("want frame version mismatch error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "MTP1") || !strings.Contains(err.Error(), "MTP2") {
+		t.Fatalf("error should name both versions, got %v", err)
+	}
+}
+
+// The symmetric case: this build dials a listener from a stale build,
+// whose hello reply carries the old version byte.
+func TestDialHelloStaleVersionAcceptor(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hello [12]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return
+		}
+		// Reply as a version-1 listener would: correct ranks, old magic.
+		conn.Write(staleHello('1', 1, 0))
+	}()
+
+	_, err = dialHello(ln.Addr().String(), 0, 1, time.Now().Add(5*time.Second))
+	if err == nil {
+		t.Fatal("dialHello accepted a stale-version acceptor")
+	}
+	if !strings.Contains(err.Error(), "frame version mismatch") {
+		t.Fatalf("want frame version mismatch error, got %v", err)
+	}
+}
+
+// Garbage that does not even start with "MTP" still gets the generic
+// bad-magic error, so the version check narrows only true version skew.
+func TestAcceptHelloGarbageMagic(t *testing.T) {
+	dialer, listener := net.Pipe()
+	defer dialer.Close()
+	defer listener.Close()
+
+	go func() {
+		dialer.Write([]byte("GET / HTTP/1.1\r\n"))
+		io.Copy(io.Discard, dialer)
+	}()
+
+	_, err := acceptHello(listener, 1, time.Now().Add(5*time.Second))
+	if err == nil {
+		t.Fatal("acceptHello accepted garbage")
+	}
+	if strings.Contains(err.Error(), "frame version") {
+		t.Fatalf("garbage magic misreported as version skew: %v", err)
+	}
+}

@@ -20,20 +20,26 @@
 // DialTimeout, tolerating peers that start late. Each connection opens
 // with a hello exchange
 //
-//	dialer → "MTP1" | uint32 dialer rank | uint32 target rank
-//	target → "MTP1" | uint32 target rank | uint32 dialer rank
+//	dialer → "MTP" | version byte | uint32 dialer rank | uint32 target rank
+//	target → "MTP" | version byte | uint32 target rank | uint32 dialer rank
 //
 // (all integers little-endian) which pins the pair to the connection and
-// rejects protocol or wiring mismatches before any payload flows.
+// rejects protocol or wiring mismatches before any payload flows. The
+// version byte negotiates the frame format: both ends must speak
+// FrameVersion, and a mismatch fails the rendezvous with a loud "frame
+// version" error naming both versions — a mixed-version fleet dies in
+// the handshake instead of misparsing the extended header below.
 //
 // # Frames
 //
-// After the hello, each direction is a stream of length-prefixed frames:
+// After the hello, each direction is a stream of length-prefixed frames
+// (format version '2'):
 //
-//	uint32 payload length | uint32 Wire | float64 Clock (IEEE-754 bits) | payload
+//	uint32 payload length | uint32 Wire | float64 Clock (IEEE-754 bits) | uint32 Job | payload
 //
-// Wire and Clock are the Packet fields of the simulated cost model; the
-// 16-byte frame header itself is never charged to the simulation. A
+// Wire, Clock and Job are the Packet fields of the simulated cost model
+// and the job-scoped fabric layer (transport/jobmux); the 20-byte frame
+// header itself is never charged to the simulation. A
 // dedicated writer goroutine per (local rank, peer) drains a bounded send
 // queue onto the socket and a dedicated reader goroutine parses frames
 // into a bounded receive queue, so per-pair FIFO follows from TCP's own
@@ -80,12 +86,15 @@ func logDebug(msg string, args ...any) {
 }
 
 // magic opens every hello exchange; the trailing digit versions the
-// frame format.
-var magic = [4]byte{'M', 'T', 'P', '1'}
+// frame format. Version '2' added the uint32 Job field to the frame
+// header (transport/jobmux). Both ends must agree: helloVersionErr
+// turns a prefix-matching, version-differing peer into a loud error
+// instead of letting the two sides misparse each other's frames.
+var magic = [4]byte{'M', 'T', 'P', '2'}
 
 // headerBytes is the fixed frame header size: payload length, wire size,
-// clock bits.
-const headerBytes = 4 + 4 + 8
+// clock bits, job ID.
+const headerBytes = 4 + 4 + 8 + 4
 
 // DefaultDialTimeout bounds the rendezvous: how long dialers retry and
 // listeners wait for the fabric to assemble.
@@ -498,6 +507,10 @@ func dialHello(addr string, from, to int, deadline time.Time) (net.Conn, error) 
 		conn.Close()
 		return nil, fmt.Errorf("tcp: rank %d hello reply from rank %d: %w", from, to, err)
 	}
+	if err := helloVersionErr(reply[:4], from); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	if [4]byte(reply[:4]) != magic ||
 		binary.LittleEndian.Uint32(reply[4:]) != uint32(to) ||
 		binary.LittleEndian.Uint32(reply[8:]) != uint32(from) {
@@ -516,6 +529,9 @@ func acceptHello(conn net.Conn, rank int, deadline time.Time) (int, error) {
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		return 0, fmt.Errorf("tcp: rank %d read hello: %w", rank, err)
 	}
+	if err := helloVersionErr(hello[:4], rank); err != nil {
+		return 0, err
+	}
 	if [4]byte(hello[:4]) != magic {
 		return 0, fmt.Errorf("tcp: rank %d: bad hello magic", rank)
 	}
@@ -533,6 +549,19 @@ func acceptHello(conn net.Conn, rank int, deadline time.Time) (int, error) {
 	}
 	conn.SetDeadline(time.Time{})
 	return from, nil
+}
+
+// helloVersionErr distinguishes a peer speaking a different frame
+// version (magic prefix "MTP" intact, version byte differs) from plain
+// garbage. Catching this before the rank fields are trusted means a
+// mixed-version fleet fails the rendezvous loudly instead of misparsing
+// the other side's frame headers.
+func helloVersionErr(got []byte, rank int) error {
+	if [3]byte(got[:3]) == [3]byte{'M', 'T', 'P'} && got[3] != magic[3] {
+		return fmt.Errorf("tcp: rank %d: frame version mismatch: peer speaks MTP%c, this build speaks MTP%c",
+			rank, got[3], magic[3])
+	}
+	return nil
 }
 
 // readBufBytes sizes the per-connection read buffer: one kernel read
@@ -563,6 +592,7 @@ func (f *Fabric) readLoop(conn net.Conn, lk *link) {
 		p := transport.Packet{
 			Wire:  int(binary.LittleEndian.Uint32(hdr[4:])),
 			Clock: math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:])),
+			Job:   binary.LittleEndian.Uint32(hdr[16:]),
 		}
 		if size > 0 {
 			p.Data = transport.GetBuffer(size)
@@ -634,6 +664,7 @@ func (w *frameWriter) flush() bool {
 		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p.Data)))
 		binary.LittleEndian.PutUint32(hdr[4:], uint32(p.Wire))
 		binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(p.Clock))
+		binary.LittleEndian.PutUint32(hdr[16:], p.Job)
 		w.vecs = append(w.vecs, hdr[:])
 		if len(p.Data) > 0 {
 			w.vecs = append(w.vecs, p.Data)

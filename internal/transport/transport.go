@@ -32,6 +32,15 @@ type Packet struct {
 	// slice by reference, so a sender must not mutate or reuse it after
 	// Send; wire backends would copy it onto the socket instead.
 	Data []byte
+	// Job identifies the training job this packet belongs to. 0 is the
+	// default (one-shot runs and the daemon's control channel); the
+	// jobmux middleware stamps it on Send and demultiplexes per-job
+	// endpoints over one shared fabric. Backends must deliver it intact
+	// next to Wire and Clock (the TCP frame header carries it; the hello
+	// handshake version-gates the extension so mixed-version fleets fail
+	// fast instead of misparsing frames). Like the frame header itself it
+	// is never charged to the simulation.
+	Job uint32
 	// Wire is the simulated size of this message in bytes. It may differ
 	// from len(Data): the simulation charges float32 wire widths and
 	// headerless bit payloads while the in-memory encoding is float64

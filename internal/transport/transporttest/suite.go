@@ -162,10 +162,17 @@ func testRankAndSize(t *testing.T, factory Factory) {
 }
 
 // testFIFOPerPair checks packets between a fixed pair arrive in send
-// order with payload, Wire and Clock intact.
+// order with payload, Wire, Clock and Job intact. A job-scoped view
+// (anything exposing ID() uint32, i.e. a jobmux fabric) owns the Job
+// field instead: it must stamp its own id on every delivered frame.
 func testFIFOPerPair(t *testing.T, factory Factory) {
 	tr := factory(t, 2)
 	defer tr.Close()
+	wantJob := func(i int) uint32 { return uint32(i % 3) }
+	if scoped, ok := tr.(interface{ ID() uint32 }); ok {
+		id := scoped.ID()
+		wantJob = func(int) uint32 { return id }
+	}
 	const count = 100
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -173,7 +180,7 @@ func testFIFOPerPair(t *testing.T, factory Factory) {
 		defer wg.Done()
 		ep := tr.Endpoint(0)
 		for i := 0; i < count; i++ {
-			p := transport.Packet{Data: []byte{byte(i), byte(i >> 8)}, Wire: i, Clock: float64(i) / 8}
+			p := transport.Packet{Data: []byte{byte(i), byte(i >> 8)}, Wire: i, Clock: float64(i) / 8, Job: uint32(i % 3)}
 			if err := ep.Send(1, p); err != nil {
 				t.Errorf("send %d: %v", i, err)
 				return
@@ -190,7 +197,7 @@ func testFIFOPerPair(t *testing.T, factory Factory) {
 				return
 			}
 			if len(p.Data) != 2 || p.Data[0] != byte(i) || p.Data[1] != byte(i>>8) ||
-				p.Wire != i || p.Clock != float64(i)/8 {
+				p.Wire != i || p.Clock != float64(i)/8 || p.Job != wantJob(i) {
 				t.Errorf("recv %d: got %+v", i, p)
 				return
 			}
