@@ -19,6 +19,11 @@
 #                          drift from the registry
 #   make tcp-demo          4-rank multi-process Marsit run over local TCP,
 #                          verified bit-for-bit against the sequential engine
+#   make shm-demo          4-rank multi-process Marsit run over the
+#                          shared-memory fabric (mmap'd rings, zero sockets
+#                          on the gradient path), verified bit-for-bit
+#                          against the sequential engine
+#                          (see docs/transport.md)
 #   make tree-demo         4-rank tree all-reduce fleet over local TCP,
 #                          verified bit-for-bit against the sequential engine
 #   make trace-demo        the tcp-demo fleet with telemetry on: per-rank
@@ -39,7 +44,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo tree-demo trace-demo calib-demo service-demo
+.PHONY: check fmt vet build test race bench bench-json bench-smoke fuzz-smoke list-collectives tcp-demo shm-demo tree-demo trace-demo calib-demo service-demo
 
 check: fmt vet build test list-collectives
 
@@ -58,8 +63,12 @@ build:
 test:
 	$(GO) test ./...
 
+# ./internal/transport/... covers the shm and hybrid fabrics — the
+# mmap-ring publish/consume protocol and the composite routing are
+# exactly the code the race detector must see.
 race:
 	$(GO) test -race . ./internal/runtime/... ./internal/transport/... \
+		./internal/transport/shm/... ./internal/transport/hybrid/... \
 		./internal/core/... ./internal/rng/... ./internal/train/... \
 		./internal/node/... ./internal/collective/registry/... \
 		./internal/obs/... ./internal/calib/... ./internal/service/...
@@ -69,14 +78,16 @@ bench:
 
 # bench-json emits the machine-readable perf record every future perf PR
 # is judged against: wall-clock ns/op, B/op and allocs/op for the
-# sequential engine vs the parallel engine over loopback and TCP, per
-# collective, with the parallel outputs cross-checked bit for bit
-# against the sequential engine before timing. A failing sub-run exits
-# non-zero — it is never dropped from the record.
-BENCH_JSON ?= BENCH_8.json
+# sequential engine vs the parallel engine over loopback, TCP, shm and
+# hybrid, per collective, with the parallel outputs cross-checked bit
+# for bit against the sequential engine before timing. A failing
+# sub-run exits non-zero — it is never dropped from the record.
+BENCH_JSON ?= BENCH_10.json
 
+# 1s per case: the 300ms default shows ±10% run-to-run noise on this
+# container, enough to flip close fabric orderings (shm vs tcp).
 bench-json:
-	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 8" \
+	$(GO) run ./cmd/marsit-bench -json $(BENCH_JSON) -label "PR 10" -benchtime 1s \
 		-bench-collectives rar,tar,marsit,signsum,ssdm,cascading,ps,ps-sign,ps-ssdm,ps-scaledsign,gossip,tree,onebit-tree,powersgd,hier
 
 # bench-smoke runs every benchmark exactly once: cheap enough for CI,
@@ -131,6 +142,31 @@ tcp-demo:
 	for p in $$pids; do wait $$p || status=$$?; done; \
 	if [ $$status -ne 0 ]; then echo "tcp-demo: FAILED"; exit $$status; fi; \
 	echo "tcp-demo: 4-rank TCP fabric matches the sequential engine"
+
+# shm-demo launches one marsit-node process per rank like tcp-demo, but
+# the gradient path runs entirely over mmap'd shared-memory rings in a
+# throwaway rendezvous dir — the peer list only sizes the fleet. Rank 0
+# replays the run on the sequential engine and exits non-zero unless
+# everything is bit-identical.
+SHM_DEMO_PEERS := 127.0.0.1:7901,127.0.0.1:7902,127.0.0.1:7903,127.0.0.1:7904
+
+shm-demo:
+	$(GO) build -o bin/marsit-node ./cmd/marsit-node
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	pids=""; \
+	for r in 1 2 3; do \
+		./bin/marsit-node -rank $$r -peers $(SHM_DEMO_PEERS) \
+			-transport shm -shm-dir "$$dir" \
+			-collective marsit -dim 4096 -rounds 8 -k 4 -check -quiet & \
+		pids="$$pids $$!"; \
+	done; \
+	status=0; \
+	./bin/marsit-node -rank 0 -peers $(SHM_DEMO_PEERS) \
+		-transport shm -shm-dir "$$dir" \
+		-collective marsit -dim 4096 -rounds 8 -k 4 -check || status=$$?; \
+	for p in $$pids; do wait $$p || status=$$?; done; \
+	if [ $$status -ne 0 ]; then echo "shm-demo: FAILED"; exit $$status; fi; \
+	echo "shm-demo: 4-rank shared-memory fabric matches the sequential engine"
 
 # tree-demo runs the binary-tree all-reduce across a real 4-process TCP
 # fleet (an incomplete tree: rank 3 is the lone grandchild, so the

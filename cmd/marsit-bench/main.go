@@ -89,7 +89,7 @@ func run() error {
 		listColl   = flag.Bool("list-collectives", false, "list the registered collectives and exit")
 		csvPath    = flag.String("csv", "", "write result tables as CSV to this file")
 		engine     = flag.String("engine", "seq", "execution engine: seq (single-threaded virtual time) | par (one goroutine per worker)")
-		transport  = flag.String("transport", "loopback", "parallel engine fabric: loopback (in-process channels) | tcp (real sockets)")
+		transport  = flag.String("transport", "loopback", "parallel engine fabric: loopback (in-process channels) | tcp (real sockets) | shm (mmap'd rings) | hybrid (shm intra-host + tcp inter-host)")
 		jsonPath   = flag.String("json", "", "run the perf harness and write the BENCH_*.json record to this file")
 		benchColl  = flag.String("bench-collectives", "", "comma-separated registry names for -json (default: "+strings.Join(perfbench.DefaultCollectives, ",")+")")
 		benchDim   = flag.Int("bench-dim", 0, "gradient dimension for -json (default 100000)")
@@ -100,8 +100,16 @@ func run() error {
 		tracePath  = flag.String("trace", "", "with -json: write a Chrome trace_event timeline of the benchmarked hops to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		maxProcs   = flag.Int("gomaxprocs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default; the -json header records the effective value)")
 	)
 	flag.Parse()
+
+	if *maxProcs < 0 {
+		return badUsage(fmt.Sprintf("bad -gomaxprocs %d (want a positive core count, or 0 for the default)", *maxProcs))
+	}
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+	}
 
 	if *listColl {
 		fmt.Print(registry.FormatList())
@@ -154,8 +162,12 @@ func run() error {
 		train.DefaultTransport = train.TransportLoopback
 	case "tcp":
 		train.DefaultTransport = train.TransportTCP
+	case "shm":
+		train.DefaultTransport = train.TransportSHM
+	case "hybrid":
+		train.DefaultTransport = train.TransportHybrid
 	default:
-		return badUsage(fmt.Sprintf("unknown transport %q (want loopback or tcp)", *transport))
+		return badUsage(fmt.Sprintf("unknown transport %q (want loopback, tcp, shm or hybrid)", *transport))
 	}
 
 	if *jsonPath != "" {

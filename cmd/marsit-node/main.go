@@ -99,6 +99,9 @@ func main() {
 		jitter    = flag.Duration("jitter", 0, "inject uniform random delay in [0,d) before every frame this rank sends (wall clock only; -check still holds)")
 		jitterSd  = flag.Uint64("jitter-seed", 1, "seed of this rank's jitter delay streams")
 		dieAfter  = flag.Int("die-after", 0, "crash-fault injection: abandon the fabric after N rounds (0 = off)")
+		transp    = flag.String("transport", "tcp", "fabric backend: tcp, shm (co-located ranks over mmap'd rings) or hybrid (shm intra-host, tcp inter-host)")
+		shmDir    = flag.String("shm-dir", "", "shared-memory rendezvous directory, shared by every co-located rank (shm/hybrid)")
+		hostMap   = flag.String("hosts", "", "hybrid: comma-separated host id per rank (e.g. 0,0,1,1); default: derived from -peers host parts")
 		daemon    = flag.Bool("daemon", false, "run as a long-lived job-service rank: jobs arrive via the control plane rank 0 mounts beside /metrics (see marsit-ctl)")
 		maxJobs   = flag.Int("max-jobs", 4, "daemon mode: concurrent jobs cap (fleet-wide, leader enforced)")
 		jobQueue  = flag.Int("job-queue", 16, "daemon mode: admission queue depth; submissions beyond it get HTTP 429")
@@ -135,6 +138,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "marsit-node: %v\n", err)
 		os.Exit(2)
 	}
+	hosts, err := parseHosts(*hostMap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marsit-node: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := node.Config{
 		Rank:           *rank,
@@ -155,6 +163,9 @@ func main() {
 		Jitter:         *jitter,
 		JitterSeed:     *jitterSd,
 		DieAfterRounds: *dieAfter,
+		Transport:      *transp,
+		ShmDir:         *shmDir,
+		Hosts:          hosts,
 		DialTimeout:    *timeout,
 	}
 	if !*quiet {
@@ -195,6 +206,9 @@ func main() {
 		os.Exit(runDaemon(service.Config{
 			Rank:          *rank,
 			Addrs:         addrs,
+			Transport:     *transp,
+			ShmDir:        *shmDir,
+			Hosts:         hosts,
 			DialTimeout:   *timeout,
 			MaxConcurrent: *maxJobs,
 			QueueDepth:    *jobQueue,
@@ -346,4 +360,22 @@ func parseTorus(s string) (rows, cols int, err error) {
 		return 0, 0, fmt.Errorf("bad -torus %q (need positive dims)", s)
 	}
 	return rows, cols, nil
+}
+
+// parseHosts parses the -hosts rank → host id map ("" means derive it
+// from the -peers host parts).
+func parseHosts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	hosts := make([]int, len(parts))
+	for i, p := range parts {
+		h, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || h < 0 {
+			return nil, fmt.Errorf("bad -hosts entry %q (want a non-negative host id per rank)", p)
+		}
+		hosts[i] = h
+	}
+	return hosts, nil
 }

@@ -37,6 +37,8 @@ import (
 	"marsit/internal/runtime"
 	"marsit/internal/tensor"
 	"marsit/internal/topology"
+	"marsit/internal/transport/hybrid"
+	"marsit/internal/transport/shm"
 	"marsit/internal/transport/tcp"
 )
 
@@ -53,6 +55,14 @@ const (
 	// exercised in-process. Results and α–β accounting are identical to
 	// loopback; only wall-clock behaviour (syscalls, copies) changes.
 	TransportTCP Transport = "tcp"
+	// TransportSHM runs every rank pair over a cross-process
+	// shared-memory ring (internal/transport/shm): mmap'd SPSC frame
+	// rings, two memcpys and zero syscalls per hop in steady state.
+	TransportSHM Transport = "shm"
+	// TransportHybrid splits links by a host map — shared-memory rings
+	// intra-host, TCP sockets inter-host (internal/transport/hybrid).
+	// In-process the ranks split into two hosts, lower and upper half.
+	TransportHybrid Transport = "hybrid"
 )
 
 // NewParallelEngine starts a concurrent execution engine of workers
@@ -66,6 +76,18 @@ func NewParallelEngine(workers int, kind Transport) (*runtime.Engine, error) {
 		f, err := tcp.NewLocal(workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: tcp fabric: %w", err)
+		}
+		return runtime.NewWithOwnedTransport(f), nil
+	case TransportSHM:
+		f, err := shm.NewLocal(workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: shm fabric: %w", err)
+		}
+		return runtime.NewWithOwnedTransport(f), nil
+	case TransportHybrid:
+		f, err := hybrid.NewLocal(workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: hybrid fabric: %w", err)
 		}
 		return runtime.NewWithOwnedTransport(f), nil
 	default:
@@ -132,8 +154,9 @@ type Config struct {
 	// worker goroutines.
 	Parallel bool
 	// Transport selects the parallel engine's fabric backend
-	// (TransportLoopback or TransportTCP; "" means loopback). Ignored
-	// unless Parallel is set.
+	// (TransportLoopback, TransportTCP, TransportSHM or
+	// TransportHybrid; "" means loopback). Ignored unless Parallel is
+	// set.
 	Transport Transport
 }
 

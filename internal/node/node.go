@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"net"
 	"time"
 
 	"marsit/internal/calib"
@@ -56,6 +57,8 @@ import (
 	"marsit/internal/topology"
 	"marsit/internal/transport"
 	"marsit/internal/transport/faultwrap"
+	"marsit/internal/transport/hybrid"
+	"marsit/internal/transport/shm"
 	"marsit/internal/transport/tcp"
 
 	// Populate the collective registry (core also pulls in the runtime
@@ -83,6 +86,20 @@ const (
 	CollectiveSSDM = "ssdm"
 	// CollectivePS is the full-precision parameter-server push–pull.
 	CollectivePS = "ps"
+)
+
+// The fabric backends a one-shot rank can join. Daemon jobs run over
+// the daemon's long-lived fabric and ignore the per-job transport.
+const (
+	// TransportTCP is one real socket per rank pair (the default).
+	TransportTCP = "tcp"
+	// TransportSHM is one mmap'd shared-memory ring per ordered rank
+	// pair, rendezvoused through a shared directory — co-located
+	// processes only.
+	TransportSHM = "shm"
+	// TransportHybrid routes intra-host links over shared-memory rings
+	// and inter-host links over TCP, split by a host map.
+	TransportHybrid = "hybrid"
 )
 
 // Config parameterizes one rank's run.
@@ -160,6 +177,23 @@ type Config struct {
 	// blocked exchanges (including the hub actor's gathers) must fail
 	// with a transport error instead of hanging.
 	DieAfterRounds int
+	// Transport selects the fabric backend: "tcp" (the default), "shm"
+	// (cross-process shared-memory rings rendezvoused in ShmDir — the
+	// whole fleet must be co-located), or "hybrid" (shared-memory rings
+	// between ranks on the same host, TCP across hosts, split by
+	// Hosts). All ranks must agree.
+	Transport string
+	// ShmDir is the shared-memory rendezvous directory ("shm" and
+	// "hybrid" transports). Every co-located rank must name the same
+	// directory, and it must hold no ring files from previous runs.
+	ShmDir string
+	// Hosts maps rank → host id for the hybrid transport. Nil derives
+	// the map from the host part of each address in Addrs — right for
+	// real deployments, where co-located ranks share an address — while
+	// an explicit map lets single-machine fleets (every address
+	// 127.0.0.1) exercise a genuine multi-host split. All ranks must
+	// agree.
+	Hosts []int
 	// DialTimeout bounds the fabric rendezvous (0 = tcp default).
 	DialTimeout time.Duration
 	// Cost overrides the default netsim cost model when non-nil.
@@ -238,6 +272,20 @@ func (cfg *Config) validate() error {
 		// wall split, and the report frame carries it.
 		cfg.Check = true
 	}
+	switch cfg.Transport {
+	case "":
+		cfg.Transport = TransportTCP
+	case TransportTCP:
+	case TransportSHM, TransportHybrid:
+		if cfg.ShmDir == "" {
+			return fmt.Errorf("node: the %s transport needs a shared-memory rendezvous dir (ShmDir / -shm-dir)", cfg.Transport)
+		}
+	default:
+		return fmt.Errorf("node: unknown transport %q (known: tcp, shm, hybrid)", cfg.Transport)
+	}
+	if cfg.Hosts != nil && len(cfg.Hosts) != n {
+		return fmt.Errorf("node: host map names %d ranks but the fabric has %d", len(cfg.Hosts), n)
+	}
 	if (cfg.TorusRows == 0) != (cfg.TorusCols == 0) {
 		return fmt.Errorf("node: torus needs both rows and cols (got %dx%d)", cfg.TorusRows, cfg.TorusCols)
 	}
@@ -288,6 +336,132 @@ func gradStream(seed uint64, w int) *rng.PCG {
 	return rng.NewStream(seed, 0xd000+uint64(w))
 }
 
+// Fabric is the node-facing view of an assembled transport backend:
+// the transport contract plus the telemetry accessor every backend
+// implements.
+type Fabric interface {
+	transport.Transport
+	FabricMetrics() *obs.FabricMetrics
+}
+
+// FabricConfig parameterizes OpenFabric — the slice of Config the
+// one-shot runner and the service daemon share to join a fleet.
+type FabricConfig struct {
+	// Transport selects the backend: "", "tcp", "shm" or "hybrid".
+	Transport string
+	// Rank is the one rank this process hosts.
+	Rank int
+	// Addrs lists every rank's address, defining the fleet size. The
+	// shm backend uses it only for the size; hybrid derives its default
+	// host map from the address hosts.
+	Addrs []string
+	// ShmDir is the shared-memory rendezvous directory (shm, hybrid).
+	ShmDir string
+	// Hosts overrides hybrid's rank → host map (nil = derive from
+	// Addrs).
+	Hosts []int
+	// DialTimeout bounds the rendezvous (0 = the backend default).
+	DialTimeout time.Duration
+}
+
+// OpenFabric assembles this rank's side of the configured fabric
+// backend. The caller owns the returned fabric and must Close it.
+func OpenFabric(cfg FabricConfig) (Fabric, error) {
+	n := len(cfg.Addrs)
+	switch cfg.Transport {
+	case "", TransportTCP:
+		return tcp.New(tcp.Config{
+			Addrs:       cfg.Addrs,
+			LocalRanks:  []int{cfg.Rank},
+			DialTimeout: cfg.DialTimeout,
+		})
+	case TransportSHM:
+		if cfg.ShmDir == "" {
+			return nil, errors.New("node: the shm transport needs a rendezvous dir (-shm-dir)")
+		}
+		return shm.New(shm.Config{
+			Dir:         cfg.ShmDir,
+			Ranks:       n,
+			LocalRanks:  []int{cfg.Rank},
+			DialTimeout: cfg.DialTimeout,
+		})
+	case TransportHybrid:
+		if cfg.ShmDir == "" {
+			return nil, errors.New("node: the hybrid transport needs a rendezvous dir (-shm-dir)")
+		}
+		hosts := cfg.Hosts
+		if hosts == nil {
+			var err error
+			if hosts, err = hostsFromAddrs(cfg.Addrs); err != nil {
+				return nil, err
+			}
+		}
+		if len(hosts) != n {
+			return nil, fmt.Errorf("node: host map names %d ranks but the fabric has %d", len(hosts), n)
+		}
+		var group []int
+		for r, h := range hosts {
+			if h == hosts[cfg.Rank] {
+				group = append(group, r)
+			}
+		}
+		local, err := shm.New(shm.Config{
+			Dir:         cfg.ShmDir,
+			Ranks:       n,
+			LocalRanks:  []int{cfg.Rank},
+			Group:       group,
+			DialTimeout: cfg.DialTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		remote, err := tcp.New(tcp.Config{
+			Addrs:       cfg.Addrs,
+			LocalRanks:  []int{cfg.Rank},
+			DialTimeout: cfg.DialTimeout,
+		})
+		if err != nil {
+			local.Close()
+			return nil, err
+		}
+		f, err := hybrid.New(hybrid.Config{
+			Hosts:      hosts,
+			Local:      local,
+			Remote:     remote,
+			LocalRanks: []int{cfg.Rank},
+		})
+		if err != nil {
+			local.Close()
+			remote.Close()
+			return nil, err
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("node: unknown transport %q (known: tcp, shm, hybrid)", cfg.Transport)
+	}
+}
+
+// hostsFromAddrs derives hybrid's default host map: ranks whose
+// addresses name the same host share a host id, in first-appearance
+// order.
+func hostsFromAddrs(addrs []string) ([]int, error) {
+	ids := make(map[string]int)
+	hosts := make([]int, len(addrs))
+	for r, addr := range addrs {
+		host, _, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("node: cannot derive the host map from address %q: %w (pass -hosts explicitly)", addr, err)
+		}
+		id, ok := ids[host]
+		if !ok {
+			id = len(ids)
+			ids[host] = id
+		}
+		hosts[r] = id
+	}
+	return hosts, nil
+}
+
 // Run executes this rank's share of the configured run: join the fabric,
 // synchronize Rounds times, then (in check mode) take part in the
 // verification exchange. It blocks until the rank is done and returns
@@ -306,10 +480,13 @@ func Run(cfg Config) (*Summary, error) {
 		obs.Enable().EnsureCalib(n)
 	}
 
-	cfg.logf("joining %d-rank fabric at %v", n, cfg.Addrs[rank])
-	fabric, err := tcp.New(tcp.Config{
+	cfg.logf("joining %d-rank %s fabric at %v", n, cfg.Transport, cfg.Addrs[rank])
+	fabric, err := OpenFabric(FabricConfig{
+		Transport:   cfg.Transport,
+		Rank:        rank,
 		Addrs:       cfg.Addrs,
-		LocalRanks:  []int{rank},
+		ShmDir:      cfg.ShmDir,
+		Hosts:       cfg.Hosts,
 		DialTimeout: cfg.DialTimeout,
 	})
 	if err != nil {
@@ -462,7 +639,7 @@ func transportTable(cfg *Config, fm *obs.FabricMetrics) string {
 	}
 	rank, n := cfg.Rank, fm.Size()
 	tb := report.NewTable(
-		fmt.Sprintf("Transport metrics — rank %d of %d (tcp)", rank, n),
+		fmt.Sprintf("Transport metrics — rank %d of %d (%s)", rank, n, fm.Kind()),
 		"Peer", "FramesOut", "FramesIn", "WireOut(B)", "WireIn(B)", "PayloadOut(B)", "PayloadIn(B)")
 	for peer := 0; peer < n; peer++ {
 		if peer == rank {

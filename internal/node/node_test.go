@@ -252,6 +252,109 @@ func TestRankDeathPoisonsRing(t *testing.T) {
 	}
 }
 
+// shmFleet mutates a fleet onto the shared-memory fabric. A fresh
+// rendezvous dir is allocated per attempt (mutate runs sequentially,
+// rank 0 first), so a port-collision retry never trips over the
+// previous attempt's ring files.
+func shmFleet(t *testing.T, transport string, hosts []int) func(rank int, cfg *node.Config) {
+	t.Helper()
+	var dir string
+	return func(rank int, cfg *node.Config) {
+		if rank == 0 {
+			dir = t.TempDir()
+		}
+		cfg.Transport = transport
+		cfg.ShmDir = dir
+		cfg.Hosts = hosts
+	}
+}
+
+// TestFourRankShmMatchesSequential is the tentpole acceptance at the
+// process level: four ranks rendezvous over mmap'd rings — no sockets
+// on the gradient path at all — and the run must still be bit-identical
+// to the sequential engine under rank 0's check protocol.
+func TestFourRankShmMatchesSequential(t *testing.T) {
+	sums, errs := launch(t, 4, shmFleet(t, node.TransportSHM, nil))
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, s := range sums {
+		if !s.Checked {
+			t.Fatalf("rank %d not verified", r)
+		}
+		if s.Bytes <= 0 || s.Clock <= 0 {
+			t.Fatalf("rank %d accounted nothing: %+v", r, s)
+		}
+	}
+	for r := 1; r < 4; r++ {
+		for i := range sums[0].Result {
+			if sums[0].Result[i] != sums[r].Result[i] {
+				t.Fatalf("rank %d result diverges at %d", r, i)
+			}
+		}
+	}
+}
+
+// TestFourRankHybridMixedFabric models two hosts × two local ranks: the
+// explicit host map sends intra-host links over shared memory and
+// inter-host links over TCP, and the mixed fabric must still verify
+// bit-identical. The host map is explicit because every test address is
+// 127.0.0.1 — address-derived mapping would collapse to one host.
+func TestFourRankHybridMixedFabric(t *testing.T) {
+	sums, errs := launch(t, 4, shmFleet(t, node.TransportHybrid, []int{0, 0, 1, 1}))
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, s := range sums {
+		if !s.Checked {
+			t.Fatalf("rank %d not verified", r)
+		}
+	}
+	for r := 1; r < 4; r++ {
+		for i := range sums[0].Result {
+			if sums[0].Result[i] != sums[r].Result[i] {
+				t.Fatalf("rank %d result diverges at %d", r, i)
+			}
+		}
+	}
+}
+
+// TestRankDeathPoisonsShmRing kills one rank of an shm fleet mid-run:
+// its deferred fabric Close must poison the shared rings so blocked
+// peers fail fast with a closed-fabric error instead of spinning on
+// memory nobody will ever write again.
+func TestRankDeathPoisonsShmRing(t *testing.T) {
+	const n, victim = 3, 1
+	shm := shmFleet(t, node.TransportSHM, nil)
+	_, errs := launch(t, n, func(rank int, cfg *node.Config) {
+		shm(rank, cfg)
+		cfg.Collective = node.CollectiveSSDM
+		cfg.Check = false
+		cfg.Rounds = 5
+		if rank == victim {
+			cfg.DieAfterRounds = 2
+		}
+	})
+	if !errors.Is(errs[victim], node.ErrRankDied) {
+		t.Fatalf("victim rank error = %v, want ErrRankDied", errs[victim])
+	}
+	for r, err := range errs {
+		if r == victim {
+			continue
+		}
+		if err == nil {
+			t.Fatalf("rank %d survived a dead peer without error", r)
+		}
+		if !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("rank %d error %v does not surface the poisoned ring", r, err)
+		}
+	}
+}
+
 // TestNoCheckFleetShutsDownCleanly runs a fleet without verification:
 // the orderly-shutdown farewell must keep early-exiting ranks from
 // poisoning peers still in their last barrier, every time.

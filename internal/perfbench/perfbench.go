@@ -29,6 +29,8 @@ import (
 	"marsit/internal/rng"
 	"marsit/internal/runtime"
 	"marsit/internal/tensor"
+	"marsit/internal/transport/hybrid"
+	"marsit/internal/transport/shm"
 	"marsit/internal/transport/tcp"
 )
 
@@ -38,15 +40,15 @@ import (
 var DefaultCollectives = []string{"rar", "marsit", "signsum", "ssdm", "cascading", "ps"}
 
 // DefaultFabrics are the parallel-engine backends a plain run covers.
-var DefaultFabrics = []string{"loopback", "tcp"}
+var DefaultFabrics = []string{"loopback", "tcp", "shm", "hybrid"}
 
 // Config parameterizes a harness run. Zero values select the defaults.
 type Config struct {
 	// Collectives lists registry names to measure (DefaultCollectives
 	// when empty).
 	Collectives []string
-	// Fabrics lists parallel backends ("loopback", "tcp";
-	// DefaultFabrics when empty).
+	// Fabrics lists parallel backends ("loopback", "tcp", "shm",
+	// "hybrid"; DefaultFabrics when empty).
 	Fabrics []string
 	// Workers and Dim shape every case (4 and 100 000 when zero — the
 	// M=4, D=1e5 hot path the perf trajectory tracks).
@@ -302,8 +304,20 @@ func newEngine(workers int, fabric string) (*runtime.Engine, error) {
 			return nil, err
 		}
 		return runtime.NewWithOwnedTransport(f), nil
+	case "shm":
+		f, err := shm.NewLocal(workers)
+		if err != nil {
+			return nil, err
+		}
+		return runtime.NewWithOwnedTransport(f), nil
+	case "hybrid":
+		f, err := hybrid.NewLocal(workers)
+		if err != nil {
+			return nil, err
+		}
+		return runtime.NewWithOwnedTransport(f), nil
 	default:
-		return nil, fmt.Errorf("unknown fabric %q (want loopback or tcp)", fabric)
+		return nil, fmt.Errorf("unknown fabric %q (want loopback, tcp, shm or hybrid)", fabric)
 	}
 }
 

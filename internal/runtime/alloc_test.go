@@ -11,6 +11,8 @@ import (
 	"marsit/internal/runtime/equivtest"
 	"marsit/internal/tensor"
 	"marsit/internal/transport"
+	"marsit/internal/transport/hybrid"
+	"marsit/internal/transport/shm"
 
 	_ "marsit/internal/core"
 )
@@ -22,16 +24,34 @@ import (
 // reintroducing a fresh per-hop slice would multiply the figures below
 // by the segment size and fail these assertions.
 
-// allocRun opens desc on a loopback engine and returns a closure
-// running one steady-state round (after a pooling warm-up), plus the
-// teardown.
-func allocRun(t *testing.T, name string, workers, dim int) (func(), func()) {
+// allocRun opens desc on an engine over the named fabric and returns a
+// closure running one steady-state round (after a pooling warm-up),
+// plus the teardown.
+func allocRun(t *testing.T, name, fabric string, workers, dim int) (func(), func()) {
 	t.Helper()
 	desc, err := registry.Get(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := runtime.New(workers)
+	var eng *runtime.Engine
+	switch fabric {
+	case "loopback":
+		eng = runtime.New(workers)
+	case "shm":
+		f, err := shm.NewLocal(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng = runtime.NewWithOwnedTransport(f)
+	case "hybrid":
+		f, err := hybrid.NewLocal(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng = runtime.NewWithOwnedTransport(f)
+	default:
+		t.Fatalf("allocRun: unknown fabric %q", fabric)
+	}
 	c := netsim.NewCluster(workers, netsim.DefaultCostModel())
 	o := &registry.Opts{Workers: workers, Dim: dim, Seed: 11, K: 3, GlobalLR: 0.01}
 	cl, err := eng.Open(desc, o)
@@ -63,13 +83,18 @@ const maxSteadyStateAllocs = 200
 
 func testSteadyStateAllocs(t *testing.T, name string, dim int) {
 	t.Helper()
-	run, done := allocRun(t, name, 4, dim)
+	testSteadyStateAllocsFabric(t, name, "loopback", dim)
+}
+
+func testSteadyStateAllocsFabric(t *testing.T, name, fabric string, dim int) {
+	t.Helper()
+	run, done := allocRun(t, name, fabric, 4, dim)
 	defer done()
 	allocs := testing.AllocsPerRun(10, run)
-	t.Logf("%s M=4 D=%d: %.1f allocs/round", name, dim, allocs)
+	t.Logf("%s/%s M=4 D=%d: %.1f allocs/round", name, fabric, dim, allocs)
 	if allocs > maxSteadyStateAllocs {
-		t.Fatalf("%s allocates %.1f times per round (cap %d): per-hop scratch is no longer pooled",
-			name, allocs, maxSteadyStateAllocs)
+		t.Fatalf("%s/%s allocates %.1f times per round (cap %d): per-hop scratch is no longer pooled",
+			name, fabric, allocs, maxSteadyStateAllocs)
 	}
 }
 
@@ -96,6 +121,22 @@ func TestSignSumSteadyStateAllocs(t *testing.T) {
 // into per-hop payload allocation.
 func TestRARSteadyStateAllocs(t *testing.T) {
 	testSteadyStateAllocs(t, "rar", 1<<14)
+}
+
+// TestShmSteadyStateAllocs holds the shared-memory fabric to the same
+// bar as loopback: Send writes straight into the mmap'd ring and Recv
+// copies out into a pooled buffer, so a steady-state round must not
+// allocate per frame, let alone per element.
+func TestShmSteadyStateAllocs(t *testing.T) {
+	testSteadyStateAllocsFabric(t, "rar", "shm", 1<<14)
+	testSteadyStateAllocsFabric(t, "cascading", "shm", 1<<12)
+}
+
+// TestHybridSteadyStateAllocs pins the composite fabric: per-link
+// routing is a slice lookup, so hybrid adds no allocations over its
+// sub-fabrics.
+func TestHybridSteadyStateAllocs(t *testing.T) {
+	testSteadyStateAllocsFabric(t, "rar", "hybrid", 1<<14)
 }
 
 // TestSteadyStateAllocsAfterTelemetryCycle pins the disabled fast path:
@@ -130,7 +171,7 @@ func TestTelemetryOnAllocsBounded(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.AttachTracer(obs.NewTracer(4, 1<<16))
 	defer obs.SetActive(reg)() // active before allocRun builds the engine
-	run, done := allocRun(t, "rar", 4, 1<<14)
+	run, done := allocRun(t, "rar", "loopback", 4, 1<<14)
 	defer done()
 	allocs := testing.AllocsPerRun(10, run)
 	t.Logf("rar M=4 D=%d with telemetry: %.1f allocs/round", 1<<14, allocs)

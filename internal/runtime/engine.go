@@ -26,9 +26,7 @@
 package runtime
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -520,40 +518,16 @@ func (r *rankCtx) finish() {
 // element (float32, matching internal/collective).
 const floatWireBytes = 4
 
-// encodeFloats serializes v as raw little-endian float64 bits — an exact
-// round-trip, so parallel arithmetic matches the sequential engine bit
-// for bit. The returned slice doubles as the sequential schedule's
-// pre-mutation snapshot. The buffer comes from the shared payload pool;
-// ownership passes to the transport at Send, and the consuming side
-// (addFloats/copyFloats) recycles it.
-func encodeFloats(v []float64) []byte {
-	out := transport.GetBuffer(8 * len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
-	}
-	return out
-}
-
-// addFloats accumulates an encodeFloats payload into dst (dst[i] += x_i),
-// the reduce-scatter combine, without materializing the decoded vector.
-// The payload is dead afterwards and is recycled into the buffer pool.
-func addFloats(dst []float64, data []byte) {
-	checkFloatPayload(len(dst), data)
-	for i := range dst {
-		dst[i] += math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
-	}
-	transport.PutBuffer(data)
-}
-
-// copyFloats overwrites dst with an encodeFloats payload, the all-gather
-// combine, then recycles the payload into the buffer pool.
-func copyFloats(dst []float64, data []byte) {
-	checkFloatPayload(len(dst), data)
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
-	}
-	transport.PutBuffer(data)
-}
+// encodeFloats (codec_fast.go / codec_portable.go) serializes v as raw
+// little-endian float64 bits — an exact round-trip, so parallel
+// arithmetic matches the sequential engine bit for bit. The returned
+// slice doubles as the sequential schedule's pre-mutation snapshot. The
+// buffer comes from the shared payload pool; ownership passes to the
+// transport at Send, and the consuming side recycles it: addFloats
+// accumulates a payload into dst (dst[i] += x_i, the reduce-scatter
+// combine) without materializing the decoded vector, copyFloats
+// overwrites dst (the all-gather combine), and both recycle the dead
+// payload into the buffer pool.
 
 func checkFloatPayload(n int, data []byte) {
 	if len(data) != 8*n {

@@ -36,6 +36,8 @@ import (
 	"marsit/internal/topology"
 	"marsit/internal/transport"
 	"marsit/internal/transport/faultwrap"
+	"marsit/internal/transport/hybrid"
+	"marsit/internal/transport/shm"
 	"marsit/internal/transport/tcp"
 )
 
@@ -100,14 +102,16 @@ type Spec struct {
 	Par func(eng *runtime.Engine, c *netsim.Cluster, sh Shape, d int, seed uint64) []tensor.Vec
 }
 
-// Backends are the fabric backends the matrix covers by default.
-var Backends = []string{"loopback", "tcp"}
+// Backends are the fabric backends the matrix covers by default:
+// in-process channels, TCP sockets, cross-process shared-memory rings,
+// and the hybrid per-link split (shm intra-host, TCP inter-host).
+var Backends = []string{"loopback", "tcp", "shm", "hybrid"}
 
 // JitterBackends are the fault-injected backends: the same fabrics
 // wrapped in the faultwrap delay middleware with real jitter and a 3×
 // straggler on the last rank. Results, wire bytes and clocks must stay
 // bit-identical — injected delay may only move wall time.
-var JitterBackends = []string{"loopback-jitter", "tcp-jitter"}
+var JitterBackends = []string{"loopback-jitter", "tcp-jitter", "shm-jitter", "hybrid-jitter"}
 
 // Run executes every spec over its shape × dim × backend matrix. Any
 // backend other than plain loopback runs the full shape set at the last
@@ -209,6 +213,30 @@ func newEngine(t testing.TB, backend string, workers int) *runtime.Engine {
 		f, err := tcp.NewLocal(workers)
 		if err != nil {
 			t.Fatalf("tcp fabric: %v", err)
+		}
+		return runtime.NewWithOwnedTransport(faultwrap.Wrap(f, jitterCfg(workers)))
+	case "shm":
+		f, err := shm.NewLocal(workers)
+		if err != nil {
+			t.Fatalf("shm fabric: %v", err)
+		}
+		return runtime.NewWithOwnedTransport(f)
+	case "shm-jitter":
+		f, err := shm.NewLocal(workers)
+		if err != nil {
+			t.Fatalf("shm fabric: %v", err)
+		}
+		return runtime.NewWithOwnedTransport(faultwrap.Wrap(f, jitterCfg(workers)))
+	case "hybrid":
+		f, err := hybrid.NewLocal(workers)
+		if err != nil {
+			t.Fatalf("hybrid fabric: %v", err)
+		}
+		return runtime.NewWithOwnedTransport(f)
+	case "hybrid-jitter":
+		f, err := hybrid.NewLocal(workers)
+		if err != nil {
+			t.Fatalf("hybrid fabric: %v", err)
 		}
 		return runtime.NewWithOwnedTransport(faultwrap.Wrap(f, jitterCfg(workers)))
 	default:

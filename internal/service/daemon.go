@@ -41,7 +41,6 @@ import (
 	"marsit/internal/obs"
 	"marsit/internal/transport"
 	"marsit/internal/transport/jobmux"
-	"marsit/internal/transport/tcp"
 )
 
 // Control-plane errors. The HTTP layer maps them to status codes
@@ -64,10 +63,18 @@ type Config struct {
 	// Addrs lists every rank's address, defining the fleet size.
 	Addrs []string
 	// Fabric, when non-nil, is a pre-assembled shared fabric (in-process
-	// tests); Addrs then only needs to agree on the size and no TCP
+	// tests); Addrs then only needs to agree on the size and no
 	// rendezvous happens.
 	Fabric transport.Transport
-	// DialTimeout bounds the fabric rendezvous (0 = tcp default).
+	// Transport selects the fabric backend when Fabric is nil:
+	// "", "tcp", "shm" or "hybrid" (see node.OpenFabric).
+	Transport string
+	// ShmDir is the shared-memory rendezvous directory (shm, hybrid).
+	ShmDir string
+	// Hosts overrides hybrid's rank → host map (nil = derive from
+	// Addrs' host parts).
+	Hosts []int
+	// DialTimeout bounds the fabric rendezvous (0 = backend default).
 	DialTimeout time.Duration
 	// MaxConcurrent caps jobs running at once fleet-wide (leader
 	// enforced; 0 = 4).
@@ -156,9 +163,12 @@ func New(cfg Config) (*Daemon, error) {
 
 	fabric := cfg.Fabric
 	if fabric == nil {
-		f, err := tcp.New(tcp.Config{
+		f, err := node.OpenFabric(node.FabricConfig{
+			Transport:   cfg.Transport,
+			Rank:        cfg.Rank,
 			Addrs:       cfg.Addrs,
-			LocalRanks:  []int{cfg.Rank},
+			ShmDir:      cfg.ShmDir,
+			Hosts:       cfg.Hosts,
 			DialTimeout: cfg.DialTimeout,
 		})
 		if err != nil {

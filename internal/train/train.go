@@ -93,6 +93,12 @@ const (
 	// TransportTCP runs every rank pair over a real TCP socket on the
 	// loopback interface.
 	TransportTCP = core.TransportTCP
+	// TransportSHM runs every rank pair over a cross-process
+	// shared-memory ring.
+	TransportSHM = core.TransportSHM
+	// TransportHybrid splits links by host: shared memory intra-host,
+	// TCP inter-host.
+	TransportHybrid = core.TransportHybrid
 )
 
 // DefaultTransport is used when Config.Transport is empty;
@@ -347,11 +353,18 @@ func (cfg *Config) validate() error {
 	default:
 		return fmt.Errorf("train: unknown engine %q", cfg.Engine)
 	}
-	switch cfg.Transport {
-	case TransportLoopback, TransportTCP:
-	case "":
+	validTransport := func(t Transport) bool {
+		switch t {
+		case TransportLoopback, TransportTCP, TransportSHM, TransportHybrid:
+			return true
+		}
+		return false
+	}
+	switch {
+	case validTransport(cfg.Transport):
+	case cfg.Transport == "":
 		cfg.Transport = DefaultTransport
-		if cfg.Transport != TransportLoopback && cfg.Transport != TransportTCP {
+		if !validTransport(cfg.Transport) {
 			return fmt.Errorf("train: unknown DefaultTransport %q", DefaultTransport)
 		}
 	default:

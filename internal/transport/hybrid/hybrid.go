@@ -1,0 +1,220 @@
+// Package hybrid is a composite Transport that routes every (from, to)
+// link over a per-link backend chosen by a host map: intra-host links
+// ride a local fabric (shared-memory rings, or Loopback in-process),
+// inter-host links a remote one (TCP). It turns the hier collective's
+// two-level schedule into a two-level *fabric* — co-located ranks stop
+// paying loopback-socket syscalls while cross-host traffic keeps the
+// wire semantics, and neither side can tell: both sub-fabrics span the
+// same rank numbering, so FIFO per ordered pair, blocking receives and
+// close/poison semantics are inherited from whichever backend owns the
+// link.
+//
+// The hybrid fabric owns both sub-fabrics (Close closes them, which
+// poisons every link) and registers its own "hybrid" FabricMetrics
+// series counting all traffic; the sub-fabrics keep their per-backend
+// series, so a scrape shows both the composite and the split.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"marsit/internal/obs"
+	"marsit/internal/transport"
+	"marsit/internal/transport/shm"
+	"marsit/internal/transport/tcp"
+)
+
+// Config assembles a hybrid fabric from two fully built sub-fabrics.
+type Config struct {
+	// Hosts maps rank → host id; len(Hosts) is the fleet size. Links
+	// between ranks with equal host ids use Local, all others Remote.
+	Hosts []int
+	// Local carries intra-host links. Must span the same n ranks.
+	Local transport.Transport
+	// Remote carries inter-host links. Must span the same n ranks.
+	Remote transport.Transport
+	// LocalRanks, when non-nil, scopes the metrics series to the ranks
+	// this process hosts (nil = all, the in-process case).
+	LocalRanks []int
+}
+
+// Fabric is the composite transport.
+type Fabric struct {
+	n      int
+	hosts  []int
+	local  transport.Transport
+	remote transport.Transport
+
+	mu  sync.Mutex
+	eps []*endpoint
+
+	once    sync.Once
+	cerr    error
+	metrics *obs.FabricMetrics
+}
+
+// New validates the host map against both sub-fabrics and takes
+// ownership of them.
+func New(cfg Config) (*Fabric, error) {
+	n := len(cfg.Hosts)
+	if n < 1 {
+		return nil, errors.New("hybrid: empty host map")
+	}
+	if cfg.Local == nil || cfg.Remote == nil {
+		return nil, errors.New("hybrid: both Local and Remote sub-fabrics are required")
+	}
+	if cfg.Local.Size() != n {
+		return nil, fmt.Errorf("hybrid: host map names %d ranks but the local fabric has %d", n, cfg.Local.Size())
+	}
+	if cfg.Remote.Size() != n {
+		return nil, fmt.Errorf("hybrid: host map names %d ranks but the remote fabric has %d", n, cfg.Remote.Size())
+	}
+	f := &Fabric{
+		n:      n,
+		hosts:  append([]int(nil), cfg.Hosts...),
+		local:  cfg.Local,
+		remote: cfg.Remote,
+		eps:    make([]*endpoint, n),
+	}
+	if reg := obs.Active(); reg != nil {
+		var hosted []bool
+		if cfg.LocalRanks != nil {
+			hosted = make([]bool, n)
+			for _, r := range cfg.LocalRanks {
+				if r < 0 || r >= n {
+					return nil, fmt.Errorf("hybrid: local rank %d out of range [0,%d)", r, n)
+				}
+				hosted[r] = true
+			}
+		}
+		f.metrics = reg.NewFabricMetrics("hybrid", n, hosted)
+	}
+	return f, nil
+}
+
+// NewLocal builds an in-process hybrid fabric over n ranks split into
+// two hosts (the lower half and the upper half, matching hier's
+// hosts × local-ranks reading): shared-memory rings intra-host, real
+// TCP sockets inter-host. This is the constructor the engine,
+// benchmarks and the equivalence matrix use.
+func NewLocal(n int) (*Fabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hybrid: need at least 1 rank, got %d", n)
+	}
+	hosts := make([]int, n)
+	for r := range hosts {
+		if r >= (n+1)/2 {
+			hosts[r] = 1
+		}
+	}
+	local, err := shm.NewLocal(n)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: shm sub-fabric: %w", err)
+	}
+	remote, err := tcp.NewLocal(n)
+	if err != nil {
+		local.Close()
+		return nil, fmt.Errorf("hybrid: tcp sub-fabric: %w", err)
+	}
+	f, err := New(Config{Hosts: hosts, Local: local, Remote: remote})
+	if err != nil {
+		local.Close()
+		remote.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// FabricMetrics returns the composite's telemetry, nil when telemetry
+// was disabled at construction.
+func (f *Fabric) FabricMetrics() *obs.FabricMetrics { return f.metrics }
+
+// Hosts returns the rank → host id map the fabric routes by.
+func (f *Fabric) Hosts() []int { return append([]int(nil), f.hosts...) }
+
+// Size implements transport.Transport.
+func (f *Fabric) Size() int { return f.n }
+
+// Endpoint implements transport.Transport. Resolution is lazy: the
+// sub-fabrics panic for ranks this process does not host, exactly like
+// asking them directly.
+func (f *Fabric) Endpoint(rank int) transport.Endpoint {
+	if rank < 0 || rank >= f.n {
+		panic(fmt.Sprintf("hybrid: rank %d out of range [0,%d)", rank, f.n))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.eps[rank] == nil {
+		f.eps[rank] = &endpoint{
+			f:      f,
+			rank:   rank,
+			local:  f.local.Endpoint(rank),
+			remote: f.remote.Endpoint(rank),
+		}
+	}
+	return f.eps[rank]
+}
+
+// Close implements transport.Transport: both sub-fabrics go down, which
+// poisons every link for local and remote peers alike.
+func (f *Fabric) Close() error {
+	f.once.Do(func() {
+		f.cerr = errors.Join(f.local.Close(), f.remote.Close())
+	})
+	return f.cerr
+}
+
+type endpoint struct {
+	f      *Fabric
+	rank   int
+	local  transport.Endpoint
+	remote transport.Endpoint
+}
+
+// sub picks the backend owning the (rank, peer) link.
+func (e *endpoint) sub(peer int) transport.Endpoint {
+	if e.f.hosts[e.rank] == e.f.hosts[peer] {
+		return e.local
+	}
+	return e.remote
+}
+
+// Rank implements transport.Endpoint.
+func (e *endpoint) Rank() int { return e.rank }
+
+// Size implements transport.Endpoint.
+func (e *endpoint) Size() int { return e.f.n }
+
+// Send implements transport.Endpoint, delegating to the link's backend.
+// Wire and payload sizes are captured before the handoff — the backend
+// may recycle the payload buffer as part of Send.
+func (e *endpoint) Send(to int, p transport.Packet) error {
+	if to < 0 || to >= e.f.n {
+		panic(fmt.Sprintf("hybrid: rank %d out of range [0,%d)", to, e.f.n))
+	}
+	wire, payload := p.Wire, len(p.Data)
+	if err := e.sub(to).Send(to, p); err != nil {
+		return err
+	}
+	if m := e.f.metrics; m != nil {
+		m.OnSend(e.rank, to, wire, payload)
+	}
+	return nil
+}
+
+// Recv implements transport.Endpoint, delegating to the link's backend.
+func (e *endpoint) Recv(from int) (transport.Packet, error) {
+	if from < 0 || from >= e.f.n {
+		panic(fmt.Sprintf("hybrid: rank %d out of range [0,%d)", from, e.f.n))
+	}
+	p, err := e.sub(from).Recv(from)
+	if err != nil {
+		return p, err
+	}
+	if m := e.f.metrics; m != nil {
+		m.OnRecv(from, e.rank, p.Wire, len(p.Data))
+	}
+	return p, nil
+}

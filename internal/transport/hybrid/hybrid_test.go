@@ -1,0 +1,126 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+
+	"marsit/internal/obs"
+	"marsit/internal/transport"
+	"marsit/internal/transport/shm"
+	"marsit/internal/transport/tcp"
+	"marsit/internal/transport/transporttest"
+)
+
+// TestConformance runs the shared transport contract suite over the
+// in-process constructor: shm rings intra-host, TCP sockets inter-host,
+// ranks split across two hosts.
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transport.Transport {
+		f, err := NewLocal(n)
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", n, err)
+		}
+		return f
+	})
+}
+
+// TestConformanceLoopbackLocal re-runs the suite with Loopback as the
+// intra-host backend — the composite must not care which local fabric
+// it routes over.
+func TestConformanceLoopbackLocal(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transport.Transport {
+		hosts := make([]int, n)
+		for r := range hosts {
+			hosts[r] = r % 2 // interleaved hosts, unlike NewLocal's halves
+		}
+		remote, err := tcp.NewLocal(n)
+		if err != nil {
+			t.Fatalf("tcp.NewLocal(%d): %v", n, err)
+		}
+		f, err := New(Config{Hosts: hosts, Local: transport.NewLoopback(n), Remote: remote})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return f
+	})
+}
+
+// TestRoutingSplit checks frames genuinely take the per-link backend
+// the host map names: intra-host traffic lands on the local fabric's
+// counters, inter-host on the remote's, and the composite sees all.
+func TestRoutingSplit(t *testing.T) {
+	defer obs.SetActive(obs.NewRegistry())()
+	const n = 4
+	hosts := []int{0, 0, 1, 1}
+	local, err := shm.NewLocal(n)
+	if err != nil {
+		t.Fatalf("shm.NewLocal: %v", err)
+	}
+	remote, err := tcp.NewLocal(n)
+	if err != nil {
+		t.Fatalf("tcp.NewLocal: %v", err)
+	}
+	f, err := New(Config{Hosts: hosts, Local: local, Remote: remote})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+
+	send := func(from, to int) {
+		t.Helper()
+		if err := f.Endpoint(from).Send(to, transport.Packet{Data: []byte{1, 2, 3}, Wire: 7}); err != nil {
+			t.Fatalf("send %d->%d: %v", from, to, err)
+		}
+		if _, err := f.Endpoint(to).Recv(from); err != nil {
+			t.Fatalf("recv %d<-%d: %v", to, from, err)
+		}
+	}
+	send(0, 1) // intra host 0
+	send(2, 3) // intra host 1
+	send(1, 2) // inter
+	send(3, 0) // inter
+
+	lm, rm, hm := local.FabricMetrics(), remote.FabricMetrics(), f.FabricMetrics()
+	if lm.FramesSent(0, 1) != 1 || lm.FramesSent(2, 3) != 1 {
+		t.Errorf("intra-host frames missing from the shm fabric: 0->1=%d 2->3=%d", lm.FramesSent(0, 1), lm.FramesSent(2, 3))
+	}
+	if lm.FramesSent(1, 2) != 0 || lm.FramesSent(3, 0) != 0 {
+		t.Errorf("inter-host frames leaked onto the shm fabric")
+	}
+	if rm.FramesSent(1, 2) != 1 || rm.FramesSent(3, 0) != 1 {
+		t.Errorf("inter-host frames missing from the tcp fabric: 1->2=%d 3->0=%d", rm.FramesSent(1, 2), rm.FramesSent(3, 0))
+	}
+	if rm.FramesSent(0, 1) != 0 || rm.FramesSent(2, 3) != 0 {
+		t.Errorf("intra-host frames leaked onto the tcp fabric")
+	}
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {1, 2}, {3, 0}} {
+		if got := hm.FramesSent(pair[0], pair[1]); got != 1 {
+			t.Errorf("composite FramesSent(%d,%d) = %d, want 1", pair[0], pair[1], got)
+		}
+		if got := hm.WireSent(pair[0], pair[1]); got != 7 {
+			t.Errorf("composite WireSent(%d,%d) = %d, want 7", pair[0], pair[1], got)
+		}
+	}
+}
+
+// TestConfigValidation pins the loud-misconfiguration contract.
+func TestConfigValidation(t *testing.T) {
+	lb2, lb3 := transport.NewLoopback(2), transport.NewLoopback(3)
+	defer lb2.Close()
+	defer lb3.Close()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"empty hosts", Config{Local: lb2, Remote: lb2}, "empty host map"},
+		{"nil local", Config{Hosts: []int{0, 0}, Remote: lb2}, "both Local and Remote"},
+		{"local size mismatch", Config{Hosts: []int{0, 0}, Local: lb3, Remote: lb2}, "local fabric has 3"},
+		{"remote size mismatch", Config{Hosts: []int{0, 0}, Local: lb2, Remote: lb3}, "remote fabric has 3"},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 //
 // The contract is deliberately minimal — FIFO per (sender, receiver) pair,
 // blocking receives, byte-slice payloads — and collectives are written
-// against Endpoint only, never assuming shared memory. Two backends
+// against Endpoint only, never assuming shared memory. Four backends
 // implement it:
 //
 //   - Loopback (this package): n² buffered in-process channels, zero-copy
@@ -15,6 +15,13 @@
 //     rendezvous layer that assembles an n-rank fabric from a list of
 //     addresses — across goroutines, processes or machines
 //     (cmd/marsit-node hosts one rank per process).
+//   - Shared memory (transport/shm): one mmap'd single-producer
+//     single-consumer ring per ordered rank pair, carrying the same
+//     frame layout as TCP without sockets or syscalls on the data
+//     path — for ranks co-located on one machine (see docs/transport.md).
+//   - Hybrid (transport/hybrid): a composite that routes each (from, to)
+//     link to shm when both ranks share a host and to TCP otherwise,
+//     from a rank→host map.
 //
 // The shared conformance suite in transport/transporttest pins the
 // contract for every backend. GetBuffer/PutBuffer recycle payload buffers

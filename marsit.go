@@ -47,10 +47,12 @@
 //     direct engine access): the concurrent execution engine of
 //     internal/runtime runs one goroutine per worker, each owning its
 //     shard and exchanging messages through a pluggable Transport
-//     (internal/transport). Two fabric backends exist: the in-process
-//     loopback (the default) and real TCP sockets (TransportTCP);
-//     cmd/marsit-node stretches the same TCP fabric across processes
-//     and machines.
+//     (internal/transport). Four fabric backends exist: the in-process
+//     loopback (the default), real TCP sockets (TransportTCP),
+//     cross-process shared-memory rings (TransportSHM) and the hybrid
+//     per-link split — shared memory intra-host, TCP inter-host
+//     (TransportHybrid); cmd/marsit-node stretches the wire fabrics
+//     across processes and machines.
 //
 // The parallel engine charges the same α–β costs as the sequential one
 // (each packet carries the sender's virtual clock, reproducing netsim's
@@ -130,6 +132,14 @@ const (
 	// loopback interface; results and virtual-time accounting stay
 	// bit-identical to loopback.
 	TransportTCP = core.TransportTCP
+	// TransportSHM exchanges every message over a cross-process
+	// shared-memory ring (mmap'd SPSC frame rings, no syscalls in
+	// steady state); bit-identical to loopback, co-located ranks only.
+	TransportSHM = core.TransportSHM
+	// TransportHybrid routes each link by a host map: shared-memory
+	// rings intra-host, TCP sockets inter-host. In-process the ranks
+	// split into a lower-half and an upper-half host.
+	TransportHybrid = core.TransportHybrid
 )
 
 // NewEngineTCP starts a concurrent engine whose ranks exchange messages
@@ -137,6 +147,13 @@ const (
 // rank pair). Close it when done; the sockets are released with it.
 func NewEngineTCP(workers int) (*Engine, error) {
 	return core.NewParallelEngine(workers, core.TransportTCP)
+}
+
+// NewEngineSHM starts a concurrent engine whose ranks exchange messages
+// over cross-process shared-memory rings rendezvoused in a temporary
+// directory. Close it when done; the rings are released with it.
+func NewEngineSHM(workers int) (*Engine, error) {
+	return core.NewParallelEngine(workers, core.TransportSHM)
 }
 
 // EngineKind selects the execution engine Run uses.
@@ -172,7 +189,8 @@ type runConfig struct {
 func WithEngine(e EngineKind) RunOption { return func(rc *runConfig) { rc.engine = e } }
 
 // WithTransport selects the parallel engine's fabric backend
-// (TransportLoopback or TransportTCP); it implies EnginePar semantics
+// (TransportLoopback, TransportTCP, TransportSHM or TransportHybrid);
+// it implies EnginePar semantics
 // only when WithEngine(EnginePar) is also given.
 func WithTransport(t Transport) RunOption { return func(rc *runConfig) { rc.transport = t } }
 
